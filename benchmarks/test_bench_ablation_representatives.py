@@ -1,0 +1,25 @@
+"""E12 — ablations: representative construction and assignment rule."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import run_assignment_ablation, run_representative_ablation
+
+
+def test_bench_e12a_representative_ablation(benchmark, ablation_settings):
+    record = benchmark(run_representative_ablation, ablation_settings)
+    means = record.summary
+    # All three representatives must produce finite, positive costs; the
+    # paper's choices (expected point / 1-center) should not be dramatically
+    # worse than the medoid heuristic on average.
+    assert all(value > 0 for value in means.values())
+    assert means["mean_cost_expected_point"] <= 2.0 * means["mean_cost_medoid"]
+    assert means["mean_cost_one_center"] <= 2.0 * means["mean_cost_medoid"]
+
+
+def test_bench_e12b_assignment_ablation(benchmark, ablation_settings):
+    record = benchmark(run_assignment_ablation, ablation_settings)
+    means = record.summary
+    assert all(value > 0 for value in means.values())
+    # The naive nearest-mode assignment should never beat the paper's
+    # expected-distance rule by a large margin (it has no guarantee at all).
+    assert means["mean_cost_expected_distance"] <= 1.5 * means["mean_cost_nearest_mode_location"]

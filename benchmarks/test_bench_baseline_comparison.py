@@ -1,0 +1,12 @@
+"""E10 — head-to-head against prior-work-style baselines (abstract's claim)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_e10_baseline_comparison
+
+
+def test_bench_e10_baseline_comparison(benchmark, table1_settings):
+    record = benchmark(run_e10_baseline_comparison, table1_settings)
+    # The paper's algorithms should beat or match the baselines on a clear
+    # majority of workloads (they win all of them in practice).
+    assert record.summary["win_fraction"] >= 0.5, record.summary

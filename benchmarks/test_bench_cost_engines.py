@@ -1,0 +1,54 @@
+"""Cost-engine micro-benchmarks (design-choice ablation from DESIGN.md §5.4).
+
+Times the exact O(N log N) expected-cost engine against Monte-Carlo
+estimation and full enumeration on a common instance, and checks they agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignments import ExpectedDistanceAssignment
+from repro.cost import (
+    enumerate_expected_cost_assigned,
+    expected_cost_assigned,
+    monte_carlo_cost_assigned,
+)
+from repro.workloads import gaussian_clusters
+
+
+@pytest.fixture(scope="module")
+def instance():
+    dataset, _ = gaussian_clusters(n=10, z=3, dimension=2, k_true=3, seed=5)
+    centers = dataset.expected_points()[:3]
+    assignment = ExpectedDistanceAssignment()(dataset, centers)
+    return dataset, centers, assignment
+
+
+def test_bench_exact_engine(benchmark, instance):
+    dataset, centers, assignment = instance
+    value = benchmark(expected_cost_assigned, dataset, centers, assignment)
+    assert value > 0
+
+
+def test_bench_enumeration_engine(benchmark, instance):
+    dataset, centers, assignment = instance
+    value = benchmark(enumerate_expected_cost_assigned, dataset, centers, assignment)
+    exact = expected_cost_assigned(dataset, centers, assignment)
+    assert np.isclose(value, exact, rtol=1e-9)
+
+
+def test_bench_monte_carlo_engine(benchmark, instance):
+    dataset, centers, assignment = instance
+    estimate = benchmark(monte_carlo_cost_assigned, dataset, centers, assignment, samples=2000, rng=0)
+    exact = expected_cost_assigned(dataset, centers, assignment)
+    assert estimate.within(exact, sigmas=6.0)
+
+
+def test_bench_large_exact_engine(benchmark):
+    dataset, _ = gaussian_clusters(n=500, z=8, dimension=2, k_true=5, seed=9)
+    centers = dataset.expected_points()[:5]
+    assignment = ExpectedDistanceAssignment()(dataset, centers)
+    value = benchmark(expected_cost_assigned, dataset, centers, assignment)
+    assert value > 0

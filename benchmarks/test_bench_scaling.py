@@ -1,0 +1,14 @@
+"""E11 — Table 1 running-time column: scaling in n, z and k."""
+
+from __future__ import annotations
+
+from repro.experiments.scaling import run_scaling
+
+
+def test_bench_e11_scaling(benchmark, scaling_settings):
+    record = benchmark.pedantic(run_scaling, args=(scaling_settings,), iterations=1, rounds=1)
+    # The fitted growth exponents should reproduce the claimed shapes:
+    # roughly linear in n and z, clearly sub-linear in k.
+    assert record.summary["n_exponent"] <= 1.6, record.summary
+    assert record.summary["z_exponent"] <= 1.5, record.summary
+    assert record.summary["k_exponent"] <= 1.0, record.summary

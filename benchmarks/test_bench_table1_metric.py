@@ -1,0 +1,13 @@
+"""E9 — Table 1 row 9: unrestricted assigned in a general (graph) metric."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_e9_general_metric
+
+
+def test_bench_e9_general_metric(benchmark, table1_settings):
+    record = benchmark(run_e9_general_metric, table1_settings)
+    assert record.summary["within_bound"], record.summary
+    # Gonzalez instantiation of Theorems 2.7 / 2.6: factors 3+2*2=7 and 5+2*2=9.
+    assert record.summary["worst_ratio_one_center"] <= 7.0 + 1e-9
+    assert record.summary["worst_ratio_expected_distance"] <= 9.0 + 1e-9

@@ -1,0 +1,11 @@
+"""E1 — Table 1 row 1: uncertain 1-center via the expected point (factor 2)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_e1_one_center
+
+
+def test_bench_e1_one_center(benchmark, table1_settings):
+    record = benchmark(run_e1_one_center, table1_settings)
+    assert record.summary["within_bound"], record.summary
+    assert record.summary["worst_ratio"] <= 2.0 + 1e-9

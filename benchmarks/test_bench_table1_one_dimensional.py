@@ -1,0 +1,11 @@
+"""E8 — Table 1 row 8: R^1 unrestricted assigned via Theorem 2.3 (factor 3)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_e8_one_dimensional
+
+
+def test_bench_e8_one_dimensional(benchmark, table1_settings):
+    record = benchmark(run_e8_one_dimensional, table1_settings)
+    assert record.summary["within_bound"], record.summary
+    assert record.summary["worst_ratio"] <= 3.0 + 1e-9

@@ -1,0 +1,14 @@
+"""E2/E3 — Table 1 rows 2-3: restricted assigned, expected-distance assignment."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_e2_e3_restricted_expected_distance
+
+
+def test_bench_e2_e3_restricted_expected_distance(benchmark, table1_settings):
+    record = benchmark(run_e2_e3_restricted_expected_distance, table1_settings)
+    assert record.summary["within_bound"], record.summary
+    # Gonzalez variant must respect the factor-6 row, the refined solver the
+    # (5 + eps) row.
+    assert record.summary["worst_ratio_gonzalez"] <= record.summary["bound_gonzalez"] + 1e-9
+    assert record.summary["worst_ratio_epsilon"] <= record.summary["bound_epsilon"] + 1e-9

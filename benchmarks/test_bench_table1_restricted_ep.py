@@ -1,0 +1,12 @@
+"""E4/E5 — Table 1 rows 4-5: restricted assigned, expected-point assignment."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_e4_e5_restricted_expected_point
+
+
+def test_bench_e4_e5_restricted_expected_point(benchmark, table1_settings):
+    record = benchmark(run_e4_e5_restricted_expected_point, table1_settings)
+    assert record.summary["within_bound"], record.summary
+    assert record.summary["worst_ratio_gonzalez"] <= record.summary["bound_gonzalez"] + 1e-9
+    assert record.summary["worst_ratio_epsilon"] <= record.summary["bound_epsilon"] + 1e-9

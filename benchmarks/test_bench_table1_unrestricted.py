@@ -1,0 +1,12 @@
+"""E6/E7 — Table 1 rows 6-7: unrestricted assigned, Euclidean (factors 4 / 3+eps)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_e6_e7_unrestricted_euclidean
+
+
+def test_bench_e6_e7_unrestricted_euclidean(benchmark, table1_settings):
+    record = benchmark(run_e6_e7_unrestricted_euclidean, table1_settings)
+    assert record.summary["within_bound"], record.summary
+    assert record.summary["worst_ratio_gonzalez"] <= 4.0 + 1e-9
+    assert record.summary["worst_ratio_epsilon"] <= record.summary["bound_epsilon"] + 1e-9

@@ -1,0 +1,141 @@
+"""Shared argument-validation helpers.
+
+These helpers normalise user input into predictable numpy representations and
+raise the library's own exception types with actionable messages.  They are
+used by nearly every public entry point, so they are deliberately small,
+dependency free (beyond numpy) and side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import (
+    DimensionMismatchError,
+    ProbabilityError,
+    ValidationError,
+)
+
+#: Default absolute tolerance used when checking that probabilities sum to 1.
+PROBABILITY_ATOL = 1e-9
+
+
+def as_point_array(points: Iterable[Sequence[float]] | np.ndarray, *, name: str = "points") -> np.ndarray:
+    """Convert ``points`` to a 2-D ``float64`` array of shape ``(n, d)``.
+
+    One-dimensional input (a flat list of scalars) is interpreted as ``n``
+    points in R^1 and reshaped to ``(n, 1)``.
+
+    Raises
+    ------
+    ValidationError
+        If the input is empty, ragged or not numeric.
+    """
+    try:
+        array = np.asarray(points, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a numeric array-like, got {type(points).__name__}: {exc}") from exc
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValidationError(f"{name} must be a 2-D array of shape (n, d); got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise ValidationError(f"{name} must contain at least one point")
+    if array.shape[1] == 0:
+        raise ValidationError(f"{name} must have dimension >= 1")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains NaN or infinite coordinates")
+    return array
+
+
+def as_single_point(point: Sequence[float] | float | np.ndarray, *, name: str = "point") -> np.ndarray:
+    """Convert ``point`` to a 1-D ``float64`` coordinate vector."""
+    array = np.asarray(point, dtype=float)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be a single coordinate vector; got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains NaN or infinite coordinates")
+    return array
+
+
+def as_probability_vector(
+    probabilities: Iterable[float] | np.ndarray,
+    *,
+    size: int | None = None,
+    normalize: bool = False,
+    name: str = "probabilities",
+) -> np.ndarray:
+    """Validate a discrete probability vector.
+
+    Parameters
+    ----------
+    probabilities:
+        The candidate probabilities.
+    size:
+        When given, the vector must have exactly this many entries.
+    normalize:
+        When true, a non-negative vector with a positive sum is rescaled to
+        sum to one instead of being rejected.
+    """
+    try:
+        vector = np.asarray(probabilities, dtype=float).reshape(-1)
+    except (TypeError, ValueError) as exc:
+        raise ProbabilityError(f"{name} must be numeric: {exc}") from exc
+    if size is not None and vector.shape[0] != size:
+        raise ProbabilityError(f"{name} must have length {size}, got {vector.shape[0]}")
+    if vector.shape[0] == 0:
+        raise ProbabilityError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(vector)):
+        raise ProbabilityError(f"{name} contains NaN or infinite entries")
+    if np.any(vector < -PROBABILITY_ATOL):
+        raise ProbabilityError(f"{name} contains negative entries")
+    vector = np.clip(vector, 0.0, None)
+    total = float(vector.sum())
+    if normalize:
+        if total <= 0.0:
+            raise ProbabilityError(f"{name} must have a positive sum to be normalised")
+        return vector / total
+    if abs(total - 1.0) > PROBABILITY_ATOL * max(1.0, vector.shape[0]):
+        raise ProbabilityError(f"{name} must sum to 1 (got {total!r}); pass normalize=True to rescale")
+    return vector / total
+
+
+def check_same_dimension(*arrays: np.ndarray) -> int:
+    """Check that every point array has the same dimension and return it."""
+    dims = {int(a.shape[-1]) for a in arrays}
+    if len(dims) > 1:
+        raise DimensionMismatchError(f"mixed point dimensions: {sorted(dims)}")
+    return dims.pop()
+
+
+def check_positive_int(value: int, *, name: str, maximum: int | None = None) -> int:
+    """Validate that ``value`` is a positive integer (optionally bounded)."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValidationError(f"{name} must be <= {maximum}, got {value}")
+    return int(value)
+
+
+def check_epsilon(epsilon: float, *, name: str = "epsilon") -> float:
+    """Validate an approximation slack parameter ``epsilon >= 0``."""
+    try:
+        value = float(epsilon)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float, got {type(epsilon).__name__}") from exc
+    if not np.isfinite(value) or value < 0.0:
+        raise ValidationError(f"{name} must be a finite value >= 0, got {value}")
+    return value
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

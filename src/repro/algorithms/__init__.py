@@ -1,0 +1,43 @@
+"""The paper's algorithms: reductions with proven approximation factors."""
+
+from .discrete_centers import solve_facility_restricted
+from .extensions import solve_uncertain_kmeans, solve_uncertain_kmedian
+from .factors import (
+    ONE_CENTER_EXPECTED_POINT_FACTOR,
+    RESTRICTED_ED_VS_UNRESTRICTED_FACTOR,
+    restricted_euclidean_factor,
+    unrestricted_euclidean_factor,
+    unrestricted_metric_factor,
+)
+from .metric_space import solve_metric_unrestricted
+from .one_center import (
+    best_expected_point_one_center,
+    exact_uncertain_one_center_discrete,
+    expected_point_one_center,
+    refined_uncertain_one_center,
+)
+from .restricted import solve_restricted_assigned
+from .result import UncertainKCenterResult
+from .solvers import DETERMINISTIC_SOLVERS, resolve_solver
+from .unrestricted import solve_unrestricted_assigned
+
+__all__ = [
+    "UncertainKCenterResult",
+    "expected_point_one_center",
+    "best_expected_point_one_center",
+    "exact_uncertain_one_center_discrete",
+    "refined_uncertain_one_center",
+    "solve_restricted_assigned",
+    "solve_unrestricted_assigned",
+    "solve_metric_unrestricted",
+    "solve_uncertain_kmedian",
+    "solve_uncertain_kmeans",
+    "solve_facility_restricted",
+    "restricted_euclidean_factor",
+    "unrestricted_euclidean_factor",
+    "unrestricted_metric_factor",
+    "ONE_CENTER_EXPECTED_POINT_FACTOR",
+    "RESTRICTED_ED_VS_UNRESTRICTED_FACTOR",
+    "DETERMINISTIC_SOLVERS",
+    "resolve_solver",
+]

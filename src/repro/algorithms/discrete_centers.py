@@ -1,0 +1,118 @@
+"""Facility-restricted uncertain k-center (k-supplier style variant).
+
+A practical database variant of the paper's problem: centers may only be
+opened at a given finite set of *facility* positions (warehouse sites,
+existing servers, road-network junctions), while the uncertain points roam
+freely.  The paper's reduction machinery applies unchanged:
+
+1. replace each uncertain point by its certain representative (expected point
+   in Euclidean space, per-point 1-center otherwise);
+2. run a deterministic *k-supplier* algorithm — centers restricted to the
+   facilities — on the representatives;
+3. assign uncertain points to the opened facilities with one of the paper's
+   assignment rules.
+
+The factor bookkeeping mirrors Theorems 2.2/2.5 and 2.6/2.7 with ``f`` the
+k-supplier solver's factor (3 for the Hochbaum–Shmoys threshold algorithm,
+1 for the exact small-instance solver), because the proofs only use that
+``cost(c_1..c_k) <= f * cost(c*_1..c*_k)`` for the deterministic instance
+whose optimum is itself restricted to the facilities.  This variant is an
+*extension* of the reproduction (the paper does not state it), flagged as
+such in results' metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_point_array, check_positive_int
+from ..assignments.base import AssignmentPolicy
+from ..assignments.policies import (
+    ExpectedDistanceAssignment,
+    ExpectedPointAssignment,
+    OneCenterAssignment,
+)
+from ..cost.expected import expected_cost_assigned
+from ..deterministic.supplier import exact_k_supplier, k_supplier
+from ..exceptions import ValidationError
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.reduction import expected_point_reduction, one_center_reduction
+from .factors import unrestricted_euclidean_factor, unrestricted_metric_factor
+from .result import UncertainKCenterResult
+
+
+def solve_facility_restricted(
+    dataset: UncertainDataset,
+    k: int,
+    facilities: np.ndarray,
+    *,
+    assignment: str | AssignmentPolicy = "expected-distance",
+    exact: bool = False,
+) -> UncertainKCenterResult:
+    """Uncertain k-center with centers restricted to ``facilities``.
+
+    Parameters
+    ----------
+    dataset, k:
+        The uncertain instance.
+    facilities:
+        ``(m, d)`` array of allowed center positions (graph element indices
+        for finite metrics).
+    assignment:
+        ``"expected-distance"``, ``"expected-point"`` (Euclidean only) or
+        ``"one-center"``.
+    exact:
+        Use the exact small-instance k-supplier solver instead of the
+        3-approximation (ground truth for tests / tiny instances).
+    """
+    k = check_positive_int(k, name="k")
+    facilities = as_point_array(facilities, name="facilities")
+    policy = _resolve_policy(assignment, facilities)
+
+    euclidean = dataset.metric.supports_expected_point
+    if euclidean:
+        representatives = expected_point_reduction(dataset)
+    else:
+        representatives = one_center_reduction(dataset)
+
+    solver = exact_k_supplier if exact else k_supplier
+    deterministic = solver(representatives, facilities, k, dataset.metric)
+    centers = deterministic.centers
+    labels = policy(dataset, centers)
+    cost = expected_cost_assigned(dataset, centers, labels)
+
+    factor = None
+    if deterministic.approximation_factor is not None:
+        if euclidean and policy.name in ("expected-distance", "expected-point"):
+            factor = unrestricted_euclidean_factor(policy.name, deterministic.approximation_factor)
+        elif not euclidean and policy.name in ("expected-distance", "one-center"):
+            factor = unrestricted_metric_factor(policy.name, deterministic.approximation_factor)
+    return UncertainKCenterResult(
+        centers=centers,
+        expected_cost=cost,
+        objective="facility-restricted-assigned",
+        assignment=labels,
+        assignment_policy=policy.name,
+        guaranteed_factor=factor,
+        representatives=representatives,
+        metadata={
+            "extension": "facility-restricted (k-supplier style)",
+            "deterministic": deterministic.metadata.get("algorithm"),
+            "deterministic_factor": deterministic.approximation_factor,
+            "facility_count": int(facilities.shape[0]),
+        },
+    )
+
+
+def _resolve_policy(assignment: str | AssignmentPolicy, facilities: np.ndarray) -> AssignmentPolicy:
+    if isinstance(assignment, AssignmentPolicy):
+        return assignment
+    if assignment == "expected-distance":
+        return ExpectedDistanceAssignment()
+    if assignment == "expected-point":
+        return ExpectedPointAssignment()
+    if assignment == "one-center":
+        return OneCenterAssignment()
+    raise ValidationError(
+        f"unknown assignment {assignment!r}; choose expected-distance, expected-point or one-center"
+    )

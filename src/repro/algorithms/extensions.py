@@ -1,0 +1,152 @@
+"""Extensions beyond the paper's theorems (its stated future work).
+
+The conclusion announces: "In a future work, we intend to use our approach to
+study the k-median and the k-mean problems."  For the *assigned* versions
+these objectives are much easier than k-center because the expectation
+commutes with the sum:
+
+``E[ sum_i d(X_i, A(P_i)) ] = sum_i E[ d(X_i, A(P_i)) ]``
+
+so the uncertain assigned k-median is exactly a deterministic k-median
+problem where the "distance" from uncertain point ``i`` to a candidate
+center ``c`` is the expected distance ``E[d(P_i, c)]`` (which is itself a
+metric-like dissimilarity but not a metric).  This module implements:
+
+* :func:`solve_uncertain_kmedian` — swap-based local search over a finite
+  candidate set on the expected-distance matrix (the classical single-swap
+  local search; 5-approximation for metric k-median in the deterministic
+  setting), and
+* :func:`solve_uncertain_kmeans` — the analogous sum-of-squared-expected
+  distances variant with Lloyd-style alternation on expected points.
+
+These are extensions, not reproductions of proven theorems; the experiments
+label them accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..cost.expected import expected_distance_matrix
+from ..exceptions import NotSupportedError
+from ..uncertain.dataset import UncertainDataset
+from .result import UncertainKCenterResult
+
+
+def _default_candidates(dataset: UncertainDataset) -> np.ndarray:
+    if dataset.metric.supports_expected_point:
+        return np.vstack([dataset.all_locations(), dataset.expected_points()])
+    return dataset.metric.candidate_centers(dataset.all_locations())
+
+
+def solve_uncertain_kmedian(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    candidates: np.ndarray | None = None,
+    max_rounds: int = 50,
+    seed: int | np.random.Generator | None = 0,
+) -> UncertainKCenterResult:
+    """Assigned uncertain k-median by single-swap local search.
+
+    Minimises ``sum_i E[d(P_i, A(P_i))]`` with ``A`` the expected-distance
+    assignment (which is optimal for this separable objective given the
+    centers).
+    """
+    k = check_positive_int(k, name="k")
+    if candidates is None:
+        candidates = _default_candidates(dataset)
+    rng = np.random.default_rng(seed if not isinstance(seed, np.random.Generator) else None)
+    matrix = expected_distance_matrix(dataset, candidates)  # (n, m)
+    m = matrix.shape[1]
+    k = min(k, m)
+
+    current = list(rng.choice(m, size=k, replace=False))
+    current_cost = float(matrix[:, current].min(axis=1).sum())
+    for _ in range(max_rounds):
+        improved = False
+        for slot in range(k):
+            others = [c for i, c in enumerate(current) if i != slot]
+            base = matrix[:, others].min(axis=1) if others else np.full(dataset.size, np.inf)
+            # Cost after swapping `slot` to each candidate, vectorised.
+            swapped = np.minimum(base[:, None], matrix).sum(axis=0)
+            best_candidate = int(np.argmin(swapped))
+            if swapped[best_candidate] < current_cost - 1e-12:
+                current[slot] = best_candidate
+                current_cost = float(swapped[best_candidate])
+                improved = True
+        if not improved:
+            break
+
+    centers = candidates[current]
+    assignment = matrix[:, current].argmin(axis=1)
+    return UncertainKCenterResult(
+        centers=centers,
+        expected_cost=current_cost,
+        objective="assigned-k-median",
+        assignment=assignment,
+        assignment_policy="expected-distance",
+        guaranteed_factor=None,
+        metadata={"algorithm": "kmedian-local-search", "candidate_count": int(m)},
+    )
+
+
+def solve_uncertain_kmeans(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    max_rounds: int = 100,
+    seed: int | np.random.Generator | None = 0,
+) -> UncertainKCenterResult:
+    """Assigned uncertain k-means via Lloyd iteration on expected points.
+
+    For squared Euclidean distances,
+    ``E[||X_i - c||^2] = ||P̄_i - c||^2 + Var(X_i)`` — the variance term does
+    not depend on ``c``, so the optimal centers are exactly the k-means
+    centers of the expected points (weighted by 1).  We therefore run plain
+    Lloyd iteration on the expected points and report the exact uncertain
+    objective including the variance offsets.
+    """
+    if not dataset.metric.supports_expected_point:
+        raise NotSupportedError("the k-means extension requires a Euclidean-style metric")
+    k = check_positive_int(k, name="k")
+    expected_points = dataset.expected_points()
+    n = expected_points.shape[0]
+    k = min(k, n)
+    rng = np.random.default_rng(seed if not isinstance(seed, np.random.Generator) else None)
+    centers = expected_points[rng.choice(n, size=k, replace=False)].copy()
+
+    # Per-point variance: E||X_i||^2 - ||P̄_i||^2 (independent of centers).
+    variances = np.array(
+        [
+            float((point.probabilities * (point.locations**2).sum(axis=1)).sum())
+            - float((point.expected_point() ** 2).sum())
+            for point in dataset.points
+        ]
+    )
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_rounds):
+        squared = ((expected_points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = squared.argmin(axis=1)
+        new_centers = centers.copy()
+        for center_index in range(k):
+            members = expected_points[new_labels == center_index]
+            if members.shape[0] > 0:
+                new_centers[center_index] = members.mean(axis=0)
+        if np.array_equal(new_labels, labels) and np.allclose(new_centers, centers):
+            break
+        labels, centers = new_labels, new_centers
+
+    squared = ((expected_points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    cost = float(squared[np.arange(n), labels].sum() + variances.sum())
+    return UncertainKCenterResult(
+        centers=centers,
+        expected_cost=cost,
+        objective="assigned-k-means",
+        assignment=labels,
+        assignment_policy="expected-point",
+        guaranteed_factor=None,
+        metadata={"algorithm": "kmeans-lloyd-on-expected-points"},
+    )

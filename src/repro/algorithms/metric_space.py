@@ -1,0 +1,102 @@
+"""Unrestricted assigned uncertain k-center in a general metric space.
+
+Theorems 2.6 and 2.7: in an arbitrary metric space expected points do not
+exist, so each uncertain point is replaced by its own 1-center ``P̃_i`` (the
+point of the space minimising the expected distance to the point's
+locations).  A deterministic k-center solver with factor ``f`` runs on the
+representatives ``P̃_1 .. P̃_n`` and the resulting centers are paired with
+
+* the expected-distance assignment — factor ``5 + 2f`` (Theorem 2.6), or
+* the 1-center assignment — factor ``3 + 2f``      (Theorem 2.7)
+
+with respect to the unrestricted optimum.  With a ``(1+ε)`` deterministic
+solver these are the paper's ``7 + 2ε`` and ``5 + 2ε``; Table 1's
+"any metric" row quotes the latter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..assignments.base import AssignmentPolicy
+from ..assignments.policies import ExpectedDistanceAssignment, OneCenterAssignment
+from ..cost.expected import expected_cost_assigned
+from ..exceptions import ValidationError
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.reduction import one_center_reduction
+from .factors import unrestricted_metric_factor
+from .result import UncertainKCenterResult
+from .solvers import DeterministicSolver, resolve_solver
+
+
+def solve_metric_unrestricted(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    assignment: str | AssignmentPolicy = "one-center",
+    solver: str | DeterministicSolver = "gonzalez",
+    epsilon: float | None = None,
+    candidates: np.ndarray | None = None,
+) -> UncertainKCenterResult:
+    """Solve the unrestricted assigned problem in a general metric space.
+
+    Parameters
+    ----------
+    dataset:
+        Uncertain points over any :class:`~repro.metrics.base.Metric`.
+    k:
+        Number of centers.
+    assignment:
+        ``"one-center"`` (Theorem 2.7, factor ``3 + 2f``) or
+        ``"expected-distance"`` (Theorem 2.6, factor ``5 + 2f``).
+    solver, epsilon:
+        Deterministic k-center solver run on the representatives; its
+        certified factor is ``f``.
+    candidates:
+        Candidate positions for the per-point 1-centers (defaults to every
+        candidate the metric exposes, e.g. all elements of a finite metric).
+    """
+    k = check_positive_int(k, name="k")
+    policy = _resolve_policy(assignment, candidates)
+    solve = resolve_solver(solver, epsilon=epsilon)
+
+    representatives = one_center_reduction(dataset, candidates=candidates)
+    deterministic = solve(representatives, k, dataset.metric)
+    centers = deterministic.centers
+    labels = policy(dataset, centers)
+    cost = expected_cost_assigned(dataset, centers, labels)
+
+    factor = None
+    if deterministic.approximation_factor is not None:
+        factor = unrestricted_metric_factor(policy.name, deterministic.approximation_factor)
+    return UncertainKCenterResult(
+        centers=centers,
+        expected_cost=cost,
+        objective="unrestricted-assigned",
+        assignment=labels,
+        assignment_policy=policy.name,
+        guaranteed_factor=factor,
+        representatives=representatives,
+        metadata={
+            "theorem": "2.7" if policy.name == "one-center" else "2.6",
+            "deterministic": deterministic.metadata.get("algorithm"),
+            "deterministic_factor": deterministic.approximation_factor,
+            "deterministic_radius": deterministic.radius,
+        },
+    )
+
+
+def _resolve_policy(assignment: str | AssignmentPolicy, candidates: np.ndarray | None) -> AssignmentPolicy:
+    allowed = {"expected-distance", "one-center"}
+    if isinstance(assignment, AssignmentPolicy):
+        if assignment.name not in allowed:
+            raise ValidationError(
+                f"Theorems 2.6/2.7 cover the assignments {sorted(allowed)}, not {assignment.name!r}"
+            )
+        return assignment
+    if assignment == "expected-distance":
+        return ExpectedDistanceAssignment()
+    if assignment == "one-center":
+        return OneCenterAssignment(candidates=candidates)
+    raise ValidationError(f"unknown assignment {assignment!r}; choose one of {sorted(allowed)}")

@@ -1,0 +1,63 @@
+"""Result container for uncertain k-center solutions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UncertainKCenterResult:
+    """Outcome of an uncertain k-center computation.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` array of chosen centers.
+    expected_cost:
+        The exact expected cost of the solution under ``objective``.
+    objective:
+        One of ``"unassigned"``, ``"restricted-assigned"`` or
+        ``"unrestricted-assigned"``.
+    assignment:
+        For assigned objectives, ``assignment[i]`` is the center index the
+        ``i``-th uncertain point is assigned to; ``None`` otherwise.
+    assignment_policy:
+        Name of the assignment rule used (``"expected-distance"``,
+        ``"expected-point"``, ``"one-center"`` ...), when applicable.
+    guaranteed_factor:
+        The approximation factor proven for the algorithm/configuration that
+        produced this result, already instantiated with the factor certified
+        by the underlying deterministic solver (e.g. ``4 + f``).  ``None``
+        when no guarantee applies.
+    representatives:
+        The certain representative points the reduction used (``None`` for
+        algorithms that do not reduce).
+    metadata:
+        Free-form details: deterministic solver result, timings, workload id.
+    """
+
+    centers: np.ndarray
+    expected_cost: float
+    objective: str
+    assignment: np.ndarray | None = None
+    assignment_policy: str | None = None
+    guaranteed_factor: float | None = None
+    representatives: np.ndarray | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """Number of centers."""
+        return int(self.centers.shape[0])
+
+    def summary(self) -> str:
+        """One-line human readable description."""
+        parts = [f"objective={self.objective}", f"k={self.k}", f"Ecost={self.expected_cost:.6g}"]
+        if self.assignment_policy:
+            parts.append(f"assignment={self.assignment_policy}")
+        if self.guaranteed_factor is not None:
+            parts.append(f"guaranteed<={self.guaranteed_factor:.3g}x opt")
+        return " ".join(parts)

@@ -1,0 +1,80 @@
+"""Deterministic-solver selection shared by the uncertain k-center wrappers.
+
+The paper's reductions are parameterised by "any approximation algorithm for
+the deterministic k-center problem".  The uncertain solvers accept either a
+solver name from :data:`DETERMINISTIC_SOLVERS` or any callable with the
+signature ``solver(points, k, metric) -> KCenterResult``; the returned
+result's ``approximation_factor`` is what gets plugged into the theorem's
+factor formula.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..deterministic.eps_approx import epsilon_kcenter
+from ..deterministic.exact import exact_discrete_kcenter, exact_euclidean_kcenter
+from ..deterministic.gonzalez import gonzalez_kcenter
+from ..deterministic.hochbaum_shmoys import hochbaum_shmoys_kcenter
+from ..deterministic.result import KCenterResult
+from ..exceptions import ValidationError
+from ..metrics.base import Metric
+
+DeterministicSolver = Callable[[np.ndarray, int, Metric], KCenterResult]
+
+
+class _NamedSolver(Protocol):  # pragma: no cover - typing aid only
+    def __call__(self, points: np.ndarray, k: int, metric: Metric) -> KCenterResult: ...
+
+
+def _gonzalez(points: np.ndarray, k: int, metric: Metric) -> KCenterResult:
+    return gonzalez_kcenter(points, k, metric)
+
+
+def _epsilon(points: np.ndarray, k: int, metric: Metric, *, epsilon: float = 0.1) -> KCenterResult:
+    return epsilon_kcenter(points, k, epsilon)
+
+
+def _hochbaum_shmoys(points: np.ndarray, k: int, metric: Metric) -> KCenterResult:
+    return hochbaum_shmoys_kcenter(points, k, metric)
+
+
+def _exact_discrete(points: np.ndarray, k: int, metric: Metric) -> KCenterResult:
+    return exact_discrete_kcenter(points, k, metric)
+
+
+def _exact_euclidean(points: np.ndarray, k: int, metric: Metric) -> KCenterResult:
+    return exact_euclidean_kcenter(points, k)
+
+
+#: Named deterministic solvers usable by the uncertain k-center wrappers.
+DETERMINISTIC_SOLVERS: dict[str, DeterministicSolver] = {
+    "gonzalez": _gonzalez,
+    "epsilon": _epsilon,
+    "hochbaum-shmoys": _hochbaum_shmoys,
+    "exact-discrete": _exact_discrete,
+    "exact-euclidean": _exact_euclidean,
+}
+
+
+def resolve_solver(
+    solver: str | DeterministicSolver,
+    *,
+    epsilon: float | None = None,
+) -> DeterministicSolver:
+    """Turn a solver name or callable into a callable.
+
+    ``epsilon`` is honoured by the ``"epsilon"`` solver and ignored by the
+    others.
+    """
+    if callable(solver):
+        return solver
+    if solver not in DETERMINISTIC_SOLVERS:
+        raise ValidationError(
+            f"unknown deterministic solver {solver!r}; choose one of {sorted(DETERMINISTIC_SOLVERS)}"
+        )
+    if solver == "epsilon" and epsilon is not None:
+        return lambda points, k, metric: epsilon_kcenter(points, k, epsilon)
+    return DETERMINISTIC_SOLVERS[solver]

@@ -1,0 +1,114 @@
+"""Unrestricted assigned uncertain k-center in Euclidean-style spaces.
+
+Theorems 2.4 and 2.5: run a deterministic k-center solver (factor ``f``) on
+the expected points and pair the resulting centers with the expected-distance
+or expected-point assignment.  The assigned expected cost is within
+
+* ``(4 + f)`` (ED assignment, Theorem 2.4), or
+* ``(2 + f)`` (EP assignment, Theorem 2.5)
+
+of the *unrestricted* optimum — i.e. the best possible over all centers *and*
+all assignments.  With Gonzalez (``f = 2``) the EP variant gives Table 1's
+factor 4 in ``O(nz + n log k)`` time; with a ``(1+ε)`` solver, ``3 + ε``.
+
+The produced solution is identical in structure to the restricted one (the
+algorithm *is* the same reduction); the difference is the benchmark it is
+guaranteed against, which the experiments measure accordingly.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_positive_int
+from ..assignments.base import AssignmentPolicy
+from ..assignments.policies import ExpectedDistanceAssignment, ExpectedPointAssignment, OptimalAssignment
+from ..cost.expected import expected_cost_assigned
+from ..exceptions import NotSupportedError, ValidationError
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.reduction import expected_point_reduction
+from .factors import unrestricted_euclidean_factor
+from .result import UncertainKCenterResult
+from .solvers import DeterministicSolver, resolve_solver
+
+_POLICIES: dict[str, type[AssignmentPolicy]] = {
+    "expected-distance": ExpectedDistanceAssignment,
+    "expected-point": ExpectedPointAssignment,
+}
+
+
+def solve_unrestricted_assigned(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    assignment: str | AssignmentPolicy = "expected-point",
+    solver: str | DeterministicSolver = "gonzalez",
+    epsilon: float | None = None,
+    polish_assignment: bool = False,
+) -> UncertainKCenterResult:
+    """Solve the unrestricted assigned problem via Theorems 2.4 / 2.5.
+
+    Parameters
+    ----------
+    dataset, k, solver, epsilon:
+        As in :func:`repro.algorithms.restricted.solve_restricted_assigned`.
+    assignment:
+        ``"expected-point"`` (default, Theorem 2.5, factor ``2 + f``) or
+        ``"expected-distance"`` (Theorem 2.4, factor ``4 + f``).
+    polish_assignment:
+        When true, after computing the guaranteed solution run the
+        local-search :class:`OptimalAssignment` policy on the same centers.
+        The polished assignment can only lower the cost, so the theorem's
+        guarantee still holds; the extra work is ``O(rounds * n * k)`` exact
+        cost evaluations.
+    """
+    if not dataset.metric.supports_expected_point:
+        raise NotSupportedError(
+            "Theorems 2.4/2.5 need expected points; use solve_metric_unrestricted for general metrics"
+        )
+    k = check_positive_int(k, name="k")
+    policy = _resolve_policy(assignment)
+    solve = resolve_solver(solver, epsilon=epsilon)
+
+    representatives = expected_point_reduction(dataset)
+    deterministic = solve(representatives, k, dataset.metric)
+    centers = deterministic.centers
+    labels = policy(dataset, centers)
+    cost = expected_cost_assigned(dataset, centers, labels)
+
+    polished = False
+    if polish_assignment:
+        better_labels = OptimalAssignment()(dataset, centers)
+        better_cost = expected_cost_assigned(dataset, centers, better_labels)
+        if better_cost < cost:
+            labels, cost, polished = better_labels, better_cost, True
+
+    factor = None
+    if deterministic.approximation_factor is not None:
+        factor = unrestricted_euclidean_factor(policy.name, deterministic.approximation_factor)
+    return UncertainKCenterResult(
+        centers=centers,
+        expected_cost=cost,
+        objective="unrestricted-assigned",
+        assignment=labels,
+        assignment_policy=policy.name,
+        guaranteed_factor=factor,
+        representatives=representatives,
+        metadata={
+            "theorem": "2.5" if policy.name == "expected-point" else "2.4",
+            "deterministic": deterministic.metadata.get("algorithm"),
+            "deterministic_factor": deterministic.approximation_factor,
+            "deterministic_radius": deterministic.radius,
+            "assignment_polished": polished,
+        },
+    )
+
+
+def _resolve_policy(assignment: str | AssignmentPolicy) -> AssignmentPolicy:
+    if isinstance(assignment, AssignmentPolicy):
+        if assignment.name not in _POLICIES:
+            raise ValidationError(
+                f"Theorems 2.4/2.5 cover the assignments {sorted(_POLICIES)}, not {assignment.name!r}"
+            )
+        return assignment
+    if assignment not in _POLICIES:
+        raise ValidationError(f"unknown assignment {assignment!r}; choose one of {sorted(_POLICIES)}")
+    return _POLICIES[assignment]()

@@ -1,0 +1,21 @@
+"""Assignment rules for the restricted assigned uncertain k-center problem."""
+
+from .base import AssignmentPolicy
+from .policies import (
+    ASSIGNMENT_POLICIES,
+    ExpectedDistanceAssignment,
+    ExpectedPointAssignment,
+    NearestLocationAssignment,
+    OneCenterAssignment,
+    OptimalAssignment,
+)
+
+__all__ = [
+    "AssignmentPolicy",
+    "ExpectedDistanceAssignment",
+    "ExpectedPointAssignment",
+    "OneCenterAssignment",
+    "NearestLocationAssignment",
+    "OptimalAssignment",
+    "ASSIGNMENT_POLICIES",
+]

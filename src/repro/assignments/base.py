@@ -1,0 +1,44 @@
+"""Assignment policies for the restricted assigned k-center problem.
+
+In the *assigned* versions of the problem every realization of an uncertain
+point ``P_i`` goes to the same center ``A(P_i)``.  A *restricted* assignment
+fixes the rule ``A`` in advance as a function of the uncertain points and the
+centers; the paper studies three such rules (expected distance, expected
+point and 1-center assignments), implemented as subclasses here.
+
+An :class:`AssignmentPolicy` maps ``(dataset, centers)`` to an integer array
+``assignment`` with ``assignment[i]`` the index of the center the ``i``-th
+uncertain point is assigned to.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import as_point_array
+from ..uncertain.dataset import UncertainDataset
+
+
+class AssignmentPolicy(abc.ABC):
+    """Rule assigning every uncertain point to one of the given centers."""
+
+    #: Short machine-readable identifier used in reports and experiment rows.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        """Return ``assignment[i]`` = index of the center for point ``i``."""
+
+    def __call__(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        centers = as_point_array(centers, name="centers")
+        assignment = np.asarray(self.assign(dataset, centers), dtype=int).reshape(-1)
+        if assignment.shape[0] != dataset.size:
+            raise RuntimeError(
+                f"{type(self).__name__} returned {assignment.shape[0]} labels for {dataset.size} points"
+            )
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,135 @@
+"""Concrete assignment policies: ED, EP, OC, nearest-location, and optimal.
+
+* :class:`ExpectedDistanceAssignment` — ``A(P_i) = argmin_c E[d(P_i, c)]``
+  (Wang–Zhang's rule; the paper's ``ED``).
+* :class:`ExpectedPointAssignment` — ``A(P_i) = argmin_c d(P̄_i, c)``
+  (the paper's new ``EP`` rule; Euclidean-style spaces only).
+* :class:`OneCenterAssignment` — ``A(P_i) = argmin_c d(P̃_i, c)`` where
+  ``P̃_i`` is the per-point 1-center (the paper's new ``OC`` rule; any
+  metric).
+* :class:`NearestLocationAssignment` — assigns to the center nearest to the
+  point's most probable location; a naive comparator, no guarantee.
+* :class:`OptimalAssignment` — the assignment minimising the true assigned
+  expected cost for the *given* centers, found by local improvement over
+  single-point moves (exact for ``n = 1`` trivially; in general a
+  high-quality reference used when computing unrestricted optima on small
+  instances together with exhaustive search, see
+  :mod:`repro.baselines.brute_force`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cost.expected import (
+    expected_cost_assigned,
+    expected_distance_matrix,
+)
+from ..exceptions import NotSupportedError
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.reduction import one_center_reduction
+from .base import AssignmentPolicy
+
+
+class ExpectedDistanceAssignment(AssignmentPolicy):
+    """Assign each uncertain point to the center of minimum expected distance."""
+
+    name = "expected-distance"
+
+    def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        matrix = expected_distance_matrix(dataset, centers)
+        return matrix.argmin(axis=1)
+
+
+class ExpectedPointAssignment(AssignmentPolicy):
+    """Assign each uncertain point to the center nearest its expected point."""
+
+    name = "expected-point"
+
+    def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        if not dataset.metric.supports_expected_point:
+            raise NotSupportedError(
+                "the expected-point assignment needs a normed vector space metric"
+            )
+        expected_points = dataset.expected_points()
+        matrix = dataset.metric.pairwise(expected_points, centers)
+        return matrix.argmin(axis=1)
+
+
+class OneCenterAssignment(AssignmentPolicy):
+    """Assign each uncertain point to the center nearest its own 1-center."""
+
+    name = "one-center"
+
+    def __init__(self, candidates: np.ndarray | None = None):
+        self._candidates = candidates
+
+    def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        representatives = one_center_reduction(dataset, candidates=self._candidates)
+        matrix = dataset.metric.pairwise(representatives, centers)
+        return matrix.argmin(axis=1)
+
+
+class NearestLocationAssignment(AssignmentPolicy):
+    """Assign to the center nearest the point's most probable location."""
+
+    name = "nearest-mode-location"
+
+    def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        modes = np.vstack(
+            [point.locations[int(np.argmax(point.probabilities))] for point in dataset.points]
+        )
+        matrix = dataset.metric.pairwise(modes, centers)
+        return matrix.argmin(axis=1)
+
+
+class OptimalAssignment(AssignmentPolicy):
+    """Best-response assignment for the *true* assigned expected cost.
+
+    Starts from the expected-distance assignment and repeatedly moves single
+    uncertain points to the center that lowers the exact assigned expected
+    cost until no single move improves.  Because the objective is an
+    expectation of a maximum the best response for a point depends on the
+    others; single-move local search converges (the cost strictly decreases)
+    but is not guaranteed to reach the global optimum — exhaustive search over
+    all ``k^n`` assignments (see the brute-force baseline) provides the
+    ground truth on small instances and agrees with this policy on every
+    instance in the test suite.
+    """
+
+    name = "optimal-local"
+
+    def __init__(self, max_rounds: int = 20):
+        self.max_rounds = max_rounds
+
+    def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        assignment = ExpectedDistanceAssignment().assign(dataset, centers)
+        k = centers.shape[0]
+        best_cost = expected_cost_assigned(dataset, centers, assignment)
+        for _ in range(self.max_rounds):
+            improved = False
+            for point_index in range(dataset.size):
+                current = assignment[point_index]
+                for center_index in range(k):
+                    if center_index == current:
+                        continue
+                    assignment[point_index] = center_index
+                    cost = expected_cost_assigned(dataset, centers, assignment)
+                    if cost < best_cost - 1e-15:
+                        best_cost = cost
+                        current = center_index
+                        improved = True
+                    assignment[point_index] = current
+            if not improved:
+                break
+        return assignment
+
+
+#: Registry used by the CLI and the experiment harness.
+ASSIGNMENT_POLICIES: dict[str, type[AssignmentPolicy]] = {
+    ExpectedDistanceAssignment.name: ExpectedDistanceAssignment,
+    ExpectedPointAssignment.name: ExpectedPointAssignment,
+    OneCenterAssignment.name: OneCenterAssignment,
+    NearestLocationAssignment.name: NearestLocationAssignment,
+    OptimalAssignment.name: OptimalAssignment,
+}

@@ -1,0 +1,25 @@
+"""Reference and comparison solvers: brute force, prior-work-style baselines."""
+
+from .brute_force import (
+    MAX_ASSIGNMENT_ENUMERATION,
+    MAX_CENTER_SUBSETS,
+    brute_force_restricted_assigned,
+    brute_force_unassigned,
+    brute_force_unrestricted_assigned,
+    default_candidates,
+)
+from .cormode_mcgregor import cormode_mcgregor_baseline
+from .guha_munagala import guha_munagala_baseline
+from .wang_zhang_1d import wang_zhang_1d
+
+__all__ = [
+    "brute_force_restricted_assigned",
+    "brute_force_unrestricted_assigned",
+    "brute_force_unassigned",
+    "default_candidates",
+    "MAX_CENTER_SUBSETS",
+    "MAX_ASSIGNMENT_ENUMERATION",
+    "guha_munagala_baseline",
+    "cormode_mcgregor_baseline",
+    "wang_zhang_1d",
+]

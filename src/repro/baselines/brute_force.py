@@ -1,0 +1,275 @@
+"""Brute-force reference solvers for small uncertain instances.
+
+These produce the "best known" solutions the experiments compare against on
+micro instances (and the *exact* optimum when centers are restricted to a
+finite candidate set, e.g. in finite metric spaces, and assignments are
+enumerated exhaustively).
+
+* :func:`brute_force_restricted_assigned` — best centers from a candidate
+  set for a fixed restricted assignment rule.
+* :func:`brute_force_unrestricted_assigned` — best centers from a candidate
+  set together with the best assignment (exhaustive over the ``k^n``
+  assignments when affordable, local-search polish otherwise).
+* :func:`brute_force_unassigned` — best centers from a candidate set for the
+  unassigned objective.
+
+All of them enumerate ``C(m, k)`` candidate subsets, so they are exponential
+in ``k``; a safety cap protects against accidental misuse.  Distance supports
+are precomputed once per call so the per-subset work is a single exact
+``E[max]`` evaluation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from math import comb
+
+import numpy as np
+
+from .._validation import as_point_array, check_positive_int
+from ..algorithms.result import UncertainKCenterResult
+from ..assignments.base import AssignmentPolicy
+from ..assignments.policies import ExpectedDistanceAssignment
+from ..cost.expected import expected_cost_assigned, expected_max_of_independent
+from ..exceptions import ValidationError
+from ..uncertain.dataset import UncertainDataset
+
+#: Safety cap on the number of candidate subsets a brute-force call may try.
+MAX_CENTER_SUBSETS = 300_000
+#: Cap on exhaustive assignment enumeration work (subsets * k ** n).
+MAX_ASSIGNMENT_ENUMERATION = 250_000
+
+
+def default_candidates(dataset: UncertainDataset) -> np.ndarray:
+    """Reasonable candidate centers: all locations (+ expected points)."""
+    if dataset.metric.supports_expected_point:
+        return np.vstack([dataset.all_locations(), dataset.expected_points()])
+    return dataset.metric.candidate_centers(dataset.all_locations())
+
+
+class _PrecomputedInstance:
+    """Distance supports and expected distances for a fixed candidate set.
+
+    ``supports[i]`` is the ``(z_i, m)`` matrix of distances from point ``i``'s
+    locations to every candidate; ``expected`` is the ``(n, m)`` matrix of
+    expected distances.  With these in hand, evaluating the exact expected
+    cost of any (subset, assignment) pair needs no further metric calls.
+    """
+
+    def __init__(self, dataset: UncertainDataset, candidates: np.ndarray):
+        metric = dataset.metric
+        self.dataset = dataset
+        self.candidates = candidates
+        self.supports = [metric.pairwise(point.locations, candidates) for point in dataset.points]
+        self.probabilities = [point.probabilities for point in dataset.points]
+        self.expected = np.vstack(
+            [point.probabilities @ support for point, support in zip(dataset.points, self.supports)]
+        )
+
+    def assigned_cost(self, candidate_indices: np.ndarray) -> float:
+        """Exact assigned cost when point ``i`` goes to ``candidate_indices[i]``."""
+        values = [support[:, candidate_indices[i]] for i, support in enumerate(self.supports)]
+        return expected_max_of_independent(values, self.probabilities)
+
+    def unassigned_cost(self, subset: tuple[int, ...]) -> float:
+        """Exact unassigned cost of the candidate subset."""
+        columns = list(subset)
+        values = [support[:, columns].min(axis=1) for support in self.supports]
+        return expected_max_of_independent(values, self.probabilities)
+
+    def ed_assignment(self, subset: tuple[int, ...]) -> np.ndarray:
+        """Expected-distance assignment restricted to the subset's candidates."""
+        columns = np.asarray(subset, dtype=int)
+        local = self.expected[:, columns].argmin(axis=1)
+        return columns[local]
+
+
+def _iter_center_subsets(candidate_count: int, k: int):
+    if comb(candidate_count, k) > MAX_CENTER_SUBSETS:
+        raise ValidationError(
+            f"brute force would enumerate C({candidate_count}, {k}) center subsets; "
+            f"cap is {MAX_CENTER_SUBSETS}"
+        )
+    yield from combinations(range(candidate_count), k)
+
+
+def brute_force_restricted_assigned(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    assignment: AssignmentPolicy | None = None,
+    candidates: np.ndarray | None = None,
+) -> UncertainKCenterResult:
+    """Best candidate centers under a fixed restricted assignment rule.
+
+    This is exact (over the candidate set) because the assignment rule is a
+    deterministic function of the centers.
+    """
+    k = check_positive_int(k, name="k")
+    policy = assignment or ExpectedDistanceAssignment()
+    if candidates is None:
+        candidates = default_candidates(dataset)
+    candidates = as_point_array(candidates, name="candidates")
+    k = min(k, candidates.shape[0])
+
+    instance = _PrecomputedInstance(dataset, candidates)
+    use_ed_shortcut = isinstance(policy, ExpectedDistanceAssignment)
+
+    best_cost = np.inf
+    best_subset: tuple[int, ...] | None = None
+    best_assignment: np.ndarray | None = None
+    for subset in _iter_center_subsets(candidates.shape[0], k):
+        if use_ed_shortcut:
+            candidate_indices = instance.ed_assignment(subset)
+            cost = instance.assigned_cost(candidate_indices)
+            labels = np.searchsorted(np.asarray(subset), candidate_indices)
+        else:
+            centers = candidates[list(subset)]
+            labels = policy(dataset, centers)
+            cost = expected_cost_assigned(dataset, centers, labels)
+        if cost < best_cost:
+            best_cost, best_subset, best_assignment = cost, subset, np.asarray(labels, dtype=int)
+    assert best_subset is not None and best_assignment is not None
+    return UncertainKCenterResult(
+        centers=candidates[list(best_subset)],
+        expected_cost=float(best_cost),
+        objective="restricted-assigned",
+        assignment=best_assignment,
+        assignment_policy=policy.name,
+        guaranteed_factor=None,
+        metadata={"algorithm": "brute-force-restricted", "candidate_count": int(candidates.shape[0])},
+    )
+
+
+def brute_force_unrestricted_assigned(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    candidates: np.ndarray | None = None,
+    exhaustive_assignment: bool | None = None,
+    polish_top: int = 8,
+) -> UncertainKCenterResult:
+    """Best-known candidate centers together with the best assignment.
+
+    Every ``C(m, k)`` candidate subset is scored with the expected-distance
+    assignment (one exact cost evaluation per subset).  The ``polish_top``
+    cheapest subsets are then re-optimised, either by exhaustive assignment
+    enumeration (exact for those subsets; enabled automatically when
+    ``polish_top * k ** n`` is small, or forced with
+    ``exhaustive_assignment=True``) or by single-move local search.
+
+    For an exact optimum over the candidate set pass
+    ``polish_top >= C(m, k)`` together with ``exhaustive_assignment=True``
+    (micro instances only).
+    """
+    k = check_positive_int(k, name="k")
+    if candidates is None:
+        candidates = default_candidates(dataset)
+    candidates = as_point_array(candidates, name="candidates")
+    k = min(k, candidates.shape[0])
+    n = dataset.size
+
+    instance = _PrecomputedInstance(dataset, candidates)
+    scored: list[tuple[float, tuple[int, ...], np.ndarray]] = []
+    for subset in _iter_center_subsets(candidates.shape[0], k):
+        candidate_indices = instance.ed_assignment(subset)
+        cost = instance.assigned_cost(candidate_indices)
+        scored.append((cost, subset, candidate_indices))
+    scored.sort(key=lambda entry: entry[0])
+
+    polish_top = max(1, min(polish_top, len(scored)))
+    if exhaustive_assignment is None:
+        exhaustive_assignment = polish_top * (k**n) <= MAX_ASSIGNMENT_ENUMERATION
+
+    best_cost, best_subset, best_candidate_indices = scored[0]
+    for cost, subset, _ in scored[:polish_top]:
+        columns = np.asarray(subset, dtype=int)
+        if exhaustive_assignment:
+            for assignment_choice in product(range(len(subset)), repeat=n):
+                candidate_indices = columns[np.asarray(assignment_choice, dtype=int)]
+                candidate_cost = instance.assigned_cost(candidate_indices)
+                if candidate_cost < best_cost:
+                    best_cost, best_subset, best_candidate_indices = candidate_cost, subset, candidate_indices
+        else:
+            candidate_indices = instance.ed_assignment(subset)
+            candidate_indices = _single_move_polish(instance, columns, candidate_indices)
+            candidate_cost = instance.assigned_cost(candidate_indices)
+            if candidate_cost < best_cost:
+                best_cost, best_subset, best_candidate_indices = candidate_cost, subset, candidate_indices
+
+    columns = np.asarray(best_subset, dtype=int)
+    labels = np.searchsorted(columns, best_candidate_indices)
+    return UncertainKCenterResult(
+        centers=candidates[list(best_subset)],
+        expected_cost=float(best_cost),
+        objective="unrestricted-assigned",
+        assignment=np.asarray(labels, dtype=int),
+        assignment_policy="exhaustive" if exhaustive_assignment else "optimal-local",
+        guaranteed_factor=None,
+        metadata={
+            "algorithm": "brute-force-unrestricted",
+            "candidate_count": int(candidates.shape[0]),
+            "exhaustive_assignment": bool(exhaustive_assignment),
+            "polished_subsets": polish_top,
+        },
+    )
+
+
+def _single_move_polish(
+    instance: _PrecomputedInstance,
+    columns: np.ndarray,
+    candidate_indices: np.ndarray,
+    *,
+    max_rounds: int = 10,
+) -> np.ndarray:
+    """Single-point reassignment local search on the exact assigned cost."""
+    current = candidate_indices.copy()
+    best_cost = instance.assigned_cost(current)
+    n = current.shape[0]
+    for _ in range(max_rounds):
+        improved = False
+        for point_index in range(n):
+            original = current[point_index]
+            for column in columns:
+                if column == original:
+                    continue
+                current[point_index] = column
+                cost = instance.assigned_cost(current)
+                if cost < best_cost - 1e-15:
+                    best_cost = cost
+                    original = column
+                    improved = True
+            current[point_index] = original
+        if not improved:
+            break
+    return current
+
+
+def brute_force_unassigned(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    candidates: np.ndarray | None = None,
+) -> UncertainKCenterResult:
+    """Best candidate centers for the unassigned expected cost (exact over the set)."""
+    k = check_positive_int(k, name="k")
+    if candidates is None:
+        candidates = default_candidates(dataset)
+    candidates = as_point_array(candidates, name="candidates")
+    k = min(k, candidates.shape[0])
+
+    instance = _PrecomputedInstance(dataset, candidates)
+    best_cost = np.inf
+    best_subset: tuple[int, ...] | None = None
+    for subset in _iter_center_subsets(candidates.shape[0], k):
+        cost = instance.unassigned_cost(subset)
+        if cost < best_cost:
+            best_cost, best_subset = cost, subset
+    assert best_subset is not None
+    return UncertainKCenterResult(
+        centers=candidates[list(best_subset)],
+        expected_cost=float(best_cost),
+        objective="unassigned",
+        guaranteed_factor=None,
+        metadata={"algorithm": "brute-force-unassigned", "candidate_count": int(candidates.shape[0])},
+    )

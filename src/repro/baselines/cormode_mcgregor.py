@@ -1,0 +1,64 @@
+"""Cormode–McGregor-style location-pooling baseline.
+
+Cormode and McGregor (PODS 2008) initiated probabilistic clustering and gave
+bicriteria algorithms; a practical rendition of their "cluster the possible
+locations" idea is to ignore the ownership structure, pool all ``N = sum z_i``
+locations into one deterministic point set, and run a deterministic k-center
+algorithm on it (optionally with a blown-up number of centers — the
+bicriteria knob).  The uncertain points are then assigned to the resulting
+centers by expected distance.
+
+This is the natural "what if we ignore uncertainty semantics" comparator the
+experiments contrast the paper's reductions with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..algorithms.result import UncertainKCenterResult
+from ..assignments.policies import ExpectedDistanceAssignment
+from ..cost.expected import expected_cost_assigned, expected_cost_unassigned
+from ..deterministic.gonzalez import gonzalez_kcenter
+from ..uncertain.dataset import UncertainDataset
+
+
+def cormode_mcgregor_baseline(
+    dataset: UncertainDataset,
+    k: int,
+    *,
+    center_blowup: float = 1.0,
+) -> UncertainKCenterResult:
+    """Pool every location and run deterministic k-center on the pool.
+
+    Parameters
+    ----------
+    center_blowup:
+        Bicriteria knob: the deterministic solver is allowed
+        ``ceil(center_blowup * k)`` centers (1.0 preserves ``k``, 2.0 mirrors
+        the "2k centers" bicriteria result of [7]).
+    """
+    k = check_positive_int(k, name="k")
+    budget = max(int(np.ceil(center_blowup * k)), 1)
+    pooled = dataset.all_locations()
+    deterministic = gonzalez_kcenter(pooled, budget, dataset.metric)
+    centers = deterministic.centers
+
+    policy = ExpectedDistanceAssignment()
+    labels = policy(dataset, centers)
+    assigned_cost = expected_cost_assigned(dataset, centers, labels)
+    unassigned_cost = expected_cost_unassigned(dataset, centers)
+    return UncertainKCenterResult(
+        centers=centers,
+        expected_cost=assigned_cost,
+        objective="unrestricted-assigned",
+        assignment=labels,
+        assignment_policy=policy.name,
+        guaranteed_factor=None,
+        metadata={
+            "algorithm": "cormode-mcgregor-style-location-pooling",
+            "center_budget": budget,
+            "unassigned_cost": unassigned_cost,
+        },
+    )

@@ -1,0 +1,15 @@
+"""Provable lower bounds used as ratio denominators in the experiments."""
+
+from .lower_bounds import (
+    assigned_cost_lower_bound,
+    expected_point_lower_bound,
+    one_center_representative_lower_bound,
+    per_point_lower_bound,
+)
+
+__all__ = [
+    "per_point_lower_bound",
+    "expected_point_lower_bound",
+    "one_center_representative_lower_bound",
+    "assigned_cost_lower_bound",
+]

@@ -1,0 +1,91 @@
+"""Lower bounds on the optimal expected cost.
+
+Empirical approximation ratios need a denominator.  Using a *heuristic* "best
+found" solution would under-state the ratio, so the experiment harness
+divides by provable lower bounds instead; any measured ratio is then an
+upper bound on the true ratio and can be compared honestly against the
+theorems' guarantees.
+
+The bounds all come from the paper's own lemmas:
+
+* **per-point bound** (Lemma 3.2): for any centers and assignment,
+  ``EcostA >= sum_j p_ij d(P_ij, A(P_i)) >= min_q E[d(P_i, q)]`` — the best
+  expected distance any single point can achieve, maximised over points.
+* **expected-point bound** (Lemma 3.4): ``cost_{P̄}(C) <= EcostA(C)`` for any
+  centers/assignment, so the optimal deterministic k-center value of the
+  expected points lower-bounds the optimal unrestricted assigned cost.
+* **1-center bound** (Lemma 3.6): ``cost_{P̃}(C) <= 2 EcostA(C)``, so half the
+  optimal deterministic k-center value of the per-point 1-centers is a lower
+  bound in any metric space.
+
+The deterministic optima themselves are lower-bounded by ``r_G / 2`` (the
+Gonzalez guarantee) or computed exactly for small instances, keeping the
+whole chain a valid bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..deterministic.exact import (
+    MAX_EXACT_PARTITION_POINTS,
+    exact_euclidean_kcenter,
+)
+from ..deterministic.gonzalez import gonzalez_kcenter
+from ..geometry.median import geometric_median, median_objective
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.reduction import one_center_reduction
+
+
+def per_point_lower_bound(dataset: UncertainDataset) -> float:
+    """``max_i min_q E[d(P_i, q)]`` — Lemma 3.2 applied point-wise.
+
+    For Euclidean-style metrics the inner minimum is the weighted
+    Fermat–Weber value (computed by Weiszfeld); for finite metrics it is the
+    minimum over all elements.
+    """
+    metric = dataset.metric
+    best = 0.0
+    if metric.supports_expected_point:
+        for point in dataset.points:
+            median = geometric_median(point.locations, point.probabilities)
+            value = float(median_objective(point.locations, median, point.probabilities))
+            best = max(best, value)
+        return best
+    candidates = metric.candidate_centers(dataset.all_locations())
+    for point in dataset.points:
+        expected = point.expected_distances_to_many(candidates, metric)
+        best = max(best, float(expected.min()))
+    return best
+
+
+def _deterministic_lower_bound(points: np.ndarray, k: int, dataset: UncertainDataset) -> float:
+    """A lower bound on the deterministic k-center optimum of ``points``."""
+    metric = dataset.metric
+    if k >= points.shape[0]:
+        return 0.0
+    if metric.supports_expected_point and points.shape[0] <= MAX_EXACT_PARTITION_POINTS:
+        return exact_euclidean_kcenter(points, k).radius
+    # Gonzalez guarantee: its radius is at most twice the optimum.
+    return gonzalez_kcenter(points, k, metric).radius / 2.0
+
+
+def expected_point_lower_bound(dataset: UncertainDataset, k: int) -> float:
+    """Lemma 3.4 bound: deterministic k-center optimum of the expected points."""
+    if not dataset.metric.supports_expected_point:
+        return 0.0
+    return _deterministic_lower_bound(dataset.expected_points(), k, dataset)
+
+
+def one_center_representative_lower_bound(dataset: UncertainDataset, k: int) -> float:
+    """Lemma 3.6 bound: half the k-center optimum of the per-point 1-centers."""
+    representatives = one_center_reduction(dataset)
+    return _deterministic_lower_bound(representatives, k, dataset) / 2.0
+
+
+def assigned_cost_lower_bound(dataset: UncertainDataset, k: int) -> float:
+    """Best available lower bound on the optimal unrestricted assigned cost."""
+    bounds = [per_point_lower_bound(dataset), one_center_representative_lower_bound(dataset, k)]
+    if dataset.metric.supports_expected_point:
+        bounds.append(expected_point_lower_bound(dataset, k))
+    return max(bounds)

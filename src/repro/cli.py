@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Installed as ``uncertain-kcenter`` (also reachable via ``python -m repro``).
+
+Sub-commands
+------------
+``table1``
+    Run the Table-1 reproduction experiments and print the report.
+``scaling``
+    Run the running-time scaling experiment (E11).
+``ablation``
+    Run the representative/assignment ablations (E12).
+``solve``
+    Solve an uncertain k-center instance stored in a JSON file (the format
+    written by :meth:`repro.UncertainDataset.save_json`).
+``demo``
+    Generate a synthetic workload and solve it end to end, printing the
+    solution summary (a smoke test that exercises the whole pipeline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .algorithms.metric_space import solve_metric_unrestricted
+from .algorithms.restricted import solve_restricted_assigned
+from .algorithms.unrestricted import solve_unrestricted_assigned
+from .experiments.ablation import AblationSettings, run_assignment_ablation, run_representative_ablation
+from .experiments.harness import render_full_report, run_everything, run_quick
+from .experiments.report import render_record, render_records
+from .experiments.scaling import ScalingSettings, run_scaling
+from .experiments.table1 import Table1Settings, run_all_table1
+from .uncertain.dataset import UncertainDataset
+from .workloads.synthetic import gaussian_clusters
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="uncertain-kcenter",
+        description="k-center clustering for uncertain data (PODS 2018 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="reproduce the paper's Table 1")
+    table1.add_argument("--quick", action="store_true", help="use the lightweight experiment preset")
+    table1.add_argument("--output", type=Path, default=None, help="also write the report to this file")
+
+    everything = subparsers.add_parser("all", help="run every experiment (Table 1, scaling, ablations)")
+    everything.add_argument("--quick", action="store_true", help="use the lightweight experiment preset")
+    everything.add_argument("--output", type=Path, default=None, help="also write the report to this file")
+
+    scaling = subparsers.add_parser("scaling", help="running-time scaling experiment (E11)")
+    scaling.add_argument("--quick", action="store_true")
+
+    ablation = subparsers.add_parser("ablation", help="representative / assignment ablations (E12)")
+    ablation.add_argument("--quick", action="store_true")
+
+    solve = subparsers.add_parser("solve", help="solve an instance from a JSON dataset file")
+    solve.add_argument("dataset", type=Path, help="JSON file written by UncertainDataset.save_json")
+    solve.add_argument("-k", type=int, required=True, help="number of centers")
+    solve.add_argument(
+        "--objective",
+        choices=["restricted", "unrestricted", "metric"],
+        default="unrestricted",
+        help="which problem version to solve",
+    )
+    solve.add_argument(
+        "--assignment",
+        default=None,
+        help="assignment rule (expected-distance, expected-point, one-center)",
+    )
+    solve.add_argument("--solver", default="gonzalez", help="deterministic solver (gonzalez, epsilon, ...)")
+    solve.add_argument("--epsilon", type=float, default=0.1, help="epsilon for the (1+eps) solver")
+    solve.add_argument("--json", action="store_true", help="print machine-readable JSON instead of text")
+
+    demo = subparsers.add_parser("demo", help="generate a synthetic instance and solve it")
+    demo.add_argument("-n", type=int, default=40, help="number of uncertain points")
+    demo.add_argument("-z", type=int, default=4, help="locations per point")
+    demo.add_argument("-k", type=int, default=3, help="number of centers")
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    settings = Table1Settings.quick() if args.quick else Table1Settings()
+    report = render_records(run_all_table1(settings))
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    records = run_quick() if args.quick else run_everything()
+    report = render_full_report(records)
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    settings = ScalingSettings.quick() if args.quick else ScalingSettings()
+    print(render_record(run_scaling(settings)))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    settings = AblationSettings.quick() if args.quick else AblationSettings()
+    print(render_record(run_representative_ablation(settings)))
+    print()
+    print(render_record(run_assignment_ablation(settings)))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    dataset = UncertainDataset.load_json(args.dataset)
+    if args.objective == "restricted":
+        assignment = args.assignment or "expected-distance"
+        result = solve_restricted_assigned(
+            dataset, args.k, assignment=assignment, solver=args.solver, epsilon=args.epsilon
+        )
+    elif args.objective == "unrestricted":
+        assignment = args.assignment or "expected-point"
+        result = solve_unrestricted_assigned(
+            dataset, args.k, assignment=assignment, solver=args.solver, epsilon=args.epsilon
+        )
+    else:
+        assignment = args.assignment or "one-center"
+        result = solve_metric_unrestricted(
+            dataset, args.k, assignment=assignment, solver=args.solver, epsilon=args.epsilon
+        )
+    if args.json:
+        payload = {
+            "centers": result.centers.tolist(),
+            "expected_cost": result.expected_cost,
+            "objective": result.objective,
+            "assignment": None if result.assignment is None else result.assignment.tolist(),
+            "assignment_policy": result.assignment_policy,
+            "guaranteed_factor": result.guaranteed_factor,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        for index, center in enumerate(result.centers):
+            print(f"  center[{index}] = {center.tolist()}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    dataset, spec = gaussian_clusters(n=args.n, z=args.z, dimension=2, k_true=args.k, seed=args.seed)
+    print(f"workload: {spec.describe()}")
+    result = solve_unrestricted_assigned(dataset, args.k, assignment="expected-point", solver="epsilon")
+    print(result.summary())
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "all": _cmd_all,
+    "scaling": _cmd_scaling,
+    "ablation": _cmd_ablation,
+    "solve": _cmd_solve,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by the console script and ``python -m repro``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Expected-cost engines: exact O(N log N), enumeration, Monte-Carlo."""
+
+from .enumeration import enumerate_expected_cost_assigned, enumerate_expected_cost_unassigned
+from .expected import (
+    distance_supports_for_assignment,
+    distance_supports_for_centers,
+    expected_cost_assigned,
+    expected_cost_unassigned,
+    expected_distance,
+    expected_distance_matrix,
+    expected_max_of_independent,
+    expected_one_center_cost,
+)
+from .montecarlo import MonteCarloEstimate, monte_carlo_cost_assigned, monte_carlo_cost_unassigned
+
+__all__ = [
+    "expected_max_of_independent",
+    "expected_cost_assigned",
+    "expected_cost_unassigned",
+    "expected_distance",
+    "expected_distance_matrix",
+    "expected_one_center_cost",
+    "distance_supports_for_assignment",
+    "distance_supports_for_centers",
+    "enumerate_expected_cost_assigned",
+    "enumerate_expected_cost_unassigned",
+    "MonteCarloEstimate",
+    "monte_carlo_cost_assigned",
+    "monte_carlo_cost_unassigned",
+]

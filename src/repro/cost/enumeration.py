@@ -1,0 +1,66 @@
+"""Ground-truth expected costs by full realization enumeration.
+
+These evaluators sum ``prob(R) * max_i d(...)`` over *every* realization of
+the dataset.  They are exponential and exist purely to validate the
+O(N log N) engine in :mod:`repro.cost.expected` and the Monte-Carlo
+estimator; tests compare all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_point_array
+from ..exceptions import ValidationError
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.realization import iter_realizations
+
+
+def enumerate_expected_cost_unassigned(
+    dataset: UncertainDataset,
+    centers: np.ndarray,
+    *,
+    max_realizations: int | None = 200_000,
+) -> float:
+    """Unassigned expected cost by summing over every realization."""
+    centers = as_point_array(centers, name="centers")
+    metric = dataset.metric
+    total = 0.0
+    mass = 0.0
+    for realization in iter_realizations(dataset, max_realizations=max_realizations):
+        distances = metric.pairwise(realization.locations, centers).min(axis=1)
+        total += realization.probability * float(distances.max())
+        mass += realization.probability
+    if not np.isclose(mass, 1.0, atol=1e-6):
+        raise ValidationError(f"realization probabilities sum to {mass}, expected 1")
+    return total
+
+
+def enumerate_expected_cost_assigned(
+    dataset: UncertainDataset,
+    centers: np.ndarray,
+    assignment: np.ndarray,
+    *,
+    max_realizations: int | None = 200_000,
+) -> float:
+    """Assigned expected cost by summing over every realization."""
+    centers = as_point_array(centers, name="centers")
+    assignment = np.asarray(assignment, dtype=int).reshape(-1)
+    if assignment.shape[0] != dataset.size:
+        raise ValidationError("assignment must have one entry per uncertain point")
+    metric = dataset.metric
+    total = 0.0
+    mass = 0.0
+    for realization in iter_realizations(dataset, max_realizations=max_realizations):
+        assigned_centers = centers[assignment]
+        distances = np.array(
+            [
+                metric.distance(realization.locations[i], assigned_centers[i])
+                for i in range(dataset.size)
+            ]
+        )
+        total += realization.probability * float(distances.max())
+        mass += realization.probability
+    if not np.isclose(mass, 1.0, atol=1e-6):
+        raise ValidationError(f"realization probabilities sum to {mass}, expected 1")
+    return total

@@ -1,0 +1,94 @@
+"""Monte-Carlo estimation of the expected k-center costs.
+
+The exact engine in :mod:`repro.cost.expected` is preferred everywhere (it is
+both exact and fast), but the Monte-Carlo estimator is useful for
+cross-checking, for plugging in arbitrary per-realization cost functions and
+for stress tests on very large supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_point_array, as_rng, check_positive_int
+from ..exceptions import ValidationError
+from ..uncertain.dataset import UncertainDataset
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """An estimate with its standard error and a 95% confidence interval."""
+
+    value: float
+    standard_error: float
+    samples: int
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval."""
+        half_width = 1.96 * self.standard_error
+        return self.value - half_width, self.value + half_width
+
+    def within(self, other: float, *, sigmas: float = 4.0) -> bool:
+        """Whether ``other`` lies within ``sigmas`` standard errors."""
+        return abs(other - self.value) <= sigmas * max(self.standard_error, 1e-12)
+
+
+def _estimate(costs: np.ndarray) -> MonteCarloEstimate:
+    samples = costs.shape[0]
+    value = float(costs.mean())
+    spread = float(costs.std(ddof=1)) if samples > 1 else 0.0
+    return MonteCarloEstimate(value=value, standard_error=spread / np.sqrt(samples), samples=samples)
+
+
+def monte_carlo_cost_unassigned(
+    dataset: UncertainDataset,
+    centers: np.ndarray,
+    *,
+    samples: int = 10_000,
+    rng: int | np.random.Generator | None = 0,
+) -> MonteCarloEstimate:
+    """Estimate the unassigned expected cost from sampled realizations."""
+    check_positive_int(samples, name="samples")
+    centers = as_point_array(centers, name="centers")
+    generator = as_rng(rng)
+    metric = dataset.metric
+    # Precompute, per uncertain point, the distance of each of its locations
+    # to the nearest center; then sampling reduces to an index lookup.
+    per_point_values = [
+        metric.pairwise(point.locations, centers).min(axis=1) for point in dataset.points
+    ]
+    costs = np.zeros(samples)
+    for point, values in zip(dataset.points, per_point_values):
+        indices = generator.choice(point.support_size, p=point.probabilities, size=samples)
+        np.maximum(costs, values[indices], out=costs)
+    return _estimate(costs)
+
+
+def monte_carlo_cost_assigned(
+    dataset: UncertainDataset,
+    centers: np.ndarray,
+    assignment: np.ndarray,
+    *,
+    samples: int = 10_000,
+    rng: int | np.random.Generator | None = 0,
+) -> MonteCarloEstimate:
+    """Estimate the assigned expected cost from sampled realizations."""
+    check_positive_int(samples, name="samples")
+    centers = as_point_array(centers, name="centers")
+    assignment = np.asarray(assignment, dtype=int).reshape(-1)
+    if assignment.shape[0] != dataset.size:
+        raise ValidationError("assignment must have one entry per uncertain point")
+    generator = as_rng(rng)
+    metric = dataset.metric
+    per_point_values = [
+        metric.pairwise(point.locations, centers[assignment[i] : assignment[i] + 1]).reshape(-1)
+        for i, point in enumerate(dataset.points)
+    ]
+    costs = np.zeros(samples)
+    for point, values in zip(dataset.points, per_point_values):
+        indices = generator.choice(point.support_size, p=point.probabilities, size=samples)
+        np.maximum(costs, values[indices], out=costs)
+    return _estimate(costs)

@@ -1,0 +1,63 @@
+"""Deterministic (certain-points) k-center substrate.
+
+The paper reduces the uncertain k-center problem to the classical
+deterministic one on representative points; this subpackage provides every
+deterministic solver the reductions and experiments need:
+
+* :func:`gonzalez_kcenter` — Gonzalez farthest-point greedy, factor 2, any
+  metric (the solver used in Remark 3.1 and the O(nz + n log k) Table 1 rows);
+* :func:`hochbaum_shmoys_kcenter` — bottleneck threshold greedy, factor 2,
+  discrete centers;
+* :func:`epsilon_kcenter` — Euclidean (1+ε)-style solver (Gonzalez seed, SEB
+  refinement, optional rigorous lattice search);
+* :func:`exact_discrete_kcenter`, :func:`exact_euclidean_kcenter`,
+  :func:`exact_kcenter_by_center_subsets` — ground-truth solvers for small
+  instances;
+* :func:`one_dimensional_kcenter` — exact k-center on the line;
+* 1-center solvers (Euclidean SEB wrapper and discrete/weighted variants).
+"""
+
+from .assign import assign_to_nearest, coverage_radius_per_center, kcenter_cost
+from .eps_approx import epsilon_kcenter, refine_centers_by_seb
+from .exact import (
+    MAX_EXACT_DISCRETE_POINTS,
+    MAX_EXACT_PARTITION_POINTS,
+    exact_discrete_kcenter,
+    exact_euclidean_kcenter,
+    exact_kcenter_by_center_subsets,
+)
+from .gonzalez import gonzalez_kcenter
+from .hochbaum_shmoys import hochbaum_shmoys_kcenter
+from .one_center import (
+    discrete_one_center,
+    discrete_weighted_one_center,
+    euclidean_one_center,
+    one_center_cost,
+)
+from .one_dimensional import intervals_needed, one_dimensional_kcenter
+from .result import KCenterResult
+from .supplier import exact_k_supplier, k_supplier
+
+__all__ = [
+    "KCenterResult",
+    "assign_to_nearest",
+    "kcenter_cost",
+    "coverage_radius_per_center",
+    "gonzalez_kcenter",
+    "hochbaum_shmoys_kcenter",
+    "epsilon_kcenter",
+    "refine_centers_by_seb",
+    "exact_discrete_kcenter",
+    "exact_euclidean_kcenter",
+    "exact_kcenter_by_center_subsets",
+    "MAX_EXACT_DISCRETE_POINTS",
+    "MAX_EXACT_PARTITION_POINTS",
+    "one_dimensional_kcenter",
+    "intervals_needed",
+    "k_supplier",
+    "exact_k_supplier",
+    "euclidean_one_center",
+    "discrete_one_center",
+    "discrete_weighted_one_center",
+    "one_center_cost",
+]

@@ -1,0 +1,48 @@
+"""Assignment and objective helpers for deterministic k-center solutions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_point_array
+from ..metrics.base import Metric
+
+
+def assign_to_nearest(points: np.ndarray, centers: np.ndarray, metric: Metric) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each point to its nearest center.
+
+    Returns
+    -------
+    labels:
+        ``(n,)`` integer array of nearest-center indices.
+    distances:
+        ``(n,)`` array of distances to the assigned center.
+    """
+    points = as_point_array(points)
+    centers = as_point_array(centers, name="centers")
+    matrix = metric.pairwise(points, centers)
+    labels = matrix.argmin(axis=1)
+    distances = matrix[np.arange(points.shape[0]), labels]
+    return labels.astype(int), distances
+
+
+def kcenter_cost(points: np.ndarray, centers: np.ndarray, metric: Metric) -> float:
+    """Deterministic k-center objective ``max_i d(p_i, centers)``."""
+    _, distances = assign_to_nearest(points, centers, metric)
+    return float(distances.max())
+
+
+def coverage_radius_per_center(points: np.ndarray, centers: np.ndarray, metric: Metric) -> np.ndarray:
+    """Per-center radius: max distance over the points assigned to it.
+
+    Centers with no assigned point get radius 0.
+    """
+    points = as_point_array(points)
+    centers = as_point_array(centers, name="centers")
+    labels, distances = assign_to_nearest(points, centers, metric)
+    radii = np.zeros(centers.shape[0])
+    for center_index in range(centers.shape[0]):
+        mask = labels == center_index
+        if np.any(mask):
+            radii[center_index] = distances[mask].max()
+    return radii

@@ -1,0 +1,201 @@
+"""Refined Euclidean k-center solver playing the paper's ``(1+ε)`` black box.
+
+The paper's Theorems 2.2–2.7 take "a (1+ε)-approximation solution for the
+k-center problem for P̄_1 ... P̄_n" as a black box, citing e.g.
+Badoiu–Har-Peled–Indyk and Agarwal–Procopiuc.  This module provides a
+practical stand-in with an *honest certificate*:
+
+1. seed with Gonzalez (factor 2), which also yields the lower bound
+   ``opt >= r_G / 2``;
+2. refine by Lloyd-style alternation (reassign, recenter each cluster at its
+   smallest enclosing ball) — monotone, never worse than the seed;
+3. optionally run a swap-based local search over a capped lattice of
+   candidate centers around each cluster.
+
+The returned :class:`KCenterResult` reports
+``approximation_factor = radius / (r_G / 2)`` (capped at 2): the factor that
+is *certified* for this instance.  On the well-separated workloads used in
+the experiments this certificate is typically well below ``1 + ε`` for the
+requested ε, which is exactly the role the black box plays in the paper's
+bounds; the certificate propagates into the uncertain-solver results so
+end-to-end factors are always honest.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from .._validation import as_point_array, check_epsilon, check_positive_int
+from ..geometry.seb import smallest_enclosing_ball
+from ..metrics.euclidean import EuclideanMetric
+from .assign import assign_to_nearest
+from .gonzalez import gonzalez_kcenter
+from .result import KCenterResult
+
+#: Dimension cap for the lattice local search (candidate count grows as
+#: ``(1/eps)^d``).
+GRID_SEARCH_MAX_DIMENSION = 3
+#: Cap on the total number of lattice candidates generated per run.
+GRID_SEARCH_MAX_CANDIDATES = 4_096
+
+
+def refine_centers_by_seb(
+    points: np.ndarray,
+    centers: np.ndarray,
+    *,
+    max_rounds: int = 50,
+    tolerance: float = 1e-12,
+) -> tuple[np.ndarray, float]:
+    """Alternate nearest-center assignment and per-cluster SEB recentering.
+
+    Returns the refined centers and the resulting k-center radius.  The
+    radius never increases relative to the input centers.
+    """
+    points = as_point_array(points)
+    metric = EuclideanMetric()
+    centers = as_point_array(centers, name="centers").copy()
+    labels, distances = assign_to_nearest(points, centers, metric)
+    best_radius = float(distances.max())
+    best_centers = centers.copy()
+    for _ in range(max_rounds):
+        new_centers = centers.copy()
+        for center_index in range(centers.shape[0]):
+            members = points[labels == center_index]
+            if members.shape[0] > 0:
+                new_centers[center_index] = smallest_enclosing_ball(members).center
+        labels, distances = assign_to_nearest(points, new_centers, metric)
+        radius = float(distances.max())
+        centers = new_centers
+        if radius < best_radius - tolerance * max(1.0, best_radius):
+            best_radius = radius
+            best_centers = new_centers.copy()
+        else:
+            break
+    return best_centers, best_radius
+
+
+def _lattice_candidates(points: np.ndarray, labels: np.ndarray, k: int, target_spacing: float) -> np.ndarray:
+    """Lattice candidates around each cluster, capped in total count.
+
+    The spacing is widened as needed so the total candidate count stays under
+    :data:`GRID_SEARCH_MAX_CANDIDATES`.
+    """
+    dim = points.shape[1]
+    per_cluster = max(GRID_SEARCH_MAX_CANDIDATES // max(k, 1), 8)
+    blocks: list[np.ndarray] = []
+    for center_index in range(k):
+        members = points[labels == center_index]
+        if members.shape[0] == 0:
+            continue
+        lower = members.min(axis=0)
+        upper = members.max(axis=0)
+        extent = np.maximum(upper - lower, 1e-12)
+        spacing = max(target_spacing, float(extent.max()) / max(per_cluster ** (1.0 / dim) - 1.0, 1.0))
+        axes = [np.arange(lower[d], upper[d] + spacing, spacing) for d in range(dim)]
+        count = int(np.prod([len(a) for a in axes]))
+        if count > per_cluster * 4:
+            continue
+        blocks.append(np.array(list(product(*axes))))
+    if not blocks:
+        return np.empty((0, dim))
+    return np.vstack(blocks)
+
+
+def _swap_local_search(
+    points: np.ndarray,
+    centers: np.ndarray,
+    candidates: np.ndarray,
+    *,
+    max_rounds: int = 10,
+) -> tuple[np.ndarray, float]:
+    """Single-center swap local search over a finite candidate set."""
+    metric = EuclideanMetric()
+    centers = centers.copy()
+    point_to_center = metric.pairwise(points, centers)
+    point_to_candidate = metric.pairwise(points, candidates)
+    best_radius = float(point_to_center.min(axis=1).max())
+    k = centers.shape[0]
+    for _ in range(max_rounds):
+        improved = False
+        for center_index in range(k):
+            others = np.delete(point_to_center, center_index, axis=1)
+            base = others.min(axis=1) if others.shape[1] else np.full(points.shape[0], np.inf)
+            # Radius achieved if center_index is replaced by each candidate.
+            radii = np.maximum(0.0, np.minimum(base[:, None], point_to_candidate)).max(axis=0)
+            best_candidate = int(np.argmin(radii))
+            if radii[best_candidate] < best_radius - 1e-15:
+                best_radius = float(radii[best_candidate])
+                centers[center_index] = candidates[best_candidate]
+                point_to_center[:, center_index] = point_to_candidate[:, best_candidate]
+                improved = True
+        if not improved:
+            break
+    return centers, best_radius
+
+
+def epsilon_kcenter(
+    points: np.ndarray,
+    k: int,
+    epsilon: float = 0.1,
+    *,
+    grid_search: bool | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> KCenterResult:
+    """Euclidean k-center with a per-instance certified approximation factor.
+
+    Parameters
+    ----------
+    points, k:
+        The instance.
+    epsilon:
+        Requested slack; controls the lattice spacing of the optional grid
+        search.  The reported ``approximation_factor`` is what was actually
+        certified for this instance (never worse than 2).
+    grid_search:
+        Force the lattice swap search on or off.  The default (``None``) runs
+        it only when the dimension is at most
+        :data:`GRID_SEARCH_MAX_DIMENSION` and the instance is small enough
+        for it to be cheap.
+    seed:
+        Randomness for the Gonzalez seed point.
+    """
+    points = as_point_array(points)
+    metric = EuclideanMetric()
+    k = min(check_positive_int(k, name="k"), points.shape[0])
+    epsilon = check_epsilon(epsilon)
+
+    seed_result = gonzalez_kcenter(points, k, metric, first_index=None, seed=seed)
+    lower_bound = seed_result.radius / 2.0  # Gonzalez guarantee: opt >= r_G / 2.
+    centers, radius = refine_centers_by_seb(points, seed_result.centers)
+    used_algorithm = "gonzalez+seb-refine"
+
+    if grid_search is None:
+        grid_search = points.shape[1] <= GRID_SEARCH_MAX_DIMENSION and points.shape[0] <= 5_000
+    if grid_search and lower_bound > 0 and points.shape[1] <= GRID_SEARCH_MAX_DIMENSION:
+        spacing = max(epsilon, 1e-3) * lower_bound / np.sqrt(points.shape[1])
+        labels, _ = assign_to_nearest(points, centers, metric)
+        candidates = _lattice_candidates(points, labels, k, spacing)
+        if candidates.shape[0] > 0:
+            swapped_centers, swapped_radius = _swap_local_search(points, centers, candidates)
+            if swapped_radius < radius:
+                centers, radius = swapped_centers, swapped_radius
+                centers, radius = refine_centers_by_seb(points, centers)
+            used_algorithm = "gonzalez+seb-refine+grid-swap"
+
+    labels, distances = assign_to_nearest(points, centers, metric)
+    radius = float(distances.max())
+    certified = max(1.0, min(2.0, radius / lower_bound)) if lower_bound > 0 else 1.0
+    return KCenterResult(
+        centers=centers,
+        labels=labels,
+        radius=radius,
+        approximation_factor=float(certified),
+        metadata={
+            "algorithm": used_algorithm,
+            "epsilon": epsilon,
+            "gonzalez_radius": seed_result.radius,
+            "lower_bound": lower_bound,
+        },
+    )

@@ -1,0 +1,240 @@
+"""Exact deterministic k-center solvers for small instances.
+
+These solvers are the ground truth the experiments divide by when reporting
+empirical approximation ratios.  Two variants:
+
+* :func:`exact_discrete_kcenter` — centers restricted to a finite candidate
+  set (the input points by default; every element of a finite metric).  It
+  binary-searches the sorted candidate radii and decides feasibility of each
+  radius exactly with a set-cover branch-and-bound.  Exponential in the worst
+  case but fast for the instance sizes used as ground truth (n up to ~60,
+  k up to ~6).
+* :func:`exact_euclidean_kcenter` — the *continuous* Euclidean optimum,
+  obtained by enumerating partitions of the points into at most ``k`` groups
+  and taking the smallest enclosing ball of each group.  Feasible only for
+  tiny ``n`` (<= ~12); used to validate the discrete solvers and the paper's
+  factor claims on micro instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from .._validation import as_point_array, check_positive_int
+from ..exceptions import ValidationError
+from ..geometry.seb import smallest_enclosing_ball
+from ..metrics.base import Metric
+from ..metrics.euclidean import EuclideanMetric
+from .assign import assign_to_nearest
+from .result import KCenterResult
+
+#: Safety cap on the partition-enumeration solver.
+MAX_EXACT_PARTITION_POINTS = 13
+#: Safety cap on the candidate-set branch and bound.
+MAX_EXACT_DISCRETE_POINTS = 400
+
+
+def _cover_with_k_sets(coverage: np.ndarray, k: int) -> list[int] | None:
+    """Decide whether ``k`` candidate rows of ``coverage`` cover all columns.
+
+    ``coverage[c, p]`` is true when candidate ``c`` covers point ``p``.
+    Returns the chosen candidate indices or ``None``.  Branch and bound on the
+    least-covered uncovered point; candidates covering it are tried in order
+    of decreasing coverage.
+    """
+    n_candidates, n_points = coverage.shape
+    if n_points == 0:
+        return []
+
+    def recurse(uncovered: np.ndarray, budget: int) -> list[int] | None:
+        if not uncovered.any():
+            return []
+        if budget == 0:
+            return None
+        sub = coverage[:, uncovered]
+        # Point with fewest covering candidates: the strongest branching pivot.
+        per_point = sub.sum(axis=0)
+        if np.any(per_point == 0):
+            return None
+        uncovered_indices = np.flatnonzero(uncovered)
+        pivot = uncovered_indices[int(np.argmin(per_point))]
+        candidates_for_pivot = np.flatnonzero(coverage[:, pivot])
+        # Try candidates covering the most uncovered points first.
+        gain = coverage[candidates_for_pivot][:, uncovered].sum(axis=1)
+        for candidate in candidates_for_pivot[np.argsort(-gain)]:
+            remaining = uncovered & ~coverage[candidate]
+            solution = recurse(remaining, budget - 1)
+            if solution is not None:
+                return [int(candidate)] + solution
+        return None
+
+    return recurse(np.ones(n_points, dtype=bool), k)
+
+
+def exact_discrete_kcenter(
+    points: np.ndarray,
+    k: int,
+    metric: Metric | None = None,
+    candidates: np.ndarray | None = None,
+) -> KCenterResult:
+    """Optimal k-center with centers restricted to a finite candidate set.
+
+    Raises
+    ------
+    ValidationError
+        If the instance exceeds :data:`MAX_EXACT_DISCRETE_POINTS` points
+        (the decision subproblem is NP-hard; this solver is for ground truth
+        on small instances only).
+    """
+    points = as_point_array(points)
+    metric = metric or EuclideanMetric()
+    n = points.shape[0]
+    if n > MAX_EXACT_DISCRETE_POINTS:
+        raise ValidationError(
+            f"exact_discrete_kcenter supports at most {MAX_EXACT_DISCRETE_POINTS} points, got {n}"
+        )
+    k = min(check_positive_int(k, name="k"), n)
+    if candidates is None:
+        candidates = metric.candidate_centers(points)
+    candidates = as_point_array(candidates, name="candidates")
+
+    matrix = metric.pairwise(candidates, points)
+    radii = np.unique(matrix)
+    low, high = 0, radii.shape[0] - 1
+    best: tuple[float, list[int]] | None = None
+    while low <= high:
+        mid = (low + high) // 2
+        radius = float(radii[mid])
+        chosen = _cover_with_k_sets(matrix <= radius + 1e-12, k)
+        if chosen is not None:
+            best = (radius, chosen)
+            high = mid - 1
+        else:
+            low = mid + 1
+    if best is None:  # pragma: no cover - the max radius always covers
+        raise RuntimeError("no feasible radius found; this should be impossible")
+
+    _, chosen = best
+    centers = candidates[chosen]
+    labels, distances = assign_to_nearest(points, centers, metric)
+    return KCenterResult(
+        centers=centers,
+        labels=labels,
+        radius=float(distances.max()),
+        approximation_factor=1.0,
+        metadata={"algorithm": "exact-discrete", "candidate_count": int(candidates.shape[0])},
+    )
+
+
+def _partitions_into_at_most_k(n: int, k: int) -> Iterable[list[list[int]]]:
+    """Yield set partitions of ``range(n)`` into at most ``k`` blocks.
+
+    Uses restricted-growth strings so each partition is generated once.
+    """
+    assignment = [0] * n
+
+    def recurse(index: int, used: int):
+        if index == n:
+            blocks: list[list[int]] = [[] for _ in range(used)]
+            for element, block in enumerate(assignment):
+                blocks[block].append(element)
+            yield blocks
+            return
+        for block in range(min(used + 1, k)):
+            assignment[index] = block
+            yield from recurse(index + 1, max(used, block + 1))
+
+    yield from recurse(0, 0)
+
+
+def exact_euclidean_kcenter(points: np.ndarray, k: int) -> KCenterResult:
+    """Continuous Euclidean optimum by enumerating partitions (tiny n only).
+
+    Every optimal solution induces a partition of the points into at most
+    ``k`` clusters, and each cluster's best center is the center of its
+    smallest enclosing ball; enumerating partitions is therefore exact.
+    """
+    points = as_point_array(points)
+    n = points.shape[0]
+    if n > MAX_EXACT_PARTITION_POINTS:
+        raise ValidationError(
+            f"exact_euclidean_kcenter supports at most {MAX_EXACT_PARTITION_POINTS} points, got {n}"
+        )
+    k = min(check_positive_int(k, name="k"), n)
+
+    metric = EuclideanMetric()
+    best_radius = np.inf
+    best_centers: np.ndarray | None = None
+    for blocks in _partitions_into_at_most_k(n, k):
+        centers = []
+        radius = 0.0
+        for block in blocks:
+            ball = smallest_enclosing_ball(points[block])
+            centers.append(ball.center)
+            radius = max(radius, ball.radius)
+            if radius >= best_radius:
+                break
+        else:
+            if radius < best_radius:
+                best_radius = radius
+                best_centers = np.asarray(centers)
+    assert best_centers is not None
+    labels, distances = assign_to_nearest(points, best_centers, metric)
+    return KCenterResult(
+        centers=best_centers,
+        labels=labels,
+        radius=float(distances.max()),
+        approximation_factor=1.0,
+        metadata={"algorithm": "exact-euclidean-partition"},
+    )
+
+
+def exact_kcenter_by_center_subsets(
+    points: np.ndarray,
+    k: int,
+    metric: Metric | None = None,
+    candidates: np.ndarray | None = None,
+    *,
+    max_combinations: int = 2_000_000,
+) -> KCenterResult:
+    """Optimal discrete k-center by brute force over candidate subsets.
+
+    A slower but conceptually simple cross-check for
+    :func:`exact_discrete_kcenter` (used in tests).  Enumerates all
+    ``C(m, k)`` candidate subsets.
+    """
+    points = as_point_array(points)
+    metric = metric or EuclideanMetric()
+    if candidates is None:
+        candidates = metric.candidate_centers(points)
+    candidates = as_point_array(candidates, name="candidates")
+    m = candidates.shape[0]
+    k = min(check_positive_int(k, name="k"), m)
+
+    from math import comb
+
+    if comb(m, k) > max_combinations:
+        raise ValidationError(
+            f"brute force over C({m}, {k}) candidate subsets exceeds the safety cap"
+        )
+    matrix = metric.pairwise(points, candidates)
+    best_radius = np.inf
+    best_subset: tuple[int, ...] | None = None
+    for subset in combinations(range(m), k):
+        radius = float(matrix[:, subset].min(axis=1).max())
+        if radius < best_radius:
+            best_radius = radius
+            best_subset = subset
+    assert best_subset is not None
+    centers = candidates[list(best_subset)]
+    labels, distances = assign_to_nearest(points, centers, metric)
+    return KCenterResult(
+        centers=centers,
+        labels=labels,
+        radius=float(distances.max()),
+        approximation_factor=1.0,
+        metadata={"algorithm": "exact-subset-bruteforce", "subset": best_subset},
+    )

@@ -1,0 +1,77 @@
+"""Gonzalez farthest-point greedy 2-approximation for k-center.
+
+This is the deterministic solver the paper plugs into its reductions in
+Remark 3.1: "There is a greedy 2-approximation algorithm for deterministic
+k-center problem ... given in [13]" (Gonzalez 1985).  It works in any metric
+space, runs in ``O(nk)`` distance evaluations (``O(n log k)`` is possible with
+the Feder–Greene refinement, which we do not need for correctness), and the
+chosen centers are always input points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_point_array, as_rng, check_positive_int
+from ..metrics.base import Metric
+from ..metrics.euclidean import EuclideanMetric
+from .assign import assign_to_nearest
+from .result import KCenterResult
+
+
+def gonzalez_kcenter(
+    points: np.ndarray,
+    k: int,
+    metric: Metric | None = None,
+    *,
+    first_index: int | None = 0,
+    seed: int | np.random.Generator | None = None,
+) -> KCenterResult:
+    """Farthest-point traversal producing a 2-approximate k-center solution.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` point array (or ``(n, 1)`` element indices for finite
+        metrics).
+    k:
+        Number of centers; values larger than ``n`` are clamped to ``n``.
+    metric:
+        Metric to use; defaults to Euclidean.
+    first_index:
+        Index of the seed center.  The 2-approximation guarantee holds for
+        any seed; pass ``None`` to pick one at random using ``seed``.
+    seed:
+        Randomness source used only when ``first_index`` is ``None``.
+    """
+    points = as_point_array(points)
+    metric = metric or EuclideanMetric()
+    n = points.shape[0]
+    k = min(check_positive_int(k, name="k"), n)
+
+    if first_index is None:
+        first_index = int(as_rng(seed).integers(0, n))
+    if not 0 <= first_index < n:
+        raise IndexError(f"first_index {first_index} out of range [0, {n})")
+
+    chosen = [first_index]
+    # Distance from every point to the closest chosen center so far.
+    nearest = metric.pairwise(points, points[first_index : first_index + 1]).reshape(-1)
+    for _ in range(1, k):
+        farthest = int(np.argmax(nearest))
+        if nearest[farthest] == 0.0:
+            # Fewer than k distinct points: stop early, the radius is 0.
+            break
+        chosen.append(farthest)
+        new_distances = metric.pairwise(points, points[farthest : farthest + 1]).reshape(-1)
+        np.minimum(nearest, new_distances, out=nearest)
+
+    centers = points[chosen]
+    labels, distances = assign_to_nearest(points, centers, metric)
+    return KCenterResult(
+        centers=centers,
+        labels=labels,
+        radius=float(distances.max()),
+        approximation_factor=2.0,
+        metadata={"algorithm": "gonzalez", "center_indices": tuple(chosen)},
+    )

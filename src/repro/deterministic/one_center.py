@@ -1,0 +1,98 @@
+"""Deterministic 1-center solvers.
+
+Two flavours are needed by the paper's reductions:
+
+* the **Euclidean 1-center** (smallest enclosing ball center), used by
+  Theorem 2.1 and as the optimum the expected point is compared against;
+* the **discrete metric 1-center**: the candidate element minimising the
+  maximum distance to the input points, which is what the per-point
+  representative ``P̃_i`` of Theorems 2.6/2.7 is in a finite metric space.
+
+For an *uncertain* point the paper's ``P̃_i`` is "the 1-center of the single
+uncertain point ``P_i``".  Specialising the uncertain 1-center objective
+``Ecost(q) = E_R[max_i d(P̂_i, q)]`` to ``n = 1`` gives
+``sum_j p_ij d(P_ij, q)``: for one uncertain point the max ranges over a
+single element, so the objective is simply the *expected distance* to ``q``.
+The per-point representative of Theorems 2.6/2.7 is therefore the
+expected-distance minimiser over the whole space (every element, for a finite
+metric).  This reading is the one the proofs rely on — Lemma 3.5 uses exactly
+``sum_j p_j d(P̂, P̃) <= sum_j p_j d(P̂, A(P))``, i.e. optimality of ``P̃`` for
+the expected-distance objective.  Both the expected-distance and worst-case
+(max-distance) variants are exposed below; the uncertain reduction in
+:mod:`repro.uncertain.reduction` uses the expected-distance one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_point_array
+from ..geometry.seb import Ball, smallest_enclosing_ball
+from ..metrics.base import Metric
+from ..metrics.euclidean import EuclideanMetric
+
+
+def euclidean_one_center(points: np.ndarray) -> Ball:
+    """Smallest enclosing ball of a Euclidean point set."""
+    return smallest_enclosing_ball(points)
+
+
+def discrete_one_center(
+    points: np.ndarray,
+    metric: Metric,
+    candidates: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """Candidate minimising the maximum distance to ``points``.
+
+    Parameters
+    ----------
+    points:
+        The points to cover.
+    metric:
+        The metric space.
+    candidates:
+        Candidate center positions; defaults to ``metric.candidate_centers``
+        (the points themselves for vector spaces, every element for finite
+        metrics).
+
+    Returns
+    -------
+    (center, radius):
+        The best candidate and its max-distance objective value.
+    """
+    points = as_point_array(points)
+    if candidates is None:
+        candidates = metric.candidate_centers(points)
+    candidates = as_point_array(candidates, name="candidates")
+    matrix = metric.pairwise(candidates, points)
+    objective = matrix.max(axis=1)
+    best = int(np.argmin(objective))
+    return candidates[best].copy(), float(objective[best])
+
+
+def discrete_weighted_one_center(
+    points: np.ndarray,
+    weights: np.ndarray,
+    metric: Metric,
+    candidates: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """Candidate minimising the *expected* (probability-weighted) distance.
+
+    This is the per-point representative ``P̃`` used by the general-metric
+    theorems: ``argmin_q sum_j w_j d(p_j, q)`` over the candidate set.
+    """
+    points = as_point_array(points)
+    weights = np.asarray(weights, dtype=float).reshape(-1)
+    if candidates is None:
+        candidates = metric.candidate_centers(points)
+    candidates = as_point_array(candidates, name="candidates")
+    matrix = metric.pairwise(candidates, points)
+    objective = matrix @ weights
+    best = int(np.argmin(objective))
+    return candidates[best].copy(), float(objective[best])
+
+
+def one_center_cost(points: np.ndarray, center: np.ndarray, metric: Metric | None = None) -> float:
+    """Max distance from ``center`` to ``points`` (the 1-center objective)."""
+    metric = metric or EuclideanMetric()
+    return float(metric.distances_to_point(as_point_array(points), center).max())

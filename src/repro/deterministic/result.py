@@ -1,0 +1,50 @@
+"""Result container shared by every deterministic k-center solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KCenterResult:
+    """Outcome of a deterministic k-center computation.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` array of chosen center positions.
+    labels:
+        For each input point, the index (into ``centers``) of its nearest
+        center under the metric the solver used.
+    radius:
+        The solution's objective value ``max_i d(p_i, centers)``.
+    approximation_factor:
+        The factor guaranteed by the solver that produced this result
+        (``1.0`` for exact solvers, ``2.0`` for Gonzalez, ``1 + eps`` for the
+        epsilon refinement).  ``None`` when the solver offers no guarantee.
+    metadata:
+        Free-form extra information (iterations, candidate counts, ...).
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    radius: float
+    approximation_factor: float | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """Number of centers in the solution."""
+        return int(self.centers.shape[0])
+
+    def cluster_indices(self, center_index: int) -> np.ndarray:
+        """Indices of the points assigned to center ``center_index``."""
+        return np.flatnonzero(self.labels == center_index)
+
+    def summary(self) -> str:
+        """One-line human readable description."""
+        factor = "exact" if self.approximation_factor == 1.0 else f"{self.approximation_factor}-approx" if self.approximation_factor else "heuristic"
+        return f"k={self.k} radius={self.radius:.6g} ({factor})"

@@ -1,0 +1,145 @@
+"""Deterministic k-supplier: k-center with centers restricted to facilities.
+
+In the k-supplier problem the points to cover (*clients*) and the candidate
+center positions (*facilities*) are different sets, and centers may only be
+opened at facilities.  This is the deterministic substrate for the
+facility-restricted uncertain k-center variant
+(:func:`repro.algorithms.discrete_centers.solve_facility_restricted`), the
+natural database formulation where service can only be placed at existing
+sites.
+
+The classical Hochbaum–Shmoys threshold algorithm gives a 3-approximation:
+for a guessed radius ``r`` (binary searched over the client-facility
+distances), greedily pick an uncovered client, open *any* facility within
+``r`` of it and mark every client within ``3r`` of that facility as covered;
+the smallest feasible ``r`` yields a solution of radius at most ``3 r* ``.
+An exact solver (branch-and-bound set cover over facilities) is provided for
+small instances and for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_point_array, check_positive_int
+from ..exceptions import InfeasibleError, ValidationError
+from ..metrics.base import Metric
+from ..metrics.euclidean import EuclideanMetric
+from .exact import _cover_with_k_sets
+from .result import KCenterResult
+
+
+def _assign_clients(clients: np.ndarray, centers: np.ndarray, metric: Metric) -> tuple[np.ndarray, np.ndarray]:
+    matrix = metric.pairwise(clients, centers)
+    labels = matrix.argmin(axis=1)
+    distances = matrix[np.arange(clients.shape[0]), labels]
+    return labels.astype(int), distances
+
+
+def k_supplier(
+    clients: np.ndarray,
+    facilities: np.ndarray,
+    k: int,
+    metric: Metric | None = None,
+) -> KCenterResult:
+    """Hochbaum–Shmoys 3-approximation for the k-supplier problem."""
+    clients = as_point_array(clients, name="clients")
+    facilities = as_point_array(facilities, name="facilities")
+    metric = metric or EuclideanMetric()
+    k = min(check_positive_int(k, name="k"), facilities.shape[0])
+
+    client_facility = metric.pairwise(clients, facilities)
+    client_client = metric.pairwise(clients, clients)
+    radii = np.unique(client_facility)
+
+    best: tuple[float, list[int]] | None = None
+    low, high = 0, radii.shape[0] - 1
+    while low <= high:
+        mid = (low + high) // 2
+        radius = float(radii[mid])
+        opened = _threshold_open(client_facility, client_client, radius, k)
+        if opened is not None:
+            best = (radius, opened)
+            high = mid - 1
+        else:
+            low = mid + 1
+    if best is None:
+        raise InfeasibleError("no radius allows covering every client with k facilities")
+
+    _, opened = best
+    centers = facilities[opened]
+    labels, distances = _assign_clients(clients, centers, metric)
+    return KCenterResult(
+        centers=centers,
+        labels=labels,
+        radius=float(distances.max()),
+        approximation_factor=3.0,
+        metadata={"algorithm": "hochbaum-shmoys-supplier", "facility_indices": tuple(opened)},
+    )
+
+
+def _threshold_open(
+    client_facility: np.ndarray,
+    client_client: np.ndarray,
+    radius: float,
+    k: int,
+) -> list[int] | None:
+    """Greedy opening for a guessed radius; None when more than k open."""
+    n_clients = client_facility.shape[0]
+    uncovered = np.ones(n_clients, dtype=bool)
+    opened: list[int] = []
+    while uncovered.any():
+        client = int(np.flatnonzero(uncovered)[0])
+        nearby = np.flatnonzero(client_facility[client] <= radius + 1e-12)
+        if nearby.shape[0] == 0:
+            return None
+        facility = int(nearby[0])
+        opened.append(facility)
+        if len(opened) > k:
+            return None
+        uncovered &= client_facility[:, facility] > 3.0 * radius + 1e-12
+    return opened
+
+
+def exact_k_supplier(
+    clients: np.ndarray,
+    facilities: np.ndarray,
+    k: int,
+    metric: Metric | None = None,
+) -> KCenterResult:
+    """Exact k-supplier by radius binary search + set-cover branch and bound.
+
+    Intended for small instances (ground truth in tests and experiments).
+    """
+    clients = as_point_array(clients, name="clients")
+    facilities = as_point_array(facilities, name="facilities")
+    metric = metric or EuclideanMetric()
+    k = min(check_positive_int(k, name="k"), facilities.shape[0])
+    if clients.shape[0] > 200 or facilities.shape[0] > 200:
+        raise ValidationError("exact_k_supplier is intended for small instances (<= 200 clients/facilities)")
+
+    matrix = metric.pairwise(facilities, clients)
+    radii = np.unique(matrix)
+    best: tuple[float, list[int]] | None = None
+    low, high = 0, radii.shape[0] - 1
+    while low <= high:
+        mid = (low + high) // 2
+        radius = float(radii[mid])
+        chosen = _cover_with_k_sets(matrix <= radius + 1e-12, k)
+        if chosen is not None:
+            best = (radius, chosen)
+            high = mid - 1
+        else:
+            low = mid + 1
+    if best is None:
+        raise InfeasibleError("no radius allows covering every client with k facilities")
+    _, chosen = best
+    centers = facilities[chosen]
+    labels, distances = _assign_clients(clients, centers, metric)
+    return KCenterResult(
+        centers=centers,
+        labels=labels,
+        radius=float(distances.max()),
+        approximation_factor=1.0,
+        metadata={"algorithm": "exact-supplier", "facility_indices": tuple(chosen)},
+    )

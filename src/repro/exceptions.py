@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` (uncertain k-center) library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  The more
+specific subclasses distinguish between bad user input, numerical issues and
+unsupported feature combinations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user supplied data fails validation.
+
+    Examples: probabilities that do not sum to one, empty location lists,
+    mismatched dimensions, a non-positive ``k``.
+    """
+
+
+class DimensionMismatchError(ValidationError):
+    """Raised when points of different dimensionality are mixed."""
+
+
+class ProbabilityError(ValidationError):
+    """Raised when a probability vector is negative or does not sum to 1."""
+
+
+class MetricError(ReproError):
+    """Raised when a metric cannot evaluate the requested distance.
+
+    Typical causes: a point that is not a member of a finite metric space, a
+    disconnected graph metric, or an invalid Minkowski order.
+    """
+
+
+class NotSupportedError(ReproError, NotImplementedError):
+    """Raised when an algorithm does not support the requested combination.
+
+    Example: requesting the expected-point reduction in a non-Euclidean
+    metric space, where the convex combination of locations is undefined.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative numerical routine fails to converge."""
+
+
+class InfeasibleError(ReproError, RuntimeError):
+    """Raised when a solver can prove the requested instance is infeasible.
+
+    Example: asking for ``k`` centers from a candidate set with fewer than
+    ``k`` distinct elements while requiring distinct centers.
+    """

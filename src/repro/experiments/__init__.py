@@ -1,0 +1,52 @@
+"""Experiment harness reproducing the paper's Table 1 plus ablations."""
+
+from .ablation import AblationSettings, run_assignment_ablation, run_representative_ablation
+from .harness import render_full_report, run_everything, run_quick
+from .records import ExperimentRecord, ExperimentRow
+from .report import format_table, render_record, render_records
+from .scaling import ScalingSettings, fit_exponent, run_scaling
+from .sensitivity import (
+    SensitivitySettings,
+    run_outlier_sensitivity,
+    run_support_size_sensitivity,
+)
+from .table1 import (
+    Table1Settings,
+    run_all_table1,
+    run_e1_one_center,
+    run_e2_e3_restricted_expected_distance,
+    run_e4_e5_restricted_expected_point,
+    run_e6_e7_unrestricted_euclidean,
+    run_e8_one_dimensional,
+    run_e9_general_metric,
+    run_e10_baseline_comparison,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "ExperimentRow",
+    "Table1Settings",
+    "ScalingSettings",
+    "AblationSettings",
+    "run_e1_one_center",
+    "run_e2_e3_restricted_expected_distance",
+    "run_e4_e5_restricted_expected_point",
+    "run_e6_e7_unrestricted_euclidean",
+    "run_e8_one_dimensional",
+    "run_e9_general_metric",
+    "run_e10_baseline_comparison",
+    "run_all_table1",
+    "run_scaling",
+    "fit_exponent",
+    "SensitivitySettings",
+    "run_outlier_sensitivity",
+    "run_support_size_sensitivity",
+    "run_representative_ablation",
+    "run_assignment_ablation",
+    "run_everything",
+    "run_quick",
+    "render_full_report",
+    "format_table",
+    "render_record",
+    "render_records",
+]

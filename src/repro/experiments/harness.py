@@ -1,0 +1,49 @@
+"""Top-level experiment harness: run every experiment and render the report.
+
+``python -m repro table1`` (or the installed ``uncertain-kcenter`` script)
+drives this module.  ``run_everything`` executes all experiments from
+DESIGN.md's index and returns the records; ``render_full_report`` turns them
+into the text EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ablation import AblationSettings, run_assignment_ablation, run_representative_ablation
+from .records import ExperimentRecord
+from .report import render_records
+from .scaling import ScalingSettings, run_scaling
+from .table1 import Table1Settings, run_all_table1
+
+
+def run_everything(
+    *,
+    table1_settings: Table1Settings | None = None,
+    scaling_settings: ScalingSettings | None = None,
+    ablation_settings: AblationSettings | None = None,
+    include_scaling: bool = True,
+    include_ablation: bool = True,
+) -> Sequence[ExperimentRecord]:
+    """Run every experiment in DESIGN.md's index (E1..E12)."""
+    records = list(run_all_table1(table1_settings))
+    if include_scaling:
+        records.append(run_scaling(scaling_settings))
+    if include_ablation:
+        records.append(run_representative_ablation(ablation_settings))
+        records.append(run_assignment_ablation(ablation_settings))
+    return tuple(records)
+
+
+def run_quick() -> Sequence[ExperimentRecord]:
+    """Lightweight run used by the CLI's ``--quick`` flag and smoke tests."""
+    return run_everything(
+        table1_settings=Table1Settings.quick(),
+        scaling_settings=ScalingSettings.quick(),
+        ablation_settings=AblationSettings.quick(),
+    )
+
+
+def render_full_report(records: Sequence[ExperimentRecord]) -> str:
+    """Render all records as the plain-text report EXPERIMENTS.md embeds."""
+    return render_records(records)

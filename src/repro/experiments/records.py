@@ -1,0 +1,49 @@
+"""Record types shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One measured configuration inside an experiment."""
+
+    configuration: str
+    measured: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """Everything the harness reports about one experiment (Table 1 row etc.).
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from DESIGN.md's experiment index (``"E1"`` .. ``"E12"``).
+    paper_artifact:
+        The table/figure (or remark) of the paper being reproduced.
+    paper_claim:
+        The paper's claim, as a human-readable string (e.g. ``"factor 2"``).
+    rows:
+        Per-configuration measurements.
+    summary:
+        Aggregate values (e.g. worst measured ratio) used by EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    paper_claim: str
+    rows: Sequence[ExperimentRow] = field(default_factory=tuple)
+    summary: Mapping[str, Any] = field(default_factory=dict)
+
+    def worst(self, key: str) -> float:
+        """Largest value of ``key`` across the rows (e.g. worst ratio)."""
+        values = [row.measured[key] for row in self.rows if key in row.measured]
+        return max(values) if values else float("nan")
+
+    def best(self, key: str) -> float:
+        """Smallest value of ``key`` across the rows."""
+        values = [row.measured[key] for row in self.rows if key in row.measured]
+        return min(values) if values else float("nan")

@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment records (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .records import ExperimentRecord
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with column widths fitted to the content."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [" | ".join(header.ljust(width) for header, width in zip(headers, widths)), separator]
+    for row in materialised:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_record(record: ExperimentRecord) -> str:
+    """Render one experiment record as a titled ASCII table."""
+    keys: list[str] = []
+    for row in record.rows:
+        for key in row.measured:
+            if key not in keys:
+                keys.append(key)
+    headers = ["configuration", *keys]
+    body = [[row.configuration, *[row.measured.get(key, "") for key in keys]] for row in record.rows]
+    title = f"{record.experiment_id} — {record.paper_artifact} (paper claim: {record.paper_claim})"
+    summary = ", ".join(f"{key}={_fmt(value)}" for key, value in record.summary.items())
+    table = format_table(headers, body)
+    return f"{title}\n{table}" + (f"\nsummary: {summary}" if summary else "")
+
+
+def render_records(records: Iterable[ExperimentRecord]) -> str:
+    """Render several experiment records separated by blank lines."""
+    return "\n\n".join(render_record(record) for record in records)

@@ -1,0 +1,113 @@
+"""Running-time scaling experiments (Table 1's running-time columns).
+
+The paper claims ``O(z)`` for the 1-center construction and
+``O(nz + n log k)`` for the Gonzalez-based k-center reductions.  These
+experiments time the implementations across sweeps of ``n``, ``z`` and ``k``
+and fit the growth exponent by least squares on the log-log curve; an
+exponent near 1 in ``n`` (with ``z, k`` fixed), near 1 in ``z`` (with
+``n, k`` fixed) and clearly sub-linear in ``k`` reproduce the claimed shapes.
+(Python constant factors are large but irrelevant to the *shape*.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..algorithms.one_center import expected_point_one_center
+from ..algorithms.restricted import solve_restricted_assigned
+from ..workloads.synthetic import gaussian_clusters
+from .records import ExperimentRecord, ExperimentRow
+
+
+@dataclass(frozen=True)
+class ScalingSettings:
+    """Sweep sizes for the scaling experiment."""
+
+    n_values: tuple[int, ...] = (100, 200, 400, 800)
+    z_values: tuple[int, ...] = (2, 4, 8, 16)
+    k_values: tuple[int, ...] = (2, 4, 8, 16)
+    base_n: int = 300
+    base_z: int = 4
+    base_k: int = 4
+    repeats: int = 3
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "ScalingSettings":
+        """Smaller preset for the benchmark harness."""
+        return cls(n_values=(50, 100, 200), z_values=(2, 4, 8), k_values=(2, 4, 8), base_n=100, repeats=2)
+
+
+def _time_call(function: Callable[[], object], repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def fit_exponent(sizes: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) against log(size)."""
+    xs = np.log(np.asarray(sizes, dtype=float))
+    ys = np.log(np.maximum(np.asarray(times, dtype=float), 1e-9))
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def run_scaling(settings: ScalingSettings | None = None) -> ExperimentRecord:
+    """E11 — running-time scaling of the Gonzalez-based reduction and Thm 2.1."""
+    settings = settings or ScalingSettings()
+    rows = []
+
+    # Sweep n (k-center reduction, Gonzalez solver): expect ~linear.
+    n_times = []
+    for n in settings.n_values:
+        dataset, _ = gaussian_clusters(n=n, z=settings.base_z, dimension=2, seed=settings.seed)
+        elapsed = _time_call(
+            lambda: solve_restricted_assigned(dataset, settings.base_k, assignment="expected-point", solver="gonzalez"),
+            settings.repeats,
+        )
+        n_times.append(elapsed)
+        rows.append(ExperimentRow(configuration=f"sweep=n n={n}", measured={"seconds": elapsed}))
+    n_exponent = fit_exponent(settings.n_values, n_times)
+
+    # Sweep z (1-center expected point, Theorem 2.1): expect ~linear in z.
+    z_times = []
+    for z in settings.z_values:
+        dataset, _ = gaussian_clusters(n=settings.base_n, z=z, dimension=2, k_true=1, seed=settings.seed)
+        elapsed = _time_call(lambda: expected_point_one_center(dataset), settings.repeats)
+        z_times.append(elapsed)
+        rows.append(ExperimentRow(configuration=f"sweep=z z={z}", measured={"seconds": elapsed}))
+    z_exponent = fit_exponent(settings.z_values, z_times)
+
+    # Sweep k (k-center reduction): expect sub-linear / mild growth.
+    k_times = []
+    for k in settings.k_values:
+        dataset, _ = gaussian_clusters(n=settings.base_n, z=settings.base_z, dimension=2, seed=settings.seed)
+        elapsed = _time_call(
+            lambda: solve_restricted_assigned(dataset, k, assignment="expected-point", solver="gonzalez"),
+            settings.repeats,
+        )
+        k_times.append(elapsed)
+        rows.append(ExperimentRow(configuration=f"sweep=k k={k}", measured={"seconds": elapsed}))
+    k_exponent = fit_exponent(settings.k_values, k_times)
+
+    return ExperimentRecord(
+        experiment_id="E11",
+        paper_artifact="Table 1 running-time column",
+        paper_claim="O(z) for Theorem 2.1; O(nz + n log k) for the Gonzalez reduction",
+        rows=tuple(rows),
+        summary={
+            "n_exponent": n_exponent,
+            "z_exponent": z_exponent,
+            "k_exponent": k_exponent,
+            "n_shape_ok": n_exponent <= 1.5,
+            "z_shape_ok": z_exponent <= 1.5,
+            "k_shape_sublinear": k_exponent <= 1.0,
+        },
+    )

@@ -1,0 +1,126 @@
+"""Sensitivity experiments (E13): how the solution quality degrades with noise.
+
+The paper proves worst-case factors but says nothing about how the pipeline
+behaves as the *amount* of uncertainty grows.  These experiments produce the
+figure-like series a practitioner would want next to Table 1:
+
+* **E13a — outlier probability sweep**: heavy-tailed workloads with the
+  per-point outlier mass swept from 0 to 0.3; reports the expected cost of
+  the paper's pipeline (EP assignment) against the per-point lower bound.
+* **E13b — support-size sweep**: Gaussian workloads with ``z`` swept over
+  powers of two; verifies the cost converges (more locations per point do not
+  blow up the objective once the distribution is fixed in scale) and that the
+  running time stays near-linear in ``z``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.unrestricted import solve_unrestricted_assigned
+from ..bounds.lower_bounds import assigned_cost_lower_bound
+from ..workloads.synthetic import gaussian_clusters, heavy_tailed
+from .records import ExperimentRecord, ExperimentRow
+
+
+@dataclass(frozen=True)
+class SensitivitySettings:
+    """Knobs for the sensitivity sweeps."""
+
+    n: int = 40
+    k: int = 3
+    trials: int = 2
+    outlier_probabilities: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
+    support_sizes: tuple[int, ...] = (2, 4, 8, 16)
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "SensitivitySettings":
+        """Smaller preset for the benchmark harness."""
+        return cls(n=25, trials=1, outlier_probabilities=(0.0, 0.1, 0.3), support_sizes=(2, 4, 8))
+
+
+def run_outlier_sensitivity(settings: SensitivitySettings | None = None) -> ExperimentRecord:
+    """E13a — expected cost and ratio-to-lower-bound vs outlier probability."""
+    settings = settings or SensitivitySettings()
+    rows = []
+    ratios: list[float] = []
+    for probability in settings.outlier_probabilities:
+        costs = []
+        bound_ratios = []
+        for trial in range(settings.trials):
+            dataset, spec = heavy_tailed(
+                n=settings.n,
+                z=5,
+                dimension=2,
+                outlier_probability=max(probability, 1e-9),
+                seed=settings.seed + trial,
+            )
+            result = solve_unrestricted_assigned(dataset, settings.k, solver="epsilon")
+            lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+            costs.append(result.expected_cost)
+            if lower_bound > 0:
+                bound_ratios.append(result.expected_cost / lower_bound)
+        mean_cost = float(np.mean(costs))
+        mean_ratio = float(np.mean(bound_ratios)) if bound_ratios else float("nan")
+        ratios.extend(bound_ratios)
+        rows.append(
+            ExperimentRow(
+                configuration=f"outlier_probability={probability:g}",
+                measured={"mean_cost": mean_cost, "mean_ratio_vs_lower_bound": mean_ratio},
+            )
+        )
+    worst_ratio = max(ratios) if ratios else float("nan")
+    # The denominator is a *lower bound* on the optimum, which becomes loose
+    # under heavy-tailed noise (a rare far outlier inflates the expected max
+    # but no single point's Fermat value captures it).  The ratio therefore
+    # over-states the true approximation ratio; what the sweep checks is that
+    # it stays bounded as noise grows rather than the exact (2+f) constant.
+    return ExperimentRecord(
+        experiment_id="E13a",
+        paper_artifact="sensitivity extension (no paper artifact)",
+        paper_claim="cost ratio to the lower bound stays bounded across noise levels",
+        rows=tuple(rows),
+        summary={"worst_ratio_vs_lower_bound": worst_ratio, "ratio_bounded": worst_ratio <= 8.0 + 1e-9},
+    )
+
+
+def run_support_size_sensitivity(settings: SensitivitySettings | None = None) -> ExperimentRecord:
+    """E13b — cost stability and runtime growth as ``z`` increases."""
+    settings = settings or SensitivitySettings()
+    rows = []
+    times = []
+    costs = []
+    for z in settings.support_sizes:
+        dataset, spec = gaussian_clusters(
+            n=settings.n, z=z, dimension=2, k_true=settings.k, seed=settings.seed
+        )
+        start = time.perf_counter()
+        result = solve_unrestricted_assigned(dataset, settings.k, solver="gonzalez")
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        costs.append(result.expected_cost)
+        rows.append(
+            ExperimentRow(
+                configuration=f"z={z}",
+                measured={"cost": result.expected_cost, "seconds": elapsed},
+            )
+        )
+    cost_spread = float(max(costs) / max(min(costs), 1e-12))
+    time_growth = float(times[-1] / max(times[0], 1e-12))
+    z_growth = settings.support_sizes[-1] / settings.support_sizes[0]
+    return ExperimentRecord(
+        experiment_id="E13b",
+        paper_artifact="sensitivity extension (no paper artifact)",
+        paper_claim="cost stable in z; time roughly linear in z (O(nz + n log k))",
+        rows=tuple(rows),
+        summary={
+            "cost_spread": cost_spread,
+            "time_growth": time_growth,
+            "z_growth": float(z_growth),
+            "time_subquadratic_in_z": time_growth <= z_growth**2,
+        },
+    )

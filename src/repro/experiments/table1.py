@@ -1,0 +1,360 @@
+"""Reproduction of Table 1: one experiment per row of the paper's summary.
+
+The paper's evaluation artifact is Table 1 — a summary of approximation
+factors and running times for each (objective, metric, assignment) pairing.
+Each ``run_e*`` function here regenerates one row (or a pair of rows sharing
+a workload) empirically:
+
+* it solves synthetic instances with the corresponding algorithm,
+* divides the achieved expected cost by a *provable lower bound* on the
+  relevant optimum (and, on micro instances, by the brute-force best-known
+  cost), and
+* reports the worst observed ratio next to the paper's guaranteed factor.
+
+A measured ratio at or below the guarantee reproduces the row; ratios are
+typically far below it because the guarantees are worst-case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..algorithms.factors import RESTRICTED_ED_VS_UNRESTRICTED_FACTOR
+from ..algorithms.metric_space import solve_metric_unrestricted
+from ..algorithms.one_center import expected_point_one_center, refined_uncertain_one_center
+from ..algorithms.restricted import solve_restricted_assigned
+from ..algorithms.unrestricted import solve_unrestricted_assigned
+from ..baselines.brute_force import (
+    brute_force_restricted_assigned,
+    brute_force_unrestricted_assigned,
+)
+from ..baselines.cormode_mcgregor import cormode_mcgregor_baseline
+from ..baselines.guha_munagala import guha_munagala_baseline
+from ..baselines.wang_zhang_1d import wang_zhang_1d
+from ..bounds.lower_bounds import assigned_cost_lower_bound
+from ..assignments.policies import ExpectedDistanceAssignment, ExpectedPointAssignment
+from ..workloads.graphs import graph_uncertain_workload
+from ..workloads.synthetic import gaussian_clusters, heavy_tailed, line_workload, uniform_cloud
+from .records import ExperimentRecord, ExperimentRow
+
+
+@dataclass(frozen=True)
+class Table1Settings:
+    """Knobs controlling how heavy the Table-1 experiments are.
+
+    ``quick`` presets are used by the pytest-benchmark targets so a full
+    benchmark run stays in the minutes range; the defaults are what
+    EXPERIMENTS.md reports.
+    """
+
+    trials: int = 3
+    n_small: int = 6
+    n_medium: int = 40
+    z: int = 4
+    k: int = 3
+    epsilon: float = 0.1
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "Table1Settings":
+        """Smaller preset for benchmark harness runs."""
+        return cls(trials=2, n_small=5, n_medium=25, z=3, k=2)
+
+
+def _euclidean_micro_workloads(settings: Table1Settings):
+    """Small Euclidean instances where brute force references are affordable."""
+    for trial in range(settings.trials):
+        yield gaussian_clusters(
+            n=settings.n_small,
+            z=settings.z,
+            dimension=2,
+            k_true=settings.k,
+            seed=settings.seed + trial,
+        )
+        yield uniform_cloud(
+            n=settings.n_small,
+            z=settings.z,
+            dimension=2,
+            seed=settings.seed + 100 + trial,
+        )
+
+
+def run_e1_one_center(settings: Table1Settings | None = None) -> ExperimentRecord:
+    """E1 — Table 1 row 1: 1-center, Euclidean, factor 2, O(z) time."""
+    settings = settings or Table1Settings()
+    rows = []
+    worst_ratio = 0.0
+    for dimension in (1, 2, 3, 8):
+        for trial in range(settings.trials):
+            dataset, spec = gaussian_clusters(
+                n=settings.n_medium,
+                z=settings.z,
+                dimension=dimension,
+                k_true=1,
+                seed=settings.seed + trial,
+            )
+            theorem = expected_point_one_center(dataset)
+            reference = refined_uncertain_one_center(dataset)
+            ratio = theorem.expected_cost / max(reference.expected_cost, 1e-12)
+            worst_ratio = max(worst_ratio, ratio)
+            rows.append(
+                ExperimentRow(
+                    configuration=f"{spec.describe()} trial={trial}",
+                    measured={
+                        "theorem_2_1_cost": theorem.expected_cost,
+                        "reference_cost": reference.expected_cost,
+                        "ratio": ratio,
+                    },
+                )
+            )
+    return ExperimentRecord(
+        experiment_id="E1",
+        paper_artifact="Table 1 row 1 (1-center, Euclidean)",
+        paper_claim="factor 2, O(z) time",
+        rows=tuple(rows),
+        summary={"worst_ratio": worst_ratio, "bound": 2.0, "within_bound": worst_ratio <= 2.0 + 1e-9},
+    )
+
+
+def _run_restricted(settings: Table1Settings, assignment: str, policy_cls) -> ExperimentRecord:
+    gonzalez_bound = 4.0 + 2.0 if assignment == "expected-distance" else 2.0 + 2.0
+    eps_bound = 4.0 + 1.0 + settings.epsilon if assignment == "expected-distance" else 2.0 + 1.0 + settings.epsilon
+    rows = []
+    worst = {"gonzalez": 0.0, "epsilon": 0.0}
+    for dataset, spec in _euclidean_micro_workloads(settings):
+        reference = brute_force_restricted_assigned(dataset, settings.k, assignment=policy_cls())
+        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+        for solver in ("gonzalez", "epsilon"):
+            result = solve_restricted_assigned(
+                dataset, settings.k, assignment=assignment, solver=solver, epsilon=settings.epsilon
+            )
+            ratio = result.expected_cost / denominator
+            worst[solver] = max(worst[solver], ratio)
+            rows.append(
+                ExperimentRow(
+                    configuration=f"{spec.describe()} solver={solver}",
+                    measured={
+                        "cost": result.expected_cost,
+                        "reference_cost": reference.expected_cost,
+                        "lower_bound": lower_bound,
+                        "ratio_vs_reference": ratio,
+                        "guaranteed_factor": result.guaranteed_factor or float("nan"),
+                    },
+                )
+            )
+    experiment_id = "E2/E3" if assignment == "expected-distance" else "E4/E5"
+    artifact = (
+        "Table 1 rows 2-3 (restricted assigned, expected distance)"
+        if assignment == "expected-distance"
+        else "Table 1 rows 4-5 (restricted assigned, expected point)"
+    )
+    return ExperimentRecord(
+        experiment_id=experiment_id,
+        paper_artifact=artifact,
+        paper_claim=f"factors {gonzalez_bound:g} (Gonzalez) / {eps_bound:g} (1+eps solver)",
+        rows=tuple(rows),
+        summary={
+            "worst_ratio_gonzalez": worst["gonzalez"],
+            "worst_ratio_epsilon": worst["epsilon"],
+            "bound_gonzalez": gonzalez_bound,
+            "bound_epsilon": eps_bound,
+            "within_bound": worst["gonzalez"] <= gonzalez_bound + 1e-9 and worst["epsilon"] <= eps_bound + 1e-9,
+        },
+    )
+
+
+def run_e2_e3_restricted_expected_distance(settings: Table1Settings | None = None) -> ExperimentRecord:
+    """E2/E3 — Table 1 rows 2-3: restricted assigned, ED assignment."""
+    return _run_restricted(settings or Table1Settings(), "expected-distance", ExpectedDistanceAssignment)
+
+
+def run_e4_e5_restricted_expected_point(settings: Table1Settings | None = None) -> ExperimentRecord:
+    """E4/E5 — Table 1 rows 4-5: restricted assigned, EP assignment."""
+    return _run_restricted(settings or Table1Settings(), "expected-point", ExpectedPointAssignment)
+
+
+def run_e6_e7_unrestricted_euclidean(settings: Table1Settings | None = None) -> ExperimentRecord:
+    """E6/E7 — Table 1 rows 6-7: unrestricted assigned, Euclidean."""
+    settings = settings or Table1Settings()
+    rows = []
+    worst = {"gonzalez": 0.0, "epsilon": 0.0}
+    for dataset, spec in _euclidean_micro_workloads(settings):
+        reference = brute_force_unrestricted_assigned(dataset, settings.k)
+        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+        for solver in ("gonzalez", "epsilon"):
+            result = solve_unrestricted_assigned(
+                dataset, settings.k, assignment="expected-point", solver=solver, epsilon=settings.epsilon
+            )
+            ratio = result.expected_cost / denominator
+            worst[solver] = max(worst[solver], ratio)
+            rows.append(
+                ExperimentRow(
+                    configuration=f"{spec.describe()} solver={solver}",
+                    measured={
+                        "cost": result.expected_cost,
+                        "unrestricted_reference": reference.expected_cost,
+                        "lower_bound": lower_bound,
+                        "ratio_vs_reference": ratio,
+                        "guaranteed_factor": result.guaranteed_factor or float("nan"),
+                    },
+                )
+            )
+    return ExperimentRecord(
+        experiment_id="E6/E7",
+        paper_artifact="Table 1 rows 6-7 (unrestricted assigned, Euclidean)",
+        paper_claim=f"factors 4 (Gonzalez) / {3 + settings.epsilon:g} (1+eps solver)",
+        rows=tuple(rows),
+        summary={
+            "worst_ratio_gonzalez": worst["gonzalez"],
+            "worst_ratio_epsilon": worst["epsilon"],
+            "bound_gonzalez": 4.0,
+            "bound_epsilon": 3.0 + settings.epsilon,
+            "within_bound": worst["gonzalez"] <= 4.0 + 1e-9 and worst["epsilon"] <= 3.0 + settings.epsilon + 1e-9,
+        },
+    )
+
+
+def run_e8_one_dimensional(settings: Table1Settings | None = None) -> ExperimentRecord:
+    """E8 — Table 1 row 8: R^1 unrestricted assigned via Theorem 2.3."""
+    settings = settings or Table1Settings()
+    rows = []
+    worst_ratio = 0.0
+    for trial in range(settings.trials):
+        dataset, spec = line_workload(
+            n=settings.n_small,
+            z=settings.z,
+            segment_count=settings.k,
+            seed=settings.seed + trial,
+        )
+        solution = wang_zhang_1d(dataset, settings.k)
+        reference = brute_force_unrestricted_assigned(dataset, settings.k)
+        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+        ratio = solution.expected_cost / denominator
+        worst_ratio = max(worst_ratio, ratio)
+        rows.append(
+            ExperimentRow(
+                configuration=f"{spec.describe()} trial={trial}",
+                measured={
+                    "wang_zhang_cost": solution.expected_cost,
+                    "unrestricted_reference": reference.expected_cost,
+                    "lower_bound": lower_bound,
+                    "ratio_vs_reference": ratio,
+                },
+            )
+        )
+    return ExperimentRecord(
+        experiment_id="E8",
+        paper_artifact="Table 1 row 8 (R^1, unrestricted assigned)",
+        paper_claim=f"factor {RESTRICTED_ED_VS_UNRESTRICTED_FACTOR:g} (Theorem 2.3)",
+        rows=tuple(rows),
+        summary={
+            "worst_ratio": worst_ratio,
+            "bound": RESTRICTED_ED_VS_UNRESTRICTED_FACTOR,
+            "within_bound": worst_ratio <= RESTRICTED_ED_VS_UNRESTRICTED_FACTOR + 1e-9,
+        },
+    )
+
+
+def run_e9_general_metric(settings: Table1Settings | None = None) -> ExperimentRecord:
+    """E9 — Table 1 row 9: unrestricted assigned in a general (graph) metric."""
+    settings = settings or Table1Settings()
+    rows = []
+    worst = {"one-center": 0.0, "expected-distance": 0.0}
+    for trial in range(settings.trials):
+        dataset, spec = graph_uncertain_workload(
+            n=settings.n_small + 2,
+            z=settings.z,
+            node_count=24,
+            seed=settings.seed + trial,
+        )
+        reference = brute_force_unrestricted_assigned(dataset, settings.k)
+        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+        for assignment in ("one-center", "expected-distance"):
+            result = solve_metric_unrestricted(dataset, settings.k, assignment=assignment)
+            ratio = result.expected_cost / denominator
+            worst[assignment] = max(worst[assignment], ratio)
+            rows.append(
+                ExperimentRow(
+                    configuration=f"{spec.describe()} assignment={assignment}",
+                    measured={
+                        "cost": result.expected_cost,
+                        "unrestricted_reference": reference.expected_cost,
+                        "lower_bound": lower_bound,
+                        "ratio_vs_reference": ratio,
+                        "guaranteed_factor": result.guaranteed_factor or float("nan"),
+                    },
+                )
+            )
+    return ExperimentRecord(
+        experiment_id="E9",
+        paper_artifact="Table 1 row 9 (any metric, unrestricted assigned)",
+        paper_claim="factor 3+2f (OC) / 5+2f (ED); 5+2eps / 7+2eps with a (1+eps) solver",
+        rows=tuple(rows),
+        summary={
+            "worst_ratio_one_center": worst["one-center"],
+            "worst_ratio_expected_distance": worst["expected-distance"],
+            "bound_one_center_gonzalez": 3.0 + 2.0 * 2.0,
+            "bound_expected_distance_gonzalez": 5.0 + 2.0 * 2.0,
+            "within_bound": worst["one-center"] <= 7.0 + 1e-9 and worst["expected-distance"] <= 9.0 + 1e-9,
+        },
+    )
+
+
+def run_e10_baseline_comparison(settings: Table1Settings | None = None) -> ExperimentRecord:
+    """E10 — abstract claim: improvement over prior constant-factor baselines."""
+    settings = settings or Table1Settings()
+    rows = []
+    wins = 0
+    total = 0
+    for trial in range(settings.trials):
+        for maker, name in (
+            (gaussian_clusters, "gaussian"),
+            (heavy_tailed, "heavy-tailed"),
+        ):
+            dataset, spec = maker(n=settings.n_medium, z=settings.z, dimension=2, seed=settings.seed + trial)
+            ours = solve_unrestricted_assigned(dataset, settings.k, assignment="expected-point", solver="epsilon")
+            gm = guha_munagala_baseline(dataset, settings.k)
+            cm = cormode_mcgregor_baseline(dataset, settings.k)
+            total += 1
+            if ours.expected_cost <= min(gm.expected_cost, cm.expected_cost) + 1e-12:
+                wins += 1
+            rows.append(
+                ExperimentRow(
+                    configuration=f"{spec.describe()}",
+                    measured={
+                        "paper_algorithm_cost": ours.expected_cost,
+                        "guha_munagala_style_cost": gm.expected_cost,
+                        "cormode_mcgregor_style_cost": cm.expected_cost,
+                        "improvement_vs_gm": gm.expected_cost / max(ours.expected_cost, 1e-12),
+                        "improvement_vs_cm": cm.expected_cost / max(ours.expected_cost, 1e-12),
+                    },
+                )
+            )
+    return ExperimentRecord(
+        experiment_id="E10",
+        paper_artifact="Abstract / Section 4 (improvement over [14]; 15+eps -> 5+eps)",
+        paper_claim="paper's algorithms should match or beat prior-style baselines",
+        rows=tuple(rows),
+        summary={"win_fraction": wins / max(total, 1)},
+    )
+
+
+def run_all_table1(settings: Table1Settings | None = None) -> Sequence[ExperimentRecord]:
+    """Run every Table-1 experiment and return the records in order."""
+    settings = settings or Table1Settings()
+    return (
+        run_e1_one_center(settings),
+        run_e2_e3_restricted_expected_distance(settings),
+        run_e4_e5_restricted_expected_point(settings),
+        run_e6_e7_unrestricted_euclidean(settings),
+        run_e8_one_dimensional(settings),
+        run_e9_general_metric(settings),
+        run_e10_baseline_comparison(settings),
+    )

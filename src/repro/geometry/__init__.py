@@ -1,0 +1,36 @@
+"""Computational-geometry substrate: enclosing balls, medians, helpers."""
+
+from .helpers import (
+    bounding_box,
+    bounding_box_diagonal,
+    centroid,
+    exact_diameter,
+    farthest_point_index,
+    unique_points,
+)
+from .median import geometric_median, median_objective
+from .seb import (
+    WELZL_MAX_DIMENSION,
+    Ball,
+    ritter_ball,
+    smallest_enclosing_ball,
+    weighted_one_center,
+    welzl_ball,
+)
+
+__all__ = [
+    "Ball",
+    "smallest_enclosing_ball",
+    "welzl_ball",
+    "ritter_ball",
+    "weighted_one_center",
+    "WELZL_MAX_DIMENSION",
+    "geometric_median",
+    "median_objective",
+    "bounding_box",
+    "bounding_box_diagonal",
+    "exact_diameter",
+    "centroid",
+    "farthest_point_index",
+    "unique_points",
+]

@@ -1,0 +1,55 @@
+"""Small geometric helpers shared by solvers and workload generators."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_point_array
+
+
+def bounding_box(points: Sequence[Sequence[float]] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(lower, upper)`` corners of the axis-aligned bounding box."""
+    points = as_point_array(points)
+    return points.min(axis=0), points.max(axis=0)
+
+
+def bounding_box_diagonal(points: Sequence[Sequence[float]] | np.ndarray) -> float:
+    """Length of the bounding-box diagonal (a cheap diameter upper bound)."""
+    lower, upper = bounding_box(points)
+    return float(np.linalg.norm(upper - lower))
+
+
+def exact_diameter(points: Sequence[Sequence[float]] | np.ndarray) -> float:
+    """Exact Euclidean diameter by pairwise comparison (O(n^2))."""
+    points = as_point_array(points)
+    if points.shape[0] == 1:
+        return 0.0
+    sq = (points * points).sum(axis=1)
+    squared = sq[:, None] + sq[None, :] - 2.0 * points @ points.T
+    return float(np.sqrt(max(float(squared.max()), 0.0)))
+
+
+def centroid(points: Sequence[Sequence[float]] | np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """(Weighted) centroid of a point set."""
+    points = as_point_array(points)
+    if weights is None:
+        return points.mean(axis=0)
+    weights = np.asarray(weights, dtype=float).reshape(-1)
+    return (weights[:, None] * points).sum(axis=0) / weights.sum()
+
+
+def farthest_point_index(points: np.ndarray, reference: np.ndarray) -> int:
+    """Index of the point farthest (Euclidean) from ``reference``."""
+    points = as_point_array(points)
+    reference = np.asarray(reference, dtype=float).reshape(-1)
+    return int(np.argmax(np.linalg.norm(points - reference[None, :], axis=1)))
+
+
+def unique_points(points: Sequence[Sequence[float]] | np.ndarray, *, decimals: int = 12) -> np.ndarray:
+    """Deduplicate a point set up to ``decimals`` rounding."""
+    points = as_point_array(points)
+    rounded = np.round(points, decimals=decimals)
+    _, index = np.unique(rounded, axis=0, return_index=True)
+    return points[np.sort(index)]

@@ -1,0 +1,212 @@
+"""Smallest enclosing ball (minimum enclosing ball, 1-center) in R^d.
+
+The Euclidean 1-center of a point set is the center of its smallest enclosing
+ball.  The paper uses 1-centers both as the ``k = 1`` special case
+(Theorem 2.1) and — for general metric spaces — as the per-point
+representative ``P̃_i`` (Theorems 2.6/2.7; there the *discrete* metric
+1-center is used instead, see :mod:`repro.deterministic.one_center`).
+
+Solvers provided:
+
+* :func:`welzl_ball` — exact expected-linear-time randomized Welzl recursion,
+  suitable for low dimension (d <= :data:`WELZL_MAX_DIMENSION`);
+* :func:`ritter_ball` — fast constant-factor approximation used as a seed;
+* :func:`smallest_enclosing_ball` — public entry point: Welzl in low
+  dimension, projected-subgradient refinement of the convex max-distance
+  objective otherwise;
+* :func:`weighted_one_center` — minimise ``max_i w_i ||x - p_i||``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_point_array, as_rng
+from ..exceptions import ConvergenceError, ValidationError
+
+#: Dimension threshold above which the exact Welzl recursion is replaced by
+#: the numerical solver (the boundary solve becomes ill-conditioned and the
+#: expected running time degrades with dimension).
+WELZL_MAX_DIMENSION = 12
+
+
+@dataclass(frozen=True)
+class Ball:
+    """A closed ball ``{x : ||x - center|| <= radius}``."""
+
+    center: np.ndarray
+    radius: float
+
+    def contains(self, point: np.ndarray, *, atol: float = 1e-7) -> bool:
+        """Whether ``point`` lies in the (slightly inflated) ball."""
+        gap = float(np.linalg.norm(np.asarray(point, dtype=float) - self.center))
+        return gap <= self.radius + atol * max(1.0, self.radius)
+
+    def contains_all(self, points: np.ndarray, *, atol: float = 1e-7) -> bool:
+        """Whether every row of ``points`` lies in the (inflated) ball."""
+        points = as_point_array(points)
+        distances = np.linalg.norm(points - self.center[None, :], axis=1)
+        return bool(np.all(distances <= self.radius + atol * max(1.0, self.radius)))
+
+
+def _ball_from_boundary(boundary: list[np.ndarray], dim: int) -> Ball:
+    """Smallest ball with every point of ``boundary`` on its boundary.
+
+    Works for 0 to ``d + 1`` affinely independent points: the center is the
+    point of the boundary points' affine hull equidistant from all of them.
+    """
+    if not boundary:
+        return Ball(center=np.zeros(dim), radius=0.0)
+    points = np.asarray(boundary, dtype=float)
+    base = points[0]
+    if points.shape[0] == 1:
+        return Ball(center=base.copy(), radius=0.0)
+    rows = points[1:] - base
+    rhs = 0.5 * (rows * rows).sum(axis=1)
+    # Least-squares solution keeps the center in the affine hull of the
+    # boundary points even when they are affinely dependent.
+    solution, *_ = np.linalg.lstsq(rows, rhs, rcond=None)
+    center = base + solution
+    radius = float(np.linalg.norm(points - center, axis=1).max())
+    return Ball(center=center, radius=radius)
+
+
+def welzl_ball(points: np.ndarray, *, seed: int | np.random.Generator | None = 0) -> Ball:
+    """Exact smallest enclosing ball via Welzl's randomized recursion."""
+    points = as_point_array(points)
+    n, dim = points.shape
+    if n == 1:
+        return Ball(center=points[0].copy(), radius=0.0)
+    rng = as_rng(seed)
+    order = rng.permutation(n)
+    shuffled = points[order]
+
+    def recurse(count: int, boundary: list[np.ndarray]) -> Ball:
+        if count == 0 or len(boundary) == dim + 1:
+            return _ball_from_boundary(boundary, dim)
+        point = shuffled[count - 1]
+        ball = recurse(count - 1, boundary)
+        if ball.contains(point, atol=1e-10):
+            return ball
+        return recurse(count - 1, boundary + [point])
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * n + 1000))
+    try:
+        ball = recurse(n, [])
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # Report the radius actually needed to cover every input point so the
+    # returned ball is always feasible even under floating-point error.
+    radius = float(np.linalg.norm(points - ball.center[None, :], axis=1).max())
+    result = Ball(center=ball.center, radius=radius)
+    return result
+
+
+def ritter_ball(points: np.ndarray) -> Ball:
+    """Ritter's fast approximate bounding ball (used as a seed)."""
+    points = as_point_array(points)
+    first = points[0]
+    far_a = points[int(np.argmax(np.linalg.norm(points - first, axis=1)))]
+    far_b = points[int(np.argmax(np.linalg.norm(points - far_a, axis=1)))]
+    center = (far_a + far_b) / 2.0
+    radius = float(np.linalg.norm(far_a - far_b)) / 2.0
+    for point in points:
+        gap = float(np.linalg.norm(point - center))
+        if gap > radius:
+            shift = (gap - radius) / 2.0
+            radius += shift
+            center = center + (point - center) * (shift / gap)
+    return Ball(center=center, radius=float(np.linalg.norm(points - center, axis=1).max()))
+
+
+def _numerical_ball(
+    points: np.ndarray,
+    weights: np.ndarray | None = None,
+    *,
+    max_iterations: int = 20_000,
+    tolerance: float = 1e-9,
+) -> Ball:
+    """Projected-subgradient minimisation of the (weighted) max distance.
+
+    The objective ``f(x) = max_i w_i ||x - p_i||`` is convex; a diminishing
+    step-size subgradient method seeded with Ritter's ball converges to the
+    optimum.  Works in any dimension and handles the weighted case.
+    """
+    points = as_point_array(points)
+    n = points.shape[0]
+    if n == 1:
+        return Ball(center=points[0].copy(), radius=0.0)
+    if weights is None:
+        weights = np.ones(n)
+    center = ritter_ball(points).center
+    span = float(np.linalg.norm(points - center[None, :], axis=1).max())
+    best_center = center.copy()
+    best_value = float((weights * np.linalg.norm(points - center[None, :], axis=1)).max())
+    step0 = max(span, 1e-12)
+    for iteration in range(1, max_iterations + 1):
+        distances = np.linalg.norm(points - center[None, :], axis=1)
+        values = weights * distances
+        worst = int(np.argmax(values))
+        value = float(values[worst])
+        if value < best_value:
+            best_value = value
+            best_center = center.copy()
+        gap = float(distances[worst])
+        if gap <= tolerance:
+            break
+        gradient = weights[worst] * (center - points[worst]) / gap
+        step = step0 / np.sqrt(iteration)
+        center = center - step * gradient
+    unweighted_radius = float(np.linalg.norm(points - best_center[None, :], axis=1).max())
+    return Ball(center=best_center, radius=unweighted_radius)
+
+
+def smallest_enclosing_ball(
+    points: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> Ball:
+    """Return the smallest enclosing ball of ``points``.
+
+    Exact (Welzl) in dimension up to :data:`WELZL_MAX_DIMENSION`, numerical
+    convex optimisation above that.
+    """
+    points = as_point_array(points)
+    if points.shape[0] == 1:
+        return Ball(center=points[0].copy(), radius=0.0)
+    if points.shape[1] <= WELZL_MAX_DIMENSION:
+        return welzl_ball(points, seed=seed)
+    return _numerical_ball(points)
+
+
+def weighted_one_center(
+    points: Sequence[Sequence[float]] | np.ndarray,
+    weights: Sequence[float] | np.ndarray,
+    *,
+    max_iterations: int = 20_000,
+    tolerance: float = 1e-9,
+) -> Ball:
+    """Euclidean weighted 1-center: minimise ``max_i w_i ||x - p_i||``.
+
+    The returned :class:`Ball` carries the optimal center; its radius is the
+    *unweighted* max distance from that center, so the ball still encloses
+    every input point.
+    """
+    points = as_point_array(points)
+    weights = np.asarray(weights, dtype=float).reshape(-1)
+    if weights.shape[0] != points.shape[0]:
+        raise ValidationError("weights must have one entry per point")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValidationError("weights must be finite and non-negative")
+    if np.all(weights == 0):
+        raise ValidationError("at least one weight must be positive")
+    ball = _numerical_ball(points, weights, max_iterations=max_iterations, tolerance=tolerance)
+    if not np.all(np.isfinite(ball.center)):
+        raise ConvergenceError("weighted 1-center failed to converge")
+    return ball

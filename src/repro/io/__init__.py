@@ -1,0 +1,5 @@
+"""Tabular (CSV) import/export of uncertain datasets."""
+
+from .tables import dataset_from_records, dump_location_table, load_location_table
+
+__all__ = ["dataset_from_records", "load_location_table", "dump_location_table"]

@@ -1,0 +1,25 @@
+"""Metric-space substrate.
+
+The paper's algorithms are parameterised by a metric space ``(X, d)``.  This
+subpackage provides the :class:`Metric` interface plus concrete spaces:
+
+* :class:`EuclideanMetric`, :class:`ManhattanMetric`, :class:`ChebyshevMetric`,
+  :class:`MinkowskiMetric` — normed vector spaces (expected points supported);
+* :class:`MatrixMetric` — explicit finite metric from a distance matrix;
+* :class:`GraphMetric` — shortest-path metric of a weighted graph.
+"""
+
+from .base import Metric
+from .euclidean import ChebyshevMetric, EuclideanMetric, ManhattanMetric, MinkowskiMetric
+from .graph import GraphMetric
+from .matrix import MatrixMetric
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "MatrixMetric",
+    "GraphMetric",
+]

@@ -1,0 +1,118 @@
+"""Abstract metric-space interface used throughout the library.
+
+The paper's algorithms are stated either for a Euclidean space or for a
+general metric space.  The :class:`Metric` abstraction captures the minimal
+interface both settings need:
+
+* ``distance(a, b)`` — distance between two points,
+* ``pairwise(A, B)`` — vectorised distance matrix,
+* ``supports_expected_point`` — whether convex combinations of points are
+  meaningful (true only for normed vector spaces, e.g. Euclidean), which the
+  expected-point reduction of Theorems 2.1/2.2/2.4/2.5 requires,
+* ``candidate_centers(points)`` — the set of positions a center may occupy.
+  In a Euclidean space centers can live anywhere, but every algorithm in this
+  library (like the ones cited by the paper) only ever *produces* centers from
+  a finite candidate set; for finite metrics the candidates are the space's
+  own elements.
+
+Points are represented uniformly as 1-D ``float64`` numpy vectors.  Finite
+metrics (graph or matrix based) represent a point as a length-1 vector holding
+the integer element index; this keeps the uncertain-point machinery agnostic
+of the underlying space.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import as_point_array, as_single_point
+
+
+class Metric(abc.ABC):
+    """A metric space ``(X, d)``.
+
+    Subclasses implement :meth:`distance` and :meth:`pairwise`; the remaining
+    helpers have sensible default implementations in terms of those two.
+    """
+
+    #: Whether ``sum_i w_i x_i`` is a meaningful point of the space.  True for
+    #: normed vector spaces (Euclidean / Minkowski); false for finite metrics.
+    supports_expected_point: bool = False
+
+    @abc.abstractmethod
+    def distance(self, a: Sequence[float] | np.ndarray, b: Sequence[float] | np.ndarray) -> float:
+        """Return ``d(a, b)``."""
+
+    @abc.abstractmethod
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Return the ``(len(a), len(b))`` matrix of distances."""
+
+    # ------------------------------------------------------------------
+    # Default helpers
+    # ------------------------------------------------------------------
+    def distances_to_point(self, points: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Vector of distances from each row of ``points`` to ``target``."""
+        points = as_point_array(points)
+        target = as_single_point(target)
+        return self.pairwise(points, target.reshape(1, -1)).reshape(-1)
+
+    def distance_to_set(self, point: np.ndarray, centers: np.ndarray) -> float:
+        """Return ``min_{c in centers} d(point, c)``."""
+        centers = as_point_array(centers, name="centers")
+        point = as_single_point(point)
+        return float(self.pairwise(point.reshape(1, -1), centers).min())
+
+    def nearest_center(self, point: np.ndarray, centers: np.ndarray) -> tuple[int, float]:
+        """Return ``(index, distance)`` of the closest center to ``point``."""
+        centers = as_point_array(centers, name="centers")
+        point = as_single_point(point)
+        row = self.pairwise(point.reshape(1, -1), centers).reshape(-1)
+        index = int(np.argmin(row))
+        return index, float(row[index])
+
+    def candidate_centers(self, points: np.ndarray) -> np.ndarray:
+        """Finite set of candidate center positions for a point set.
+
+        The default returns the points themselves (the "discrete" k-center
+        candidate set), which is what general-metric algorithms use.  The
+        Euclidean metric augments this in specific solvers, not here.
+        """
+        return as_point_array(points)
+
+    def diameter(self, points: np.ndarray) -> float:
+        """Return ``max_{a, b in points} d(a, b)``."""
+        points = as_point_array(points)
+        return float(self.pairwise(points, points).max())
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def check_axioms(self, points: Iterable[Sequence[float]] | np.ndarray, *, atol: float = 1e-8) -> bool:
+        """Spot-check the metric axioms on a finite sample of points.
+
+        Verifies symmetry, non-negativity, identity of indiscernibles on
+        identical rows, and the triangle inequality over all triples of the
+        sample.  Intended for tests and for validating user-supplied distance
+        matrices; quadratic/cubic in the sample size.
+        """
+        sample = as_point_array(points)
+        matrix = self.pairwise(sample, sample)
+        if np.any(matrix < -atol):
+            return False
+        if not np.allclose(matrix, matrix.T, atol=atol):
+            return False
+        if np.any(np.abs(np.diag(matrix)) > atol):
+            return False
+        n = sample.shape[0]
+        for i in range(n):
+            # d(i, k) <= d(i, j) + d(j, k) for all j, k, vectorised per i.
+            via = matrix[i, :, None] + matrix[:, :]
+            if np.any(matrix[i, None, :] > via + atol):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

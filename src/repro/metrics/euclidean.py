@@ -1,0 +1,88 @@
+"""Normed vector-space metrics: Euclidean, Manhattan, Chebyshev, Minkowski.
+
+These are the metrics for which the *expected point* of an uncertain point is
+a meaningful element of the space (a convex combination of the possible
+locations), which is what Theorems 2.1, 2.2, 2.4 and 2.5 of the paper rely
+on.  Lemma 3.1 (``d(P̄, Q) <= E[d(P, Q)]``) only needs the triangle inequality
+and absolute homogeneity of the norm, so every metric in this module exposes
+``supports_expected_point = True``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_point_array, as_single_point
+from ..exceptions import MetricError
+from .base import Metric
+
+
+class MinkowskiMetric(Metric):
+    """The L_p metric on R^d for ``p >= 1`` (including ``p = inf``)."""
+
+    supports_expected_point = True
+
+    def __init__(self, order: float = 2.0):
+        order = float(order)
+        if not (order >= 1.0):
+            raise MetricError(f"Minkowski order must satisfy p >= 1, got {order}")
+        self.order = order
+
+    def distance(self, a: Sequence[float] | np.ndarray, b: Sequence[float] | np.ndarray) -> float:
+        va = as_single_point(a, name="a")
+        vb = as_single_point(b, name="b")
+        if va.shape != vb.shape:
+            raise MetricError(f"dimension mismatch: {va.shape} vs {vb.shape}")
+        return float(np.linalg.norm(va - vb, ord=self.order))
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = as_point_array(a, name="a")
+        b = as_point_array(b, name="b")
+        if a.shape[1] != b.shape[1]:
+            raise MetricError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
+        diff = a[:, None, :] - b[None, :, :]
+        if np.isinf(self.order):
+            return np.abs(diff).max(axis=-1)
+        if self.order == 2.0:
+            return np.sqrt(np.maximum((diff * diff).sum(axis=-1), 0.0))
+        if self.order == 1.0:
+            return np.abs(diff).sum(axis=-1)
+        return (np.abs(diff) ** self.order).sum(axis=-1) ** (1.0 / self.order)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(order={self.order})"
+
+
+class EuclideanMetric(MinkowskiMetric):
+    """The standard L_2 metric on R^d."""
+
+    def __init__(self) -> None:
+        super().__init__(order=2.0)
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = as_point_array(a, name="a")
+        b = as_point_array(b, name="b")
+        if a.shape[1] != b.shape[1]:
+            raise MetricError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
+        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, computed with a clamp to
+        # guard against tiny negative values from floating-point cancellation.
+        sq_a = (a * a).sum(axis=1)[:, None]
+        sq_b = (b * b).sum(axis=1)[None, :]
+        squared = sq_a + sq_b - 2.0 * (a @ b.T)
+        return np.sqrt(np.maximum(squared, 0.0))
+
+
+class ManhattanMetric(MinkowskiMetric):
+    """The L_1 (taxicab) metric on R^d."""
+
+    def __init__(self) -> None:
+        super().__init__(order=1.0)
+
+
+class ChebyshevMetric(MinkowskiMetric):
+    """The L_infinity metric on R^d."""
+
+    def __init__(self) -> None:
+        super().__init__(order=np.inf)

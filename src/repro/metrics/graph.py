@@ -1,0 +1,85 @@
+"""Shortest-path metric of a weighted graph.
+
+The graph metric is the canonical example of a finite, non-Euclidean metric
+space: sensor networks, road networks and data-center topologies are the
+database applications the paper's introduction motivates.  Distances are
+all-pairs shortest-path lengths, precomputed once with networkx (Dijkstra) and
+served from a :class:`~repro.metrics.matrix.MatrixMetric`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import MetricError, ValidationError
+from .matrix import MatrixMetric
+
+
+class GraphMetric(MatrixMetric):
+    """Finite metric induced by shortest paths in a weighted graph.
+
+    Parameters
+    ----------
+    graph:
+        An undirected :class:`networkx.Graph`.  Edge weights are read from
+        ``weight`` (missing weights default to 1).  The graph must be
+        connected, otherwise some distances would be infinite.
+    weight:
+        Name of the edge attribute holding the weight.
+    """
+
+    def __init__(self, graph: nx.Graph, *, weight: str = "weight"):
+        if graph.number_of_nodes() == 0:
+            raise ValidationError("graph metric requires a non-empty graph")
+        if graph.is_directed():
+            raise MetricError("graph metric requires an undirected graph")
+        if any(data.get(weight, 1) < 0 for _, _, data in graph.edges(data=True)):
+            raise MetricError("graph metric requires non-negative edge weights")
+        if not nx.is_connected(graph):
+            raise MetricError("graph metric requires a connected graph")
+
+        self._nodes: list[Hashable] = list(graph.nodes())
+        self._node_index: Mapping[Hashable, int] = {node: i for i, node in enumerate(self._nodes)}
+        n = len(self._nodes)
+        matrix = np.zeros((n, n), dtype=float)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(graph, weight=weight))
+        for source, targets in lengths.items():
+            i = self._node_index[source]
+            for target, length in targets.items():
+                matrix[i, self._node_index[target]] = float(length)
+        # Shortest-path lengths already satisfy the metric axioms; skip the
+        # O(n^3) validation pass.
+        super().__init__(matrix, validate=False)
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        """Graph nodes in index order (index ``i`` encodes ``nodes[i]``)."""
+        return list(self._nodes)
+
+    def index_of(self, node: Hashable) -> int:
+        """Return the element index of a graph node."""
+        try:
+            return self._node_index[node]
+        except KeyError as exc:
+            raise MetricError(f"node {node!r} is not in the graph") from exc
+
+    def point_for(self, node: Hashable) -> np.ndarray:
+        """Return the library point encoding of a graph node."""
+        return self.element(self.index_of(node))
+
+    def points_for(self, nodes: Sequence[Hashable]) -> np.ndarray:
+        """Return point encodings for a sequence of graph nodes."""
+        return np.array([[float(self.index_of(node))] for node in nodes])
+
+    def node_of(self, point: np.ndarray | float) -> Hashable:
+        """Return the graph node encoded by ``point``."""
+        index = int(np.rint(np.asarray(point, dtype=float).reshape(-1)[0]))
+        if not 0 <= index < self.size:
+            raise MetricError(f"point index {index} out of range [0, {self.size})")
+        return self._nodes[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(nodes={self.size})"

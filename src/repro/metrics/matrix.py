@@ -1,0 +1,104 @@
+"""Finite metric space defined by an explicit distance matrix.
+
+Elements of the space are the integers ``0 .. n-1``; a *point* handed to the
+rest of the library is a length-1 float vector holding the element index (the
+same encoding the graph metric uses).  This is the natural substrate for the
+paper's "general metric space" theorems (2.3, 2.6, 2.7) and for the
+Guha–Munagala-style finite-metric baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import MetricError, ValidationError
+from .base import Metric
+
+
+def _as_indices(points: np.ndarray | Sequence[float], size: int, *, name: str) -> np.ndarray:
+    array = np.asarray(points, dtype=float)
+    if array.ndim == 2:
+        if array.shape[1] != 1:
+            raise MetricError(f"{name}: finite-metric points must be 1-dimensional element indices")
+        array = array[:, 0]
+    array = np.atleast_1d(array)
+    rounded = np.rint(array)
+    if not np.allclose(array, rounded, atol=1e-9):
+        raise MetricError(f"{name}: finite-metric points must be integer element indices, got {array!r}")
+    indices = rounded.astype(int)
+    if np.any(indices < 0) or np.any(indices >= size):
+        raise MetricError(f"{name}: element index out of range [0, {size})")
+    return indices
+
+
+class MatrixMetric(Metric):
+    """A finite metric given by an ``n x n`` symmetric distance matrix."""
+
+    supports_expected_point = False
+
+    def __init__(self, matrix: np.ndarray, *, validate: bool = True, atol: float = 1e-8):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError(f"distance matrix must be square, got shape {matrix.shape}")
+        if matrix.shape[0] == 0:
+            raise ValidationError("distance matrix must be non-empty")
+        if not np.all(np.isfinite(matrix)):
+            raise ValidationError("distance matrix contains NaN or infinite entries")
+        if validate:
+            if np.any(matrix < -atol):
+                raise MetricError("distance matrix has negative entries")
+            if not np.allclose(matrix, matrix.T, atol=atol):
+                raise MetricError("distance matrix is not symmetric")
+            if np.any(np.abs(np.diag(matrix)) > atol):
+                raise MetricError("distance matrix has a non-zero diagonal")
+            # Triangle inequality: d(i, k) <= d(i, j) + d(j, k).
+            n = matrix.shape[0]
+            for j in range(n):
+                via_j = matrix[:, j][:, None] + matrix[j, :][None, :]
+                if np.any(matrix > via_j + atol):
+                    raise MetricError("distance matrix violates the triangle inequality")
+        self._matrix = np.maximum((matrix + matrix.T) / 2.0, 0.0)
+        np.fill_diagonal(self._matrix, 0.0)
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the space."""
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A read-only view of the underlying distance matrix."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def element(self, index: int) -> np.ndarray:
+        """Return the library point encoding of element ``index``."""
+        if not 0 <= int(index) < self.size:
+            raise MetricError(f"element index {index} out of range [0, {self.size})")
+        return np.array([float(index)])
+
+    def all_elements(self) -> np.ndarray:
+        """Return every element of the space as an ``(n, 1)`` point array."""
+        return np.arange(self.size, dtype=float).reshape(-1, 1)
+
+    def distance(self, a, b) -> float:
+        ia = _as_indices(a, self.size, name="a")
+        ib = _as_indices(b, self.size, name="b")
+        if ia.size != 1 or ib.size != 1:
+            raise MetricError("distance() expects single points; use pairwise() for batches")
+        return float(self._matrix[ia[0], ib[0]])
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ia = _as_indices(a, self.size, name="a")
+        ib = _as_indices(b, self.size, name="b")
+        return self._matrix[np.ix_(ia, ib)]
+
+    def candidate_centers(self, points: np.ndarray) -> np.ndarray:
+        """Centers may be any element of the finite space, not just inputs."""
+        return self.all_elements()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(size={self.size})"

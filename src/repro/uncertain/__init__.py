@@ -1,0 +1,37 @@
+"""Uncertain-data model: points, datasets, realizations, reductions."""
+
+from .dataset import UncertainDataset
+from .point import UncertainPoint
+from .realization import (
+    MAX_ENUMERATED_REALIZATIONS,
+    Realization,
+    enumerate_realizations,
+    iter_realizations,
+    realization_probability,
+    sample_realizations,
+)
+from .reduction import (
+    RepresentativeKind,
+    expected_point_reduction,
+    medoid_reduction,
+    one_center_reduction,
+    reduce_dataset,
+)
+from .streaming import StreamingOneCenterSketch
+
+__all__ = [
+    "UncertainPoint",
+    "UncertainDataset",
+    "Realization",
+    "iter_realizations",
+    "enumerate_realizations",
+    "sample_realizations",
+    "realization_probability",
+    "MAX_ENUMERATED_REALIZATIONS",
+    "expected_point_reduction",
+    "one_center_reduction",
+    "medoid_reduction",
+    "reduce_dataset",
+    "RepresentativeKind",
+    "StreamingOneCenterSketch",
+]

@@ -1,0 +1,169 @@
+"""The uncertain point model: a discrete distribution over locations.
+
+An uncertain point ``P_i`` is an independent random variable taking one of
+``z_i`` possible locations ``P_i1 .. P_iz`` with probabilities ``p_i1 ..
+p_iz`` summing to one — exactly the model in the paper's problem statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import (
+    as_point_array,
+    as_probability_vector,
+    as_rng,
+)
+from ..exceptions import NotSupportedError, ValidationError
+from ..metrics.base import Metric
+
+
+@dataclass(frozen=True)
+class UncertainPoint:
+    """A discrete probability distribution over possible locations.
+
+    Attributes
+    ----------
+    locations:
+        ``(z, d)`` array of the possible locations (``(z, 1)`` element
+        indices for finite metrics).
+    probabilities:
+        ``(z,)`` probability vector summing to one.
+    label:
+        Optional identifier carried through for reporting.
+    """
+
+    locations: np.ndarray
+    probabilities: np.ndarray
+    label: str | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        locations = as_point_array(self.locations, name="locations")
+        probabilities = as_probability_vector(
+            self.probabilities, size=locations.shape[0], name="probabilities"
+        )
+        locations.setflags(write=False)
+        probabilities.setflags(write=False)
+        object.__setattr__(self, "locations", locations)
+        object.__setattr__(self, "probabilities", probabilities)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def certain(cls, location: Sequence[float] | np.ndarray, *, label: str | None = None) -> "UncertainPoint":
+        """A degenerate uncertain point with a single location."""
+        array = np.asarray(location, dtype=float).reshape(1, -1)
+        return cls(locations=array, probabilities=np.array([1.0]), label=label)
+
+    @classmethod
+    def uniform(cls, locations: Sequence[Sequence[float]] | np.ndarray, *, label: str | None = None) -> "UncertainPoint":
+        """An uncertain point with equal probability on every location."""
+        array = as_point_array(locations, name="locations")
+        z = array.shape[0]
+        return cls(locations=array, probabilities=np.full(z, 1.0 / z), label=label)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def support_size(self) -> int:
+        """Number of possible locations (the paper's ``z_i``)."""
+        return int(self.locations.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the ambient space."""
+        return int(self.locations.shape[1])
+
+    @property
+    def is_certain(self) -> bool:
+        """Whether the point is deterministic (probability 1 on one location)."""
+        return bool(np.isclose(self.probabilities.max(), 1.0))
+
+    def __len__(self) -> int:
+        return self.support_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, float]]:
+        for location, probability in zip(self.locations, self.probabilities):
+            yield location, float(probability)
+
+    # ------------------------------------------------------------------
+    # Representatives and expectations
+    # ------------------------------------------------------------------
+    def expected_point(self) -> np.ndarray:
+        """The paper's ``P̄``: the probability-weighted average location.
+
+        Only meaningful in a normed vector space; the caller is responsible
+        for using this in a metric with ``supports_expected_point``.
+        """
+        return (self.probabilities[:, None] * self.locations).sum(axis=0)
+
+    def expected_distance_to(self, target: Sequence[float] | np.ndarray, metric: Metric) -> float:
+        """``E[d(P, target)] = sum_j p_j d(P_j, target)``."""
+        target = np.asarray(target, dtype=float).reshape(1, -1)
+        distances = metric.pairwise(self.locations, target).reshape(-1)
+        return float((self.probabilities * distances).sum())
+
+    def expected_distances_to_many(self, targets: np.ndarray, metric: Metric) -> np.ndarray:
+        """Vector of ``E[d(P, t)]`` for each row ``t`` of ``targets``."""
+        targets = as_point_array(targets, name="targets")
+        distances = metric.pairwise(self.locations, targets)
+        return self.probabilities @ distances
+
+    def distance_distribution(self, target: Sequence[float] | np.ndarray, metric: Metric) -> tuple[np.ndarray, np.ndarray]:
+        """Support and probabilities of the random distance ``d(P, target)``."""
+        target = np.asarray(target, dtype=float).reshape(1, -1)
+        distances = metric.pairwise(self.locations, target).reshape(-1)
+        return distances, self.probabilities.copy()
+
+    # ------------------------------------------------------------------
+    # Sampling and serialization
+    # ------------------------------------------------------------------
+    def sample(self, rng: int | np.random.Generator | None = None, size: int | None = None) -> np.ndarray:
+        """Draw realization(s) of the point.
+
+        Returns a single ``(d,)`` location when ``size`` is ``None`` and an
+        ``(size, d)`` array otherwise.
+        """
+        generator = as_rng(rng)
+        if size is None:
+            index = int(generator.choice(self.support_size, p=self.probabilities))
+            return self.locations[index].copy()
+        indices = generator.choice(self.support_size, p=self.probabilities, size=size)
+        return self.locations[indices].copy()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "locations": self.locations.tolist(),
+            "probabilities": self.probabilities.tolist(),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "UncertainPoint":
+        """Inverse of :meth:`to_dict`."""
+        if "locations" not in payload or "probabilities" not in payload:
+            raise ValidationError("uncertain point payload needs 'locations' and 'probabilities'")
+        return cls(
+            locations=np.asarray(payload["locations"], dtype=float),
+            probabilities=np.asarray(payload["probabilities"], dtype=float),
+            label=payload.get("label"),
+        )
+
+    def restricted_to_support(self, indices: Sequence[int]) -> "UncertainPoint":
+        """Condition the point on a subset of its support (renormalised)."""
+        indices = list(indices)
+        if not indices:
+            raise ValidationError("cannot restrict an uncertain point to an empty support")
+        locations = self.locations[indices]
+        probabilities = self.probabilities[indices]
+        total = probabilities.sum()
+        if total <= 0:
+            raise NotSupportedError("cannot condition on a zero-probability event")
+        return UncertainPoint(locations=locations, probabilities=probabilities / total, label=self.label)

@@ -1,0 +1,83 @@
+"""Realization enumeration and sampling utilities.
+
+A *realization* of an uncertain dataset fixes one location per uncertain
+point; its probability is the product of the chosen locations' probabilities
+(the points are independent).  Exhaustive enumeration is exponential
+(``prod_i z_i`` realizations) and only used as ground truth on small
+instances; Monte-Carlo sampling covers the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..exceptions import ValidationError
+from .dataset import UncertainDataset
+
+#: Refuse to enumerate more realizations than this (ground-truth use only).
+MAX_ENUMERATED_REALIZATIONS = 2_000_000
+
+
+@dataclass(frozen=True)
+class Realization:
+    """One realization of an uncertain dataset."""
+
+    locations: np.ndarray
+    probability: float
+    choice_indices: tuple[int, ...]
+
+
+def iter_realizations(dataset: UncertainDataset, *, max_realizations: int | None = MAX_ENUMERATED_REALIZATIONS) -> Iterator[Realization]:
+    """Yield every realization of ``dataset`` with its probability.
+
+    Raises
+    ------
+    ValidationError
+        If the number of realizations exceeds ``max_realizations`` (pass
+        ``None`` to disable the check — not recommended).
+    """
+    count = dataset.realization_count
+    if max_realizations is not None and count > max_realizations:
+        raise ValidationError(
+            f"dataset has {count} realizations, more than the enumeration cap "
+            f"{max_realizations}; use Monte-Carlo estimation instead"
+        )
+    supports = [range(point.support_size) for point in dataset.points]
+    for choice in product(*supports):
+        locations = np.vstack([dataset.points[i].locations[j] for i, j in enumerate(choice)])
+        probability = 1.0
+        for i, j in enumerate(choice):
+            probability *= float(dataset.points[i].probabilities[j])
+        yield Realization(locations=locations, probability=probability, choice_indices=tuple(choice))
+
+
+def enumerate_realizations(dataset: UncertainDataset, *, max_realizations: int | None = MAX_ENUMERATED_REALIZATIONS) -> list[Realization]:
+    """Materialise :func:`iter_realizations` into a list."""
+    return list(iter_realizations(dataset, max_realizations=max_realizations))
+
+
+def sample_realizations(
+    dataset: UncertainDataset,
+    count: int,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``count`` independent realizations as a ``(count, n, d)`` array."""
+    check_positive_int(count, name="count")
+    return dataset.sample_realizations(count, rng=as_rng(rng))
+
+
+def realization_probability(dataset: UncertainDataset, choice_indices: tuple[int, ...]) -> float:
+    """Probability of the realization selecting ``choice_indices``."""
+    if len(choice_indices) != dataset.size:
+        raise ValidationError("choice_indices must pick one location per uncertain point")
+    probability = 1.0
+    for point, choice in zip(dataset.points, choice_indices):
+        if not 0 <= choice < point.support_size:
+            raise ValidationError(f"choice index {choice} out of range for support size {point.support_size}")
+        probability *= float(point.probabilities[choice])
+    return probability

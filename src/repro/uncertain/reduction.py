@@ -1,0 +1,103 @@
+"""Certain-point reductions of an uncertain dataset.
+
+This is the heart of the paper's approach (Section 2): replace each uncertain
+point ``P_i`` by a single *certain* representative, solve deterministic
+k-center on the representatives, and read the centers back.
+
+Two representatives are used by the theorems:
+
+* **expected point** ``P̄_i = sum_j p_ij P_ij`` — Euclidean/normed spaces only
+  (Theorems 2.1, 2.2, 2.4, 2.5);
+* **per-point 1-center** ``P̃_i`` — the point of the space minimising the
+  expected distance ``sum_j p_ij d(P_ij, q)`` (Theorems 2.6, 2.7).  In a
+  finite metric the minimiser is found over every element; in a Euclidean
+  space it is the probability-weighted geometric median (provided for
+  ablations even though the paper uses ``P̄`` there).
+
+A third, heuristic representative (the probability-weighted *medoid*: the
+best of the point's own locations) is included for the ablation experiment
+E12.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..deterministic.one_center import discrete_weighted_one_center
+from ..exceptions import NotSupportedError, ValidationError
+from ..geometry.median import geometric_median
+from .dataset import UncertainDataset
+
+RepresentativeKind = Literal["expected-point", "one-center", "medoid"]
+
+
+def expected_point_reduction(dataset: UncertainDataset) -> np.ndarray:
+    """Return the ``(n, d)`` array of expected points ``P̄_1 .. P̄_n``."""
+    return dataset.expected_points()
+
+
+def one_center_reduction(
+    dataset: UncertainDataset,
+    *,
+    candidates: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return the ``(n, d)`` array of per-point 1-centers ``P̃_1 .. P̃_n``.
+
+    For a metric supporting expected points (Euclidean and friends) the
+    1-center of a single uncertain point is its weighted geometric median and
+    is computed with Weiszfeld iteration.  Otherwise the minimiser is taken
+    over a finite candidate set: ``candidates`` if given, else every candidate
+    the metric exposes for the dataset's locations (all elements of a finite
+    metric).
+    """
+    metric = dataset.metric
+    representatives = []
+    if metric.supports_expected_point and candidates is None:
+        for point in dataset.points:
+            representatives.append(geometric_median(point.locations, point.probabilities))
+        return np.vstack(representatives)
+
+    if candidates is None:
+        candidates = metric.candidate_centers(dataset.all_locations())
+    for point in dataset.points:
+        center, _ = discrete_weighted_one_center(point.locations, point.probabilities, metric, candidates)
+        representatives.append(center)
+    return np.vstack(representatives)
+
+
+def medoid_reduction(dataset: UncertainDataset) -> np.ndarray:
+    """Heuristic representative: the point's own best location.
+
+    For each uncertain point, pick the location ``P_ij`` minimising the
+    expected distance to the point's other locations.  Used only as an
+    ablation comparator (E12); the paper proves nothing about it.
+    """
+    metric = dataset.metric
+    representatives = []
+    for point in dataset.points:
+        expected = point.expected_distances_to_many(point.locations, metric)
+        representatives.append(point.locations[int(np.argmin(expected))])
+    return np.vstack(representatives)
+
+
+def reduce_dataset(
+    dataset: UncertainDataset,
+    kind: RepresentativeKind = "expected-point",
+    *,
+    candidates: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dispatch to one of the representative constructions by name."""
+    if kind == "expected-point":
+        if not dataset.metric.supports_expected_point:
+            raise NotSupportedError(
+                "expected-point reduction requires a normed vector space; "
+                "use kind='one-center' in general metric spaces"
+            )
+        return expected_point_reduction(dataset)
+    if kind == "one-center":
+        return one_center_reduction(dataset, candidates=candidates)
+    if kind == "medoid":
+        return medoid_reduction(dataset)
+    raise ValidationError(f"unknown representative kind {kind!r}")

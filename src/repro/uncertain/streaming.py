@@ -1,0 +1,125 @@
+"""Streaming uncertain 1-center (probabilistic smallest enclosing ball).
+
+The related work the paper builds on includes Munteanu, Sohler and Feldman's
+streaming algorithm for the *probabilistic smallest enclosing ball* problem
+(SoCG 2014).  This module provides a practical streaming counterpart of
+Theorem 2.1 for the reproduction's extension suite:
+
+* uncertain points arrive one at a time and are **not stored**;
+* the sketch maintains, in ``O(z + s)`` memory, everything needed to produce
+  a center with the same factor-2 guarantee as Theorem 2.1:
+
+  - the expected point of the *first* uncertain point seen (the paper's
+    ``P̄_1`` — any fixed anchor works, and the first is the only one a
+    one-pass algorithm can commit to without storing the stream),
+  - a reservoir sample of ``s`` uncertain points used to *estimate* the
+    expected cost of the anchor center at any time.
+
+Theorem 2.1's proof never uses anything about the other points except through
+``Ecost(c*)``, so the anchor expected point remains a 2-approximation of the
+optimal uncertain 1-center of everything seen so far; the sketch simply
+cannot evaluate the exact cost without a second pass, which is what the
+reservoir estimate (and the exact :func:`finalise` helper, given a second
+pass) are for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..cost.expected import expected_one_center_cost
+from ..exceptions import NotSupportedError, ValidationError
+from .dataset import UncertainDataset
+from .point import UncertainPoint
+
+
+@dataclass
+class StreamingOneCenterSketch:
+    """One-pass sketch for the uncertain 1-center problem.
+
+    Parameters
+    ----------
+    reservoir_size:
+        Number of uncertain points kept for cost estimation (memory knob).
+    seed:
+        Randomness for reservoir sampling.
+    """
+
+    reservoir_size: int = 32
+    seed: int | np.random.Generator | None = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.reservoir_size, name="reservoir_size")
+        self._rng = as_rng(self.seed)
+        self._anchor: np.ndarray | None = None
+        self._count = 0
+        self._reservoir: list[UncertainPoint] = []
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+    def update(self, point: UncertainPoint) -> None:
+        """Consume one uncertain point from the stream."""
+        if not isinstance(point, UncertainPoint):
+            raise ValidationError(f"expected an UncertainPoint, got {type(point).__name__}")
+        if self._anchor is None:
+            self._anchor = point.expected_point()
+        elif point.dimension != self._anchor.shape[0]:
+            raise ValidationError(
+                f"stream dimension changed from {self._anchor.shape[0]} to {point.dimension}"
+            )
+        self._count += 1
+        # Standard reservoir sampling keeps a uniform sample of the stream.
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(point)
+        else:
+            slot = int(self._rng.integers(0, self._count))
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = point
+
+    def extend(self, points) -> None:
+        """Consume an iterable of uncertain points."""
+        for point in points:
+            self.update(point)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of uncertain points consumed so far."""
+        return self._count
+
+    @property
+    def center(self) -> np.ndarray:
+        """The current center (the anchor expected point, Theorem 2.1)."""
+        if self._anchor is None:
+            raise ValidationError("the sketch has not seen any point yet")
+        return self._anchor.copy()
+
+    @property
+    def guaranteed_factor(self) -> float:
+        """Approximation factor of :attr:`center` (Theorem 2.1's 2)."""
+        return 2.0
+
+    def estimated_cost(self) -> float:
+        """Estimate ``Ecost(center)`` from the reservoir sample.
+
+        The reservoir holds a uniform sample of the stream, so the expected
+        max over the sample is a (downward-biased, consistent) estimate of
+        the expected max over the stream; it is exact when the whole stream
+        fits in the reservoir.
+        """
+        if self._anchor is None:
+            raise ValidationError("the sketch has not seen any point yet")
+        dataset = UncertainDataset(points=tuple(self._reservoir))
+        return expected_one_center_cost(dataset, self._anchor)
+
+    def finalise(self, dataset: UncertainDataset) -> float:
+        """Exact cost of the sketch's center on a full dataset (second pass)."""
+        if not dataset.metric.supports_expected_point:
+            raise NotSupportedError("the streaming sketch targets Euclidean-style metrics")
+        return expected_one_center_cost(dataset, self.center)

@@ -1,0 +1,124 @@
+"""Dependency-free ASCII visualisation of uncertain instances and solutions.
+
+The library ships without plotting dependencies, but eyeballing an instance
+is invaluable when debugging clustering behaviour.  This module renders 2-D
+(and 1-D) uncertain datasets and solutions as character grids:
+
+* ``.``  possible location of an uncertain point (darker = more probable),
+* ``o``  expected point of an uncertain point,
+* ``C``  chosen center.
+
+The CLI's ``demo`` sub-command and the examples can print these directly;
+tests assert on the structural properties of the rendering (dimensions,
+marker counts) rather than exact glyph placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._validation import as_point_array
+from .exceptions import ValidationError
+from .uncertain.dataset import UncertainDataset
+
+#: Probability shading buckets, light to dark.
+_SHADES = ".,:;*"
+
+
+def _project(points: np.ndarray) -> np.ndarray:
+    """Project points to 2-D for display (pad 1-D, truncate d > 2)."""
+    if points.shape[1] == 1:
+        return np.hstack([points, np.zeros_like(points)])
+    if points.shape[1] > 2:
+        return points[:, :2]
+    return points
+
+
+def render_dataset(
+    dataset: UncertainDataset,
+    centers: np.ndarray | None = None,
+    *,
+    width: int = 72,
+    height: int = 24,
+    show_expected_points: bool = True,
+) -> str:
+    """Render a dataset (and optional centers) as an ASCII grid.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain dataset.  Finite-metric datasets are not supported
+        (their "coordinates" are element indices, not positions).
+    centers:
+        Optional ``(k, d)`` center array to overlay.
+    width, height:
+        Character dimensions of the grid.
+    show_expected_points:
+        Overlay each point's expected point with ``o``.
+    """
+    if not dataset.metric.supports_expected_point:
+        raise ValidationError("ASCII rendering needs coordinate (Euclidean-style) data")
+    if width < 8 or height < 4:
+        raise ValidationError("grid must be at least 8x4 characters")
+
+    locations = _project(dataset.all_locations())
+    overlays = [locations]
+    if centers is not None:
+        centers = _project(as_point_array(centers, name="centers"))
+        overlays.append(centers)
+    expected = _project(dataset.expected_points()) if show_expected_points else None
+    if expected is not None:
+        overlays.append(expected)
+
+    stacked = np.vstack(overlays)
+    lower = stacked.min(axis=0)
+    upper = stacked.max(axis=0)
+    span = np.maximum(upper - lower, 1e-12)
+
+    def to_cell(point: np.ndarray) -> tuple[int, int]:
+        col = int(round((point[0] - lower[0]) / span[0] * (width - 1)))
+        row = int(round((point[1] - lower[1]) / span[1] * (height - 1)))
+        return (height - 1 - row, col)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    probabilities = dataset.all_probabilities()
+    for location, probability in zip(locations, probabilities):
+        row, col = to_cell(location)
+        shade = _SHADES[min(int(probability * len(_SHADES)), len(_SHADES) - 1)]
+        if grid[row][col] in (" ",) or grid[row][col] in _SHADES:
+            grid[row][col] = shade
+
+    if expected is not None:
+        for point in expected:
+            row, col = to_cell(point)
+            grid[row][col] = "o"
+
+    if centers is not None:
+        for center in centers:
+            row, col = to_cell(center)
+            grid[row][col] = "C"
+
+    legend = "legend: location shade=probability, o=expected point, C=center"
+    frame_top = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return "\n".join([legend, frame_top, body, frame_top])
+
+
+def render_solution_summary(dataset: UncertainDataset, centers: np.ndarray, assignment: np.ndarray | None) -> str:
+    """Per-center text summary: member labels and their expected distances."""
+    centers = as_point_array(centers, name="centers")
+    lines = []
+    for center_index, center in enumerate(centers):
+        if assignment is None:
+            members = list(range(dataset.size))
+        else:
+            members = np.flatnonzero(np.asarray(assignment) == center_index).tolist()
+        labels = [dataset.points[i].label or f"P{i}" for i in members]
+        distances = [dataset.points[i].expected_distance_to(center, dataset.metric) for i in members]
+        worst = max(distances) if distances else 0.0
+        lines.append(
+            f"center[{center_index}] at {np.round(center, 3).tolist()}: "
+            f"{len(members)} points, worst expected distance {worst:.4f} ({', '.join(labels) or 'none'})"
+        )
+    return "\n".join(lines)

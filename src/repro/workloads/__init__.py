@@ -1,0 +1,24 @@
+"""Synthetic workload generators for the experiments and examples."""
+
+from .graphs import graph_uncertain_workload, random_graph_metric
+from .synthetic import (
+    EUCLIDEAN_WORKLOADS,
+    WorkloadSpec,
+    anisotropic_clusters,
+    gaussian_clusters,
+    heavy_tailed,
+    line_workload,
+    uniform_cloud,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "gaussian_clusters",
+    "uniform_cloud",
+    "heavy_tailed",
+    "line_workload",
+    "anisotropic_clusters",
+    "EUCLIDEAN_WORKLOADS",
+    "graph_uncertain_workload",
+    "random_graph_metric",
+]

@@ -1,0 +1,97 @@
+"""General-metric (graph) workload generators.
+
+The paper's general-metric theorems (2.6/2.7) need instances whose metric is
+not Euclidean.  Weighted graphs are the natural database-flavoured source
+(road networks, sensor network topologies, data-center fabrics); uncertain
+points live on the nodes and their possible locations are nearby nodes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..metrics.graph import GraphMetric
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.point import UncertainPoint
+from .synthetic import WorkloadSpec
+
+
+def random_graph_metric(
+    node_count: int = 60,
+    *,
+    model: str = "watts-strogatz",
+    seed: int = 0,
+) -> GraphMetric:
+    """A connected random weighted graph's shortest-path metric.
+
+    Models: ``"watts-strogatz"`` (small world), ``"grid"`` (2-D lattice),
+    ``"geometric"`` (random geometric graph, re-sampled until connected).
+    Edge weights are drawn uniformly from [0.5, 1.5].
+    """
+    check_positive_int(node_count, name="node_count")
+    rng = as_rng(seed)
+    if model == "watts-strogatz":
+        graph = nx.connected_watts_strogatz_graph(node_count, k=4, p=0.3, seed=int(rng.integers(0, 2**31)))
+    elif model == "grid":
+        side = int(np.ceil(np.sqrt(node_count)))
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(side, side))
+        graph = graph.subgraph(range(node_count)).copy()
+        if not nx.is_connected(graph):
+            graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(side, side))
+    elif model == "geometric":
+        radius = np.sqrt(4.0 / node_count)
+        graph = nx.random_geometric_graph(node_count, radius, seed=int(rng.integers(0, 2**31)))
+        while not nx.is_connected(graph):
+            radius *= 1.3
+            graph = nx.random_geometric_graph(node_count, radius, seed=int(rng.integers(0, 2**31)))
+    else:
+        raise ValueError(f"unknown graph model {model!r}")
+    for _, _, data in graph.edges(data=True):
+        data["weight"] = float(rng.uniform(0.5, 1.5))
+    return GraphMetric(graph)
+
+
+def graph_uncertain_workload(
+    n: int = 30,
+    z: int = 4,
+    *,
+    node_count: int = 60,
+    model: str = "watts-strogatz",
+    locality: int = 2,
+    seed: int = 0,
+) -> tuple[UncertainDataset, WorkloadSpec]:
+    """Uncertain points on a random graph metric.
+
+    Each uncertain point picks a home node and its ``z`` possible locations
+    uniformly from the nodes within ``locality`` hops of home (an object
+    whose position is known up to a small neighbourhood).
+    """
+    check_positive_int(n, name="n")
+    check_positive_int(z, name="z")
+    rng = as_rng(seed)
+    metric = random_graph_metric(node_count, model=model, seed=seed)
+    adjacency = metric.matrix
+
+    points = []
+    for index in range(n):
+        home = int(rng.integers(0, metric.size))
+        # Nodes within `locality` hops: approximate via the `locality` nearest
+        # nodes by shortest-path distance (robust to weighting).
+        order = np.argsort(adjacency[home])
+        neighbourhood = order[: max(z, locality * 4)]
+        chosen = rng.choice(neighbourhood, size=min(z, neighbourhood.shape[0]), replace=False)
+        locations = chosen.astype(float).reshape(-1, 1)
+        probabilities = rng.dirichlet(np.ones(locations.shape[0]))
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities, label=f"P{index}"))
+    dataset = UncertainDataset(points=tuple(points), metric=metric)
+    spec = WorkloadSpec(
+        name=f"graph-{model}",
+        n=n,
+        z=z,
+        dimension=1,
+        seed=seed,
+        parameters={"node_count": node_count, "model": model, "locality": locality},
+    )
+    return dataset, spec

@@ -1,0 +1,253 @@
+"""Synthetic uncertain-data workload generators.
+
+The paper evaluates nothing empirically (its evaluation is the theory summary
+in Table 1), so the reproduction needs workloads that exercise every regime
+Table 1 covers: Euclidean spaces of several dimensions, the line (R^1) and
+general (graph) metrics, with varying numbers of uncertain points ``n``,
+support sizes ``z`` and cluster structure.  All generators are deterministic
+given their seed.
+
+The database framing of the paper's introduction (sensor readings, data
+integration, imprecise measurements) motivates the generator shapes:
+
+* :func:`gaussian_clusters` — ``k_true`` well-separated Gaussian clusters;
+  each uncertain point's locations jitter around a true position (a sensor
+  reporting noisy readings).
+* :func:`uniform_cloud` — no cluster structure, uniform positions and
+  uniform location noise (adversarial for reductions).
+* :func:`heavy_tailed` — a small fraction of the locations are far outliers
+  with small probability (exercises the difference between expected points
+  and 1-center representatives).
+* :func:`line_workload` — one-dimensional instances for the R^1 experiments.
+* :func:`anisotropic_clusters` — elongated clusters (stress for SEB-based
+  refinement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..metrics.euclidean import EuclideanMetric
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.point import UncertainPoint
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Reproducible description of a generated workload."""
+
+    name: str
+    n: int
+    z: int
+    dimension: int
+    seed: int
+    parameters: dict
+
+    def describe(self) -> str:
+        """Compact one-line description used in experiment reports."""
+        return f"{self.name}(n={self.n}, z={self.z}, d={self.dimension}, seed={self.seed})"
+
+
+def _dirichlet_probabilities(rng: np.random.Generator, z: int, concentration: float) -> np.ndarray:
+    if z == 1:
+        return np.array([1.0])
+    return rng.dirichlet(np.full(z, concentration))
+
+
+def gaussian_clusters(
+    n: int = 60,
+    z: int = 5,
+    dimension: int = 2,
+    *,
+    k_true: int = 4,
+    cluster_spread: float = 10.0,
+    location_jitter: float = 0.5,
+    concentration: float = 1.0,
+    seed: int = 0,
+) -> tuple[UncertainDataset, WorkloadSpec]:
+    """Uncertain points whose locations jitter around clustered true positions."""
+    check_positive_int(n, name="n")
+    check_positive_int(z, name="z")
+    check_positive_int(dimension, name="dimension")
+    check_positive_int(k_true, name="k_true")
+    rng = as_rng(seed)
+    cluster_centers = rng.normal(scale=cluster_spread, size=(k_true, dimension))
+    points = []
+    for index in range(n):
+        cluster = int(rng.integers(0, k_true))
+        true_position = cluster_centers[cluster] + rng.normal(scale=1.0, size=dimension)
+        locations = true_position + rng.normal(scale=location_jitter, size=(z, dimension))
+        probabilities = _dirichlet_probabilities(rng, z, concentration)
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities, label=f"P{index}"))
+    dataset = UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+    spec = WorkloadSpec(
+        name="gaussian-clusters",
+        n=n,
+        z=z,
+        dimension=dimension,
+        seed=seed,
+        parameters={
+            "k_true": k_true,
+            "cluster_spread": cluster_spread,
+            "location_jitter": location_jitter,
+            "concentration": concentration,
+        },
+    )
+    return dataset, spec
+
+
+def uniform_cloud(
+    n: int = 60,
+    z: int = 5,
+    dimension: int = 2,
+    *,
+    extent: float = 10.0,
+    location_jitter: float = 1.0,
+    seed: int = 0,
+) -> tuple[UncertainDataset, WorkloadSpec]:
+    """Uncertain points scattered uniformly with uniform location noise."""
+    rng = as_rng(seed)
+    points = []
+    for index in range(n):
+        true_position = rng.uniform(-extent, extent, size=dimension)
+        locations = true_position + rng.uniform(-location_jitter, location_jitter, size=(z, dimension))
+        probabilities = _dirichlet_probabilities(rng, z, 1.0)
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities, label=f"P{index}"))
+    dataset = UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+    spec = WorkloadSpec(
+        name="uniform-cloud",
+        n=n,
+        z=z,
+        dimension=dimension,
+        seed=seed,
+        parameters={"extent": extent, "location_jitter": location_jitter},
+    )
+    return dataset, spec
+
+
+def heavy_tailed(
+    n: int = 60,
+    z: int = 5,
+    dimension: int = 2,
+    *,
+    outlier_probability: float = 0.1,
+    outlier_scale: float = 30.0,
+    base_scale: float = 5.0,
+    seed: int = 0,
+) -> tuple[UncertainDataset, WorkloadSpec]:
+    """Each point has a low-probability far-away location (sensor glitches).
+
+    This is the regime where the expected point and the 1-center/median
+    representatives genuinely differ, driving the E12 ablation.
+    """
+    rng = as_rng(seed)
+    points = []
+    for index in range(n):
+        true_position = rng.normal(scale=base_scale, size=dimension)
+        locations = true_position + rng.normal(scale=0.3, size=(z, dimension))
+        probabilities = _dirichlet_probabilities(rng, z, 2.0)
+        # Turn the least likely location into a far outlier with the given
+        # total probability mass.
+        outlier_index = int(np.argmin(probabilities))
+        direction = rng.normal(size=dimension)
+        direction /= max(np.linalg.norm(direction), 1e-12)
+        locations[outlier_index] = true_position + direction * outlier_scale
+        probabilities = probabilities * (1.0 - outlier_probability) / probabilities.sum()
+        probabilities[outlier_index] += outlier_probability
+        probabilities /= probabilities.sum()
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities, label=f"P{index}"))
+    dataset = UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+    spec = WorkloadSpec(
+        name="heavy-tailed",
+        n=n,
+        z=z,
+        dimension=dimension,
+        seed=seed,
+        parameters={
+            "outlier_probability": outlier_probability,
+            "outlier_scale": outlier_scale,
+            "base_scale": base_scale,
+        },
+    )
+    return dataset, spec
+
+
+def line_workload(
+    n: int = 40,
+    z: int = 4,
+    *,
+    segment_count: int = 3,
+    segment_length: float = 10.0,
+    gap: float = 25.0,
+    location_jitter: float = 0.8,
+    seed: int = 0,
+) -> tuple[UncertainDataset, WorkloadSpec]:
+    """One-dimensional workload: points on well separated segments of a line."""
+    rng = as_rng(seed)
+    points = []
+    for index in range(n):
+        segment = int(rng.integers(0, segment_count))
+        offset = segment * (segment_length + gap)
+        true_position = offset + rng.uniform(0.0, segment_length)
+        locations = true_position + rng.normal(scale=location_jitter, size=(z, 1))
+        probabilities = _dirichlet_probabilities(rng, z, 1.0)
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities, label=f"P{index}"))
+    dataset = UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+    spec = WorkloadSpec(
+        name="line",
+        n=n,
+        z=z,
+        dimension=1,
+        seed=seed,
+        parameters={"segment_count": segment_count, "segment_length": segment_length, "gap": gap},
+    )
+    return dataset, spec
+
+
+def anisotropic_clusters(
+    n: int = 60,
+    z: int = 5,
+    dimension: int = 2,
+    *,
+    k_true: int = 3,
+    elongation: float = 6.0,
+    seed: int = 0,
+) -> tuple[UncertainDataset, WorkloadSpec]:
+    """Elongated clusters: location noise stretched along a random direction."""
+    rng = as_rng(seed)
+    cluster_centers = rng.normal(scale=12.0, size=(k_true, dimension))
+    directions = rng.normal(size=(k_true, dimension))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    points = []
+    for index in range(n):
+        cluster = int(rng.integers(0, k_true))
+        along = rng.normal(scale=elongation)
+        across = rng.normal(scale=0.5, size=dimension)
+        true_position = cluster_centers[cluster] + along * directions[cluster] + across
+        locations = true_position + rng.normal(scale=0.4, size=(z, dimension))
+        probabilities = _dirichlet_probabilities(rng, z, 1.5)
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities, label=f"P{index}"))
+    dataset = UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+    spec = WorkloadSpec(
+        name="anisotropic-clusters",
+        n=n,
+        z=z,
+        dimension=dimension,
+        seed=seed,
+        parameters={"k_true": k_true, "elongation": elongation},
+    )
+    return dataset, spec
+
+
+#: Registry used by the CLI and the experiment harness.
+EUCLIDEAN_WORKLOADS: dict[str, Callable[..., tuple[UncertainDataset, WorkloadSpec]]] = {
+    "gaussian-clusters": gaussian_clusters,
+    "uniform-cloud": uniform_cloud,
+    "heavy-tailed": heavy_tailed,
+    "line": line_workload,
+    "anisotropic-clusters": anisotropic_clusters,
+}

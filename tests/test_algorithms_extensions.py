@@ -1,0 +1,77 @@
+"""Tests for the k-median / k-means extensions (the paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import solve_uncertain_kmeans, solve_uncertain_kmedian
+from repro.cost import expected_distance_matrix
+from repro.exceptions import NotSupportedError
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+class TestUncertainKMedian:
+    def test_result_structure(self, euclidean_dataset):
+        result = solve_uncertain_kmedian(euclidean_dataset, 2)
+        assert result.objective == "assigned-k-median"
+        assert result.centers.shape[0] == 2
+        assert result.assignment.shape == (euclidean_dataset.size,)
+
+    def test_cost_matches_expected_distance_sum(self, euclidean_dataset):
+        result = solve_uncertain_kmedian(euclidean_dataset, 2)
+        matrix = expected_distance_matrix(euclidean_dataset, result.centers)
+        manual = float(matrix[np.arange(euclidean_dataset.size), result.assignment].sum())
+        assert result.expected_cost == pytest.approx(manual, rel=1e-9)
+
+    def test_assignment_is_best_response(self, euclidean_dataset):
+        # For the separable k-median objective the expected-distance assignment
+        # is optimal given the centers.
+        result = solve_uncertain_kmedian(euclidean_dataset, 3)
+        matrix = expected_distance_matrix(euclidean_dataset, result.centers)
+        np.testing.assert_array_equal(result.assignment, matrix.argmin(axis=1))
+
+    def test_more_centers_never_hurt(self, euclidean_dataset):
+        small = solve_uncertain_kmedian(euclidean_dataset, 1, seed=0)
+        large = solve_uncertain_kmedian(euclidean_dataset, 3, seed=0)
+        assert large.expected_cost <= small.expected_cost + 1e-9
+
+    def test_works_on_graph_metric(self, graph_dataset):
+        result = solve_uncertain_kmedian(graph_dataset, 2)
+        assert result.centers.shape == (2, 1)
+        assert result.expected_cost >= 0
+
+    def test_k_equals_number_of_points(self):
+        dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=3, spread=10.0, jitter=0.01)
+        result = solve_uncertain_kmedian(dataset, 4)
+        # With one center per well separated point the cost is just the
+        # per-point spread, which is tiny.
+        assert result.expected_cost < 0.5
+
+
+class TestUncertainKMeans:
+    def test_result_structure(self, euclidean_dataset):
+        result = solve_uncertain_kmeans(euclidean_dataset, 2)
+        assert result.objective == "assigned-k-means"
+        assert result.centers.shape == (2, 2)
+
+    def test_cost_includes_variance_floor(self):
+        # Even with a center on every expected point the objective keeps the
+        # per-point variance term, so it must stay strictly positive for
+        # genuinely uncertain points.
+        dataset = make_uncertain_dataset(n=4, z=3, dimension=2, seed=5, jitter=1.0)
+        result = solve_uncertain_kmeans(dataset, 4)
+        assert result.expected_cost > 0
+
+    def test_certain_points_reach_zero(self, certain_dataset):
+        result = solve_uncertain_kmeans(certain_dataset, certain_dataset.size)
+        assert result.expected_cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejected_on_graph_metric(self, graph_dataset):
+        with pytest.raises(NotSupportedError):
+            solve_uncertain_kmeans(graph_dataset, 2)
+
+    def test_deterministic_given_seed(self, euclidean_dataset):
+        a = solve_uncertain_kmeans(euclidean_dataset, 2, seed=3)
+        b = solve_uncertain_kmeans(euclidean_dataset, 2, seed=3)
+        assert a.expected_cost == pytest.approx(b.expected_cost)

@@ -1,0 +1,92 @@
+"""Tests for the factor formulas and the solver registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    DETERMINISTIC_SOLVERS,
+    ONE_CENTER_EXPECTED_POINT_FACTOR,
+    RESTRICTED_ED_VS_UNRESTRICTED_FACTOR,
+    resolve_solver,
+    restricted_euclidean_factor,
+    unrestricted_euclidean_factor,
+    unrestricted_metric_factor,
+)
+from repro.deterministic import KCenterResult, gonzalez_kcenter
+from repro.exceptions import ValidationError
+from repro.metrics import EuclideanMetric
+
+
+class TestFactorFormulas:
+    def test_table1_row_values_with_gonzalez(self):
+        # Gonzalez has factor 2: Table 1's 6 / 4 / 4 rows.
+        assert restricted_euclidean_factor("expected-distance", 2.0) == pytest.approx(6.0)
+        assert restricted_euclidean_factor("expected-point", 2.0) == pytest.approx(4.0)
+        assert unrestricted_euclidean_factor("expected-point", 2.0) == pytest.approx(4.0)
+
+    def test_table1_row_values_with_eps_solver(self):
+        eps = 0.1
+        assert restricted_euclidean_factor("expected-distance", 1 + eps) == pytest.approx(5 + eps)
+        assert restricted_euclidean_factor("expected-point", 1 + eps) == pytest.approx(3 + eps)
+        assert unrestricted_euclidean_factor("expected-distance", 1 + eps) == pytest.approx(5 + eps)
+        assert unrestricted_euclidean_factor("expected-point", 1 + eps) == pytest.approx(3 + eps)
+        assert unrestricted_metric_factor("expected-distance", 1 + eps) == pytest.approx(7 + 2 * eps)
+        assert unrestricted_metric_factor("one-center", 1 + eps) == pytest.approx(5 + 2 * eps)
+
+    def test_constants(self):
+        assert ONE_CENTER_EXPECTED_POINT_FACTOR == 2.0
+        assert RESTRICTED_ED_VS_UNRESTRICTED_FACTOR == 3.0
+
+    def test_exact_solver_gives_best_constants(self):
+        # With an exact deterministic solver (f = 1) the formulas bottom out.
+        assert restricted_euclidean_factor("expected-point", 1.0) == pytest.approx(3.0)
+        assert unrestricted_metric_factor("one-center", 1.0) == pytest.approx(5.0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            restricted_euclidean_factor("one-center", 2.0)
+        with pytest.raises(ValidationError):
+            unrestricted_euclidean_factor("one-center", 2.0)
+        with pytest.raises(ValidationError):
+            unrestricted_metric_factor("expected-point", 2.0)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValidationError):
+            restricted_euclidean_factor("expected-point", 0.5)
+
+    def test_tiny_float_slack_tolerated(self):
+        value = restricted_euclidean_factor("expected-point", 1.0 - 1e-12)
+        assert value == pytest.approx(3.0)
+
+
+class TestSolverRegistry:
+    def test_registry_contents(self):
+        assert {"gonzalez", "epsilon", "hochbaum-shmoys", "exact-discrete", "exact-euclidean"} <= set(
+            DETERMINISTIC_SOLVERS
+        )
+
+    def test_resolve_by_name(self, rng):
+        solver = resolve_solver("gonzalez")
+        result = solver(rng.normal(size=(10, 2)), 2, EuclideanMetric())
+        assert isinstance(result, KCenterResult)
+        assert result.approximation_factor == 2.0
+
+    def test_resolve_epsilon_with_custom_eps(self, rng):
+        solver = resolve_solver("epsilon", epsilon=0.5)
+        result = solver(rng.normal(size=(12, 2)), 2, EuclideanMetric())
+        assert result.metadata["epsilon"] == pytest.approx(0.5)
+
+    def test_resolve_callable_passthrough(self):
+        assert resolve_solver(gonzalez_kcenter) is gonzalez_kcenter
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_solver("unknown-solver")
+
+    def test_every_registered_solver_runs(self, rng):
+        points = rng.normal(size=(8, 2))
+        for name, solver in DETERMINISTIC_SOLVERS.items():
+            result = solver(points, 2, EuclideanMetric())
+            assert isinstance(result, KCenterResult)
+            assert result.radius >= 0

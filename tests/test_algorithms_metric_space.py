@@ -1,0 +1,70 @@
+"""Tests for the general-metric algorithms (Theorems 2.6 and 2.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import solve_metric_unrestricted
+from repro.baselines import brute_force_unrestricted_assigned
+from repro.cost import expected_cost_assigned
+from repro.exceptions import ValidationError
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+class TestMetricUnrestricted:
+    def test_result_structure_on_graph(self, graph_dataset):
+        result = solve_metric_unrestricted(graph_dataset, 2)
+        assert result.objective == "unrestricted-assigned"
+        assert result.assignment_policy == "one-center"
+        assert result.metadata["theorem"] == "2.7"
+        assert result.centers.shape == (2, 1)
+        assert result.representatives.shape == (graph_dataset.size, 1)
+
+    def test_centers_are_graph_elements(self, graph_dataset):
+        result = solve_metric_unrestricted(graph_dataset, 3)
+        size = graph_dataset.metric.size
+        for center in result.centers:
+            assert 0 <= int(center[0]) < size
+            assert center[0] == pytest.approx(round(center[0]))
+
+    def test_expected_distance_variant_is_theorem_26(self, graph_dataset):
+        result = solve_metric_unrestricted(graph_dataset, 2, assignment="expected-distance")
+        assert result.metadata["theorem"] == "2.6"
+        assert result.guaranteed_factor == pytest.approx(9.0)  # 5 + 2*2 with Gonzalez
+
+    def test_one_center_variant_factor(self, graph_dataset):
+        result = solve_metric_unrestricted(graph_dataset, 2, assignment="one-center")
+        assert result.guaranteed_factor == pytest.approx(7.0)  # 3 + 2*2 with Gonzalez
+
+    def test_cost_consistent_with_engine(self, graph_dataset):
+        result = solve_metric_unrestricted(graph_dataset, 2)
+        recomputed = expected_cost_assigned(graph_dataset, result.centers, result.assignment)
+        assert result.expected_cost == pytest.approx(recomputed)
+
+    def test_unknown_assignment_rejected(self, graph_dataset):
+        with pytest.raises(ValidationError):
+            solve_metric_unrestricted(graph_dataset, 2, assignment="expected-point")
+
+    def test_also_works_in_euclidean_space(self, euclidean_dataset):
+        # The general-metric pipeline is valid (if weaker) in Euclidean space.
+        result = solve_metric_unrestricted(euclidean_dataset, 2)
+        assert result.centers.shape == (2, 2)
+        assert result.expected_cost > 0
+
+    def test_custom_candidates(self, graph_dataset):
+        candidates = graph_dataset.metric.all_elements()[:10]
+        result = solve_metric_unrestricted(graph_dataset, 2, candidates=candidates)
+        assert result.centers.shape == (2, 1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_guarantee_vs_reference_on_graph(self, seed):
+        dataset = make_graph_dataset(n=6, z=3, nodes=15, seed=seed)
+        reference = brute_force_unrestricted_assigned(dataset, 2)
+        for assignment in ("one-center", "expected-distance"):
+            result = solve_metric_unrestricted(dataset, 2, assignment=assignment)
+            assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-9
+
+    def test_hochbaum_shmoys_solver_option(self, graph_dataset):
+        result = solve_metric_unrestricted(graph_dataset, 2, solver="hochbaum-shmoys")
+        assert result.guaranteed_factor == pytest.approx(7.0)

@@ -1,0 +1,159 @@
+"""Tests for the Euclidean k-center reductions (Theorems 2.2, 2.4, 2.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    solve_restricted_assigned,
+    solve_unrestricted_assigned,
+)
+from repro.assignments import ExpectedDistanceAssignment, ExpectedPointAssignment
+from repro.baselines import (
+    brute_force_restricted_assigned,
+    brute_force_unrestricted_assigned,
+)
+from repro.bounds import assigned_cost_lower_bound
+from repro.cost import expected_cost_assigned
+from repro.deterministic import gonzalez_kcenter
+from repro.exceptions import NotSupportedError, ValidationError
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+class TestRestrictedAssigned:
+    def test_result_structure(self, euclidean_dataset):
+        result = solve_restricted_assigned(euclidean_dataset, 2)
+        assert result.objective == "restricted-assigned"
+        assert result.centers.shape == (2, 2)
+        assert result.assignment.shape == (euclidean_dataset.size,)
+        assert result.assignment_policy == "expected-distance"
+        assert result.representatives.shape == (euclidean_dataset.size, 2)
+        assert result.metadata["theorem"] == "2.2"
+
+    def test_cost_consistent_with_engine(self, euclidean_dataset):
+        result = solve_restricted_assigned(euclidean_dataset, 2)
+        recomputed = expected_cost_assigned(euclidean_dataset, result.centers, result.assignment)
+        assert result.expected_cost == pytest.approx(recomputed)
+
+    def test_factor_bookkeeping_gonzalez(self, euclidean_dataset):
+        ed = solve_restricted_assigned(euclidean_dataset, 2, assignment="expected-distance", solver="gonzalez")
+        ep = solve_restricted_assigned(euclidean_dataset, 2, assignment="expected-point", solver="gonzalez")
+        assert ed.guaranteed_factor == pytest.approx(6.0)  # 4 + 2
+        assert ep.guaranteed_factor == pytest.approx(4.0)  # 2 + 2
+
+    def test_factor_bookkeeping_epsilon(self, euclidean_dataset):
+        result = solve_restricted_assigned(
+            euclidean_dataset, 2, assignment="expected-point", solver="epsilon", epsilon=0.25
+        )
+        # The certified deterministic factor is at most 2, so the end-to-end
+        # factor is at most 4 and at least 3 (2 + f with f >= 1).
+        assert 3.0 - 1e-9 <= result.guaranteed_factor <= 4.0 + 1e-9
+
+    def test_policy_instance_accepted(self, euclidean_dataset):
+        result = solve_restricted_assigned(euclidean_dataset, 2, assignment=ExpectedPointAssignment())
+        assert result.assignment_policy == "expected-point"
+
+    def test_unknown_policy_rejected(self, euclidean_dataset):
+        with pytest.raises(ValidationError):
+            solve_restricted_assigned(euclidean_dataset, 2, assignment="one-center")
+        with pytest.raises(ValidationError):
+            solve_restricted_assigned(euclidean_dataset, 2, assignment="nonsense")
+
+    def test_unknown_solver_rejected(self, euclidean_dataset):
+        with pytest.raises(ValidationError):
+            solve_restricted_assigned(euclidean_dataset, 2, solver="does-not-exist")
+
+    def test_rejected_on_graph_metric(self, graph_dataset):
+        with pytest.raises(NotSupportedError):
+            solve_restricted_assigned(graph_dataset, 2)
+
+    def test_custom_solver_callable(self, euclidean_dataset):
+        calls = {}
+
+        def solver(points, k, metric):
+            calls["points"] = points
+            return gonzalez_kcenter(points, k, metric)
+
+        result = solve_restricted_assigned(euclidean_dataset, 2, solver=solver)
+        assert "points" in calls
+        np.testing.assert_allclose(calls["points"], euclidean_dataset.expected_points())
+        assert result.guaranteed_factor == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("assignment", ["expected-distance", "expected-point"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_guarantee_vs_restricted_reference(self, assignment, seed):
+        # Theorem 2.2: cost <= (4 + f) / (2 + f) times the optimal cost under
+        # the *same* restricted assignment rule.  The brute-force reference
+        # over a rich candidate set upper-bounds that optimum, so the check
+        # below is conservative in the right direction.
+        dataset = make_uncertain_dataset(n=5, z=3, dimension=2, seed=seed, spread=6.0)
+        policy = ExpectedDistanceAssignment() if assignment == "expected-distance" else ExpectedPointAssignment()
+        reference = brute_force_restricted_assigned(dataset, 2, assignment=policy)
+        for solver in ("gonzalez", "epsilon"):
+            result = solve_restricted_assigned(dataset, 2, assignment=assignment, solver=solver)
+            assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-9
+
+    def test_k_one_reduces_to_one_center_problem(self, euclidean_dataset):
+        result = solve_restricted_assigned(euclidean_dataset, 1)
+        assert result.centers.shape == (1, 2)
+        assert np.all(result.assignment == 0)
+
+
+class TestUnrestrictedAssigned:
+    def test_result_structure(self, euclidean_dataset):
+        result = solve_unrestricted_assigned(euclidean_dataset, 2)
+        assert result.objective == "unrestricted-assigned"
+        assert result.assignment_policy == "expected-point"
+        assert result.metadata["theorem"] == "2.5"
+
+    def test_ed_variant_is_theorem_24(self, euclidean_dataset):
+        result = solve_unrestricted_assigned(euclidean_dataset, 2, assignment="expected-distance")
+        assert result.metadata["theorem"] == "2.4"
+        assert result.guaranteed_factor == pytest.approx(6.0)  # 4 + 2 with Gonzalez
+
+    def test_factor_bookkeeping(self, euclidean_dataset):
+        gonzalez = solve_unrestricted_assigned(euclidean_dataset, 2, solver="gonzalez")
+        assert gonzalez.guaranteed_factor == pytest.approx(4.0)  # 2 + 2
+        epsilon = solve_unrestricted_assigned(euclidean_dataset, 2, solver="epsilon")
+        assert epsilon.guaranteed_factor <= 4.0 + 1e-9
+
+    def test_polish_assignment_never_hurts(self, euclidean_dataset):
+        plain = solve_unrestricted_assigned(euclidean_dataset, 2, solver="gonzalez")
+        polished = solve_unrestricted_assigned(
+            euclidean_dataset, 2, solver="gonzalez", polish_assignment=True
+        )
+        assert polished.expected_cost <= plain.expected_cost + 1e-12
+
+    def test_unknown_assignment_rejected(self, euclidean_dataset):
+        with pytest.raises(ValidationError):
+            solve_unrestricted_assigned(euclidean_dataset, 2, assignment="one-center")
+
+    def test_rejected_on_graph_metric(self, graph_dataset):
+        with pytest.raises(NotSupportedError):
+            solve_unrestricted_assigned(graph_dataset, 2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_guarantee_vs_unrestricted_reference(self, seed):
+        # Theorems 2.4/2.5: cost <= (4 + f) / (2 + f) times the unrestricted
+        # optimum.  The reference is an upper bound of the optimum, making the
+        # assertion conservative.
+        dataset = make_uncertain_dataset(n=5, z=3, dimension=2, seed=seed + 40, spread=6.0)
+        reference = brute_force_unrestricted_assigned(dataset, 2)
+        lower_bound = assigned_cost_lower_bound(dataset, 2)
+        assert lower_bound <= reference.expected_cost + 1e-9
+        for assignment in ("expected-point", "expected-distance"):
+            for solver in ("gonzalez", "epsilon"):
+                result = solve_unrestricted_assigned(dataset, 2, assignment=assignment, solver=solver)
+                assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-9
+
+    def test_larger_instance_guarantee_vs_lower_bound(self):
+        # On instances too big for brute force the provable lower bound is the
+        # denominator; the measured ratio must stay within the guarantee.
+        dataset = make_uncertain_dataset(n=40, z=4, dimension=3, seed=77, spread=8.0)
+        result = solve_unrestricted_assigned(dataset, 4, solver="epsilon")
+        lower_bound = assigned_cost_lower_bound(dataset, 4)
+        assert lower_bound > 0
+        assert result.expected_cost <= result.guaranteed_factor * max(lower_bound, 1e-12) * 1.0 + 1e-9 or (
+            result.expected_cost / lower_bound <= result.guaranteed_factor + 1e-9
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for the assignment policies (ED, EP, OC, nearest-mode, optimal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import UncertainDataset, UncertainPoint
+from repro.assignments import (
+    ASSIGNMENT_POLICIES,
+    ExpectedDistanceAssignment,
+    ExpectedPointAssignment,
+    NearestLocationAssignment,
+    OneCenterAssignment,
+    OptimalAssignment,
+)
+from repro.cost import expected_cost_assigned, expected_distance_matrix
+from repro.exceptions import NotSupportedError
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+@pytest.fixture
+def instance():
+    dataset = make_uncertain_dataset(n=6, z=3, dimension=2, seed=11)
+    rng = np.random.default_rng(5)
+    centers = rng.normal(scale=5.0, size=(3, 2))
+    return dataset, centers
+
+
+class TestExpectedDistanceAssignment:
+    def test_minimises_expected_distance_per_point(self, instance):
+        dataset, centers = instance
+        labels = ExpectedDistanceAssignment()(dataset, centers)
+        matrix = expected_distance_matrix(dataset, centers)
+        np.testing.assert_array_equal(labels, matrix.argmin(axis=1))
+
+    def test_works_on_graph_metric(self, graph_dataset):
+        centers = graph_dataset.metric.all_elements()[:2]
+        labels = ExpectedDistanceAssignment()(graph_dataset, centers)
+        assert labels.shape == (graph_dataset.size,)
+        assert set(labels) <= {0, 1}
+
+
+class TestExpectedPointAssignment:
+    def test_assigns_to_nearest_expected_point(self, instance):
+        dataset, centers = instance
+        labels = ExpectedPointAssignment()(dataset, centers)
+        expected_points = dataset.expected_points()
+        manual = dataset.metric.pairwise(expected_points, centers).argmin(axis=1)
+        np.testing.assert_array_equal(labels, manual)
+
+    def test_rejected_on_finite_metric(self, graph_dataset):
+        centers = graph_dataset.metric.all_elements()[:2]
+        with pytest.raises(NotSupportedError):
+            ExpectedPointAssignment()(graph_dataset, centers)
+
+    def test_agrees_with_ed_for_certain_points(self, certain_dataset):
+        centers = certain_dataset.all_locations()[:2]
+        ed = ExpectedDistanceAssignment()(certain_dataset, centers)
+        ep = ExpectedPointAssignment()(certain_dataset, centers)
+        np.testing.assert_array_equal(ed, ep)
+
+
+class TestOneCenterAssignment:
+    def test_euclidean(self, instance):
+        dataset, centers = instance
+        labels = OneCenterAssignment()(dataset, centers)
+        assert labels.shape == (dataset.size,)
+        assert labels.min() >= 0 and labels.max() < centers.shape[0]
+
+    def test_graph_metric(self, graph_dataset):
+        centers = graph_dataset.metric.all_elements()[:3]
+        labels = OneCenterAssignment()(graph_dataset, centers)
+        assert labels.shape == (graph_dataset.size,)
+
+    def test_custom_candidates(self, instance):
+        dataset, centers = instance
+        candidates = dataset.all_locations()
+        labels = OneCenterAssignment(candidates=candidates)(dataset, centers)
+        assert labels.shape == (dataset.size,)
+
+
+class TestNearestLocationAssignment:
+    def test_uses_most_probable_location(self):
+        point_a = UncertainPoint(locations=[[0.0, 0.0], [10.0, 0.0]], probabilities=[0.9, 0.1])
+        point_b = UncertainPoint(locations=[[10.0, 0.0], [0.0, 0.0]], probabilities=[0.8, 0.2])
+        dataset = UncertainDataset(points=(point_a, point_b))
+        centers = np.array([[0.0, 0.0], [10.0, 0.0]])
+        labels = NearestLocationAssignment()(dataset, centers)
+        np.testing.assert_array_equal(labels, [0, 1])
+
+
+class TestOptimalAssignment:
+    def test_never_worse_than_expected_distance(self, instance):
+        dataset, centers = instance
+        ed_labels = ExpectedDistanceAssignment()(dataset, centers)
+        optimal_labels = OptimalAssignment()(dataset, centers)
+        ed_cost = expected_cost_assigned(dataset, centers, ed_labels)
+        optimal_cost = expected_cost_assigned(dataset, centers, optimal_labels)
+        assert optimal_cost <= ed_cost + 1e-12
+
+    def test_matches_exhaustive_on_micro_instance(self):
+        dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=21)
+        rng = np.random.default_rng(2)
+        centers = rng.normal(scale=4.0, size=(2, 2))
+        local = OptimalAssignment()(dataset, centers)
+        local_cost = expected_cost_assigned(dataset, centers, local)
+        from itertools import product
+
+        best = min(
+            expected_cost_assigned(dataset, centers, np.array(assignment))
+            for assignment in product(range(2), repeat=4)
+        )
+        assert local_cost == pytest.approx(best, rel=1e-9)
+
+
+class TestPolicyRegistry:
+    def test_registry_contents(self):
+        assert set(ASSIGNMENT_POLICIES) == {
+            "expected-distance",
+            "expected-point",
+            "one-center",
+            "nearest-mode-location",
+            "optimal-local",
+        }
+
+    def test_all_policies_return_valid_labels(self, instance):
+        dataset, centers = instance
+        for name, policy_cls in ASSIGNMENT_POLICIES.items():
+            policy = policy_cls()
+            labels = policy(dataset, centers)
+            assert labels.shape == (dataset.size,)
+            assert labels.dtype.kind == "i"
+            assert labels.min() >= 0 and labels.max() < centers.shape[0]

@@ -1,0 +1,158 @@
+"""Tests for the brute-force references and prior-work-style baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignments import ExpectedDistanceAssignment, ExpectedPointAssignment
+from repro.baselines import (
+    brute_force_restricted_assigned,
+    brute_force_unassigned,
+    brute_force_unrestricted_assigned,
+    cormode_mcgregor_baseline,
+    default_candidates,
+    guha_munagala_baseline,
+    wang_zhang_1d,
+)
+from repro.cost import expected_cost_assigned, expected_cost_unassigned
+from repro.exceptions import ValidationError
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+class TestDefaultCandidates:
+    def test_euclidean_includes_locations_and_expected_points(self, euclidean_dataset):
+        candidates = default_candidates(euclidean_dataset)
+        assert candidates.shape[0] == euclidean_dataset.total_locations + euclidean_dataset.size
+
+    def test_graph_metric_uses_all_elements(self, graph_dataset):
+        candidates = default_candidates(graph_dataset)
+        assert candidates.shape[0] == graph_dataset.metric.size
+
+
+class TestBruteForce:
+    def test_restricted_is_best_over_candidates(self):
+        dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=1)
+        policy = ExpectedDistanceAssignment()
+        result = brute_force_restricted_assigned(dataset, 2, assignment=policy)
+        # Verify optimality over a small random sample of candidate subsets.
+        candidates = default_candidates(dataset)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            subset = rng.choice(candidates.shape[0], size=2, replace=False)
+            centers = candidates[subset]
+            cost = expected_cost_assigned(dataset, centers, policy(dataset, centers))
+            assert result.expected_cost <= cost + 1e-9
+
+    def test_restricted_with_expected_point_policy(self):
+        dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=2)
+        result = brute_force_restricted_assigned(dataset, 2, assignment=ExpectedPointAssignment())
+        assert result.assignment_policy == "expected-point"
+        assert result.expected_cost > 0
+
+    def test_unrestricted_never_worse_than_restricted(self):
+        dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=3)
+        restricted = brute_force_restricted_assigned(dataset, 2)
+        unrestricted = brute_force_unrestricted_assigned(dataset, 2)
+        assert unrestricted.expected_cost <= restricted.expected_cost + 1e-9
+
+    def test_unassigned_never_worse_than_unrestricted(self):
+        dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=4)
+        unrestricted = brute_force_unrestricted_assigned(dataset, 2)
+        unassigned = brute_force_unassigned(dataset, 2)
+        assert unassigned.expected_cost <= unrestricted.expected_cost + 1e-9
+
+    def test_unrestricted_exhaustive_matches_polish_on_micro(self):
+        dataset = make_uncertain_dataset(n=3, z=2, dimension=2, seed=5)
+        exhaustive = brute_force_unrestricted_assigned(dataset, 2, exhaustive_assignment=True, polish_top=10_000)
+        polished = brute_force_unrestricted_assigned(dataset, 2, exhaustive_assignment=False)
+        assert exhaustive.expected_cost <= polished.expected_cost + 1e-9
+
+    def test_subset_cap_enforced(self):
+        dataset = make_uncertain_dataset(n=20, z=5, dimension=2, seed=6)
+        with pytest.raises(ValidationError):
+            brute_force_unassigned(dataset, 6)
+
+    def test_unassigned_cost_matches_engine(self):
+        dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=7)
+        result = brute_force_unassigned(dataset, 2)
+        assert result.expected_cost == pytest.approx(
+            expected_cost_unassigned(dataset, result.centers)
+        )
+
+    def test_works_on_graph_metric(self):
+        dataset = make_graph_dataset(n=4, z=2, nodes=10, seed=8)
+        result = brute_force_unrestricted_assigned(dataset, 2)
+        assert result.centers.shape == (2, 1)
+
+
+class TestPriorWorkBaselines:
+    def test_guha_munagala_respects_k(self, euclidean_dataset):
+        result = guha_munagala_baseline(euclidean_dataset, 2)
+        assert result.centers.shape[0] <= 2 or result.centers.shape[0] == 2
+        assert result.expected_cost > 0
+
+    def test_guha_munagala_on_graph(self, graph_dataset):
+        result = guha_munagala_baseline(graph_dataset, 2)
+        assert result.centers.shape[0] <= 2
+        assert result.expected_cost == pytest.approx(
+            expected_cost_assigned(graph_dataset, result.centers, result.assignment)
+        )
+
+    def test_guha_munagala_single_center(self, euclidean_dataset):
+        result = guha_munagala_baseline(euclidean_dataset, 1)
+        assert result.centers.shape[0] == 1
+
+    def test_cormode_mcgregor_structure(self, euclidean_dataset):
+        result = cormode_mcgregor_baseline(euclidean_dataset, 2)
+        assert result.centers.shape[0] == 2
+        assert "unassigned_cost" in result.metadata
+
+    def test_cormode_mcgregor_bicriteria_blowup(self, euclidean_dataset):
+        single = cormode_mcgregor_baseline(euclidean_dataset, 2, center_blowup=1.0)
+        doubled = cormode_mcgregor_baseline(euclidean_dataset, 2, center_blowup=2.0)
+        assert doubled.metadata["center_budget"] == 4
+        assert doubled.expected_cost <= single.expected_cost + 1e-9
+
+    def test_baselines_are_finite_and_positive(self, euclidean_dataset):
+        for result in (
+            guha_munagala_baseline(euclidean_dataset, 3),
+            cormode_mcgregor_baseline(euclidean_dataset, 3),
+        ):
+            assert np.isfinite(result.expected_cost)
+            assert result.expected_cost > 0
+
+
+class TestWangZhang1D:
+    def test_rejects_multidimensional_input(self, euclidean_dataset):
+        with pytest.raises(ValidationError):
+            wang_zhang_1d(euclidean_dataset, 2)
+
+    def test_result_structure(self, line_dataset):
+        result = wang_zhang_1d(line_dataset, 2)
+        assert result.centers.shape == (2, 1)
+        assert result.assignment_policy == "expected-distance"
+
+    def test_cost_matches_engine(self, line_dataset):
+        result = wang_zhang_1d(line_dataset, 2)
+        recomputed = expected_cost_assigned(line_dataset, result.centers, result.assignment)
+        assert result.expected_cost == pytest.approx(recomputed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_close_to_brute_force_on_micro_instances(self, seed):
+        dataset = make_uncertain_dataset(n=5, z=2, dimension=1, seed=seed, spread=8.0)
+        numerical = wang_zhang_1d(dataset, 2)
+        reference = brute_force_restricted_assigned(dataset, 2)
+        # The numerical solver searches continuous center positions, so it can
+        # only be better than the candidate-restricted brute force up to noise;
+        # require it never be more than 10% worse.
+        assert numerical.expected_cost <= 1.10 * reference.expected_cost + 1e-9
+
+    def test_theorem_2_3_chain(self):
+        # Theorem 2.3: the ED-restricted optimum is a 3-approximation of the
+        # unrestricted optimum; the numerical solver should stay within that
+        # bound of the unrestricted brute-force reference.
+        dataset = make_uncertain_dataset(n=5, z=2, dimension=1, seed=9, spread=8.0)
+        numerical = wang_zhang_1d(dataset, 2)
+        reference = brute_force_unrestricted_assigned(dataset, 2)
+        assert numerical.expected_cost <= 3.0 * reference.expected_cost + 1e-9

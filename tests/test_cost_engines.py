@@ -1,0 +1,162 @@
+"""Cross-validation of the three expected-cost engines and the cost wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignments import ExpectedDistanceAssignment
+from repro.cost import (
+    distance_supports_for_assignment,
+    distance_supports_for_centers,
+    enumerate_expected_cost_assigned,
+    enumerate_expected_cost_unassigned,
+    expected_cost_assigned,
+    expected_cost_unassigned,
+    expected_distance,
+    expected_distance_matrix,
+    expected_one_center_cost,
+    monte_carlo_cost_assigned,
+    monte_carlo_cost_unassigned,
+)
+from repro.exceptions import ValidationError
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+@pytest.fixture
+def small_instance():
+    dataset = make_uncertain_dataset(n=5, z=3, dimension=2, seed=7)
+    rng = np.random.default_rng(3)
+    centers = rng.normal(scale=4.0, size=(2, 2))
+    assignment = ExpectedDistanceAssignment()(dataset, centers)
+    return dataset, centers, assignment
+
+
+class TestExactVsEnumeration:
+    def test_unassigned_agreement(self, small_instance):
+        dataset, centers, _ = small_instance
+        exact = expected_cost_unassigned(dataset, centers)
+        enumerated = enumerate_expected_cost_unassigned(dataset, centers)
+        assert exact == pytest.approx(enumerated, rel=1e-10)
+
+    def test_assigned_agreement(self, small_instance):
+        dataset, centers, assignment = small_instance
+        exact = expected_cost_assigned(dataset, centers, assignment)
+        enumerated = enumerate_expected_cost_assigned(dataset, centers, assignment)
+        assert exact == pytest.approx(enumerated, rel=1e-10)
+
+    def test_agreement_on_graph_metric(self):
+        dataset = make_graph_dataset(n=4, z=2, nodes=12, seed=1)
+        centers = dataset.metric.all_elements()[:2]
+        assignment = ExpectedDistanceAssignment()(dataset, centers)
+        exact = expected_cost_assigned(dataset, centers, assignment)
+        enumerated = enumerate_expected_cost_assigned(dataset, centers, assignment)
+        assert exact == pytest.approx(enumerated, rel=1e-10)
+        exact_u = expected_cost_unassigned(dataset, centers)
+        enumerated_u = enumerate_expected_cost_unassigned(dataset, centers)
+        assert exact_u == pytest.approx(enumerated_u, rel=1e-10)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_random_instances(self, seed):
+        dataset = make_uncertain_dataset(n=4, z=3, dimension=2, seed=seed)
+        rng = np.random.default_rng(seed + 100)
+        centers = rng.normal(scale=5.0, size=(3, 2))
+        assignment = rng.integers(0, 3, size=4)
+        exact = expected_cost_assigned(dataset, centers, assignment)
+        enumerated = enumerate_expected_cost_assigned(dataset, centers, assignment)
+        assert exact == pytest.approx(enumerated, rel=1e-10)
+
+
+class TestMonteCarlo:
+    def test_unassigned_statistical_agreement(self, small_instance):
+        dataset, centers, _ = small_instance
+        exact = expected_cost_unassigned(dataset, centers)
+        estimate = monte_carlo_cost_unassigned(dataset, centers, samples=40_000, rng=0)
+        assert estimate.within(exact, sigmas=5.0)
+
+    def test_assigned_statistical_agreement(self, small_instance):
+        dataset, centers, assignment = small_instance
+        exact = expected_cost_assigned(dataset, centers, assignment)
+        estimate = monte_carlo_cost_assigned(dataset, centers, assignment, samples=40_000, rng=1)
+        assert estimate.within(exact, sigmas=5.0)
+
+    def test_confidence_interval_contains_value(self, small_instance):
+        dataset, centers, _ = small_instance
+        estimate = monte_carlo_cost_unassigned(dataset, centers, samples=5_000, rng=2)
+        low, high = estimate.confidence_interval
+        assert low <= estimate.value <= high
+
+    def test_assignment_length_validated(self, small_instance):
+        dataset, centers, _ = small_instance
+        with pytest.raises(ValidationError):
+            monte_carlo_cost_assigned(dataset, centers, np.array([0]), samples=10)
+
+    def test_seed_reproducibility(self, small_instance):
+        dataset, centers, _ = small_instance
+        a = monte_carlo_cost_unassigned(dataset, centers, samples=1000, rng=7)
+        b = monte_carlo_cost_unassigned(dataset, centers, samples=1000, rng=7)
+        assert a.value == pytest.approx(b.value)
+
+
+class TestCostStructure:
+    def test_unassigned_leq_assigned(self, small_instance):
+        # Assigning every realization of a point to one fixed center can only
+        # increase the expected max compared to always using the nearest center.
+        dataset, centers, assignment = small_instance
+        assert expected_cost_unassigned(dataset, centers) <= expected_cost_assigned(
+            dataset, centers, assignment
+        ) + 1e-12
+
+    def test_more_centers_never_hurt_unassigned(self, small_instance):
+        dataset, centers, _ = small_instance
+        extended = np.vstack([centers, np.array([[50.0, 50.0]])])
+        assert expected_cost_unassigned(dataset, extended) <= expected_cost_unassigned(dataset, centers) + 1e-12
+
+    def test_certain_dataset_reduces_to_deterministic_cost(self, certain_dataset):
+        centers = certain_dataset.all_locations()[:2]
+        assignment = ExpectedDistanceAssignment()(certain_dataset, centers)
+        exact = expected_cost_assigned(certain_dataset, centers, assignment)
+        # For certain points the expected max equals the deterministic max of
+        # the assigned distances.
+        metric = certain_dataset.metric
+        manual = max(
+            metric.distance(point.locations[0], centers[assignment[index]])
+            for index, point in enumerate(certain_dataset)
+        )
+        assert exact == pytest.approx(manual)
+
+    def test_expected_one_center_cost_matches_unassigned(self, small_instance):
+        dataset, centers, _ = small_instance
+        single = centers[0]
+        assert expected_one_center_cost(dataset, single) == pytest.approx(
+            expected_cost_unassigned(dataset, single.reshape(1, -1))
+        )
+
+    def test_supports_shapes(self, small_instance):
+        dataset, centers, assignment = small_instance
+        values, probabilities = distance_supports_for_assignment(dataset, centers, assignment)
+        assert len(values) == dataset.size
+        for point, value, probability in zip(dataset, values, probabilities):
+            assert value.shape == (point.support_size,)
+            assert probability.shape == (point.support_size,)
+        values_u, _ = distance_supports_for_centers(dataset, centers)
+        for point, value in zip(dataset, values_u):
+            assert value.shape == (point.support_size,)
+
+    def test_assignment_validation(self, small_instance):
+        dataset, centers, _ = small_instance
+        with pytest.raises(ValidationError):
+            expected_cost_assigned(dataset, centers, np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            expected_cost_assigned(dataset, centers, np.array([0, 1, 5, 0, 1]))
+
+    def test_expected_distance_wrappers(self, small_instance):
+        dataset, centers, _ = small_instance
+        value = expected_distance(dataset, 0, centers[0])
+        manual = dataset[0].expected_distance_to(centers[0], dataset.metric)
+        assert value == pytest.approx(manual)
+        matrix = expected_distance_matrix(dataset, centers)
+        assert matrix.shape == (dataset.size, 2)
+        assert matrix[0, 0] == pytest.approx(manual)
+        with pytest.raises(ValidationError):
+            expected_distance(dataset, 99, centers[0])

@@ -1,0 +1,196 @@
+"""Unit tests for the exact solvers, the epsilon refinement and 1-D k-center."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.deterministic import (
+    epsilon_kcenter,
+    exact_discrete_kcenter,
+    exact_euclidean_kcenter,
+    exact_kcenter_by_center_subsets,
+    gonzalez_kcenter,
+    intervals_needed,
+    one_dimensional_kcenter,
+    refine_centers_by_seb,
+)
+from repro.deterministic.exact import MAX_EXACT_PARTITION_POINTS
+from repro.exceptions import ValidationError
+from repro.metrics import EuclideanMetric, MatrixMetric
+
+coords = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+class TestExactSolvers:
+    def test_exact_euclidean_trivial(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0]])
+        result = exact_euclidean_kcenter(points, 1)
+        assert result.radius == pytest.approx(1.0, abs=1e-9)
+
+    def test_exact_euclidean_two_clusters(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        result = exact_euclidean_kcenter(points, 2)
+        assert result.radius == pytest.approx(0.5, abs=1e-9)
+
+    def test_exact_euclidean_rejects_large_instance(self, rng):
+        points = rng.normal(size=(MAX_EXACT_PARTITION_POINTS + 1, 2))
+        with pytest.raises(ValidationError):
+            exact_euclidean_kcenter(points, 2)
+
+    def test_exact_discrete_matches_subset_bruteforce(self, rng):
+        points = rng.normal(size=(12, 2))
+        a = exact_discrete_kcenter(points, 3)
+        b = exact_kcenter_by_center_subsets(points, 3)
+        assert a.radius == pytest.approx(b.radius, rel=1e-9)
+
+    def test_exact_discrete_not_worse_than_gonzalez(self, rng):
+        points = rng.normal(size=(25, 2))
+        exact = exact_discrete_kcenter(points, 3)
+        greedy = gonzalez_kcenter(points, 3)
+        assert exact.radius <= greedy.radius + 1e-9
+
+    def test_exact_discrete_on_finite_metric(self):
+        matrix = np.array(
+            [
+                [0.0, 1.0, 4.0, 5.0],
+                [1.0, 0.0, 3.0, 4.0],
+                [4.0, 3.0, 0.0, 1.0],
+                [5.0, 4.0, 1.0, 0.0],
+            ]
+        )
+        metric = MatrixMetric(matrix)
+        result = exact_discrete_kcenter(metric.all_elements(), 2, metric)
+        assert result.radius == pytest.approx(1.0)
+
+    def test_exact_discrete_custom_candidates(self, rng):
+        points = rng.normal(size=(8, 2))
+        candidates = np.vstack([points, points.mean(axis=0, keepdims=True)])
+        result = exact_discrete_kcenter(points, 1, candidates=candidates)
+        baseline = exact_discrete_kcenter(points, 1)
+        assert result.radius <= baseline.radius + 1e-12
+
+    def test_subset_bruteforce_cap(self, rng):
+        points = rng.normal(size=(40, 2))
+        with pytest.raises(ValidationError):
+            exact_kcenter_by_center_subsets(points, 10, max_combinations=10)
+
+    def test_continuous_beats_discrete(self, rng):
+        points = rng.normal(size=(9, 2))
+        continuous = exact_euclidean_kcenter(points, 2)
+        discrete = exact_discrete_kcenter(points, 2)
+        assert continuous.radius <= discrete.radius + 1e-9
+
+    @given(arrays(np.float64, (7, 2), elements=coords), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_exact_is_lower_bound_for_heuristics(self, points, k):
+        optimum = exact_euclidean_kcenter(points, k)
+        greedy = gonzalez_kcenter(points, k)
+        refined = epsilon_kcenter(points, k, 0.1)
+        assert optimum.radius <= greedy.radius + 1e-7
+        assert optimum.radius <= refined.radius + 1e-7
+
+
+class TestEpsilonKCenter:
+    def test_never_worse_than_gonzalez(self, rng):
+        points = rng.normal(size=(60, 2))
+        refined = epsilon_kcenter(points, 4, 0.1, seed=1)
+        greedy = gonzalez_kcenter(points, 4, first_index=None, seed=1)
+        assert refined.radius <= greedy.radius + 1e-9
+
+    def test_certified_factor_range(self, rng):
+        points = rng.normal(size=(50, 3))
+        result = epsilon_kcenter(points, 3)
+        assert 1.0 <= result.approximation_factor <= 2.0
+
+    def test_reports_lower_bound(self, rng):
+        points = rng.normal(size=(30, 2))
+        result = epsilon_kcenter(points, 3)
+        assert result.metadata["lower_bound"] <= result.radius + 1e-12
+
+    def test_well_separated_clusters_near_optimal(self):
+        rng = np.random.default_rng(1)
+        clusters = [np.zeros(2), np.array([50.0, 0.0]), np.array([0.0, 50.0])]
+        points = np.vstack([c + rng.normal(scale=1.0, size=(15, 2)) for c in clusters])
+        result = epsilon_kcenter(points, 3, 0.05)
+        optimum_estimate = max(
+            np.linalg.norm(points[i * 15 : (i + 1) * 15] - c, axis=1).max() for i, c in enumerate(clusters)
+        )
+        # SEB refinement should land within ~30% of the per-cluster optimum.
+        assert result.radius <= 1.3 * optimum_estimate
+
+    def test_grid_search_toggle(self, rng):
+        points = rng.normal(size=(25, 2))
+        on = epsilon_kcenter(points, 3, 0.1, grid_search=True, seed=0)
+        off = epsilon_kcenter(points, 3, 0.1, grid_search=False, seed=0)
+        assert on.radius <= off.radius + 1e-9
+
+    def test_refine_centers_by_seb_monotone(self, rng):
+        points = rng.normal(size=(40, 2))
+        seed_result = gonzalez_kcenter(points, 3)
+        _, refined_radius = refine_centers_by_seb(points, seed_result.centers)
+        assert refined_radius <= seed_result.radius + 1e-12
+
+    def test_k_one_matches_seb(self, rng):
+        points = rng.normal(size=(30, 2))
+        result = epsilon_kcenter(points, 1, 0.01)
+        from repro.geometry import smallest_enclosing_ball
+
+        assert result.radius == pytest.approx(smallest_enclosing_ball(points).radius, rel=1e-6)
+
+    def test_invalid_epsilon(self, rng):
+        with pytest.raises(ValidationError):
+            epsilon_kcenter(rng.normal(size=(10, 2)), 2, -0.5)
+
+
+class TestOneDimensional:
+    def test_intervals_needed(self):
+        values = np.array([0.0, 1.0, 2.0, 10.0, 11.0])
+        assert intervals_needed(values, 1.0) == 2
+        assert intervals_needed(values, 0.4) == 5
+        assert intervals_needed(values, 0.5) == 3
+        assert intervals_needed(values, 10.0) == 1
+
+    def test_simple_two_cluster_instance(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        result = one_dimensional_kcenter(points, 2)
+        assert result.radius == pytest.approx(0.5, abs=1e-9)
+
+    def test_single_center(self):
+        points = np.array([[0.0], [4.0]])
+        result = one_dimensional_kcenter(points, 1)
+        assert result.radius == pytest.approx(2.0, abs=1e-9)
+        assert result.centers[0, 0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_k_at_least_n(self):
+        points = np.array([[0.0], [5.0], [9.0]])
+        result = one_dimensional_kcenter(points, 5)
+        assert result.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_multidimensional(self, rng):
+        with pytest.raises(ValueError):
+            one_dimensional_kcenter(rng.normal(size=(5, 2)), 2)
+
+    def test_matches_exact_partition_solver(self, rng):
+        points = rng.normal(size=(9, 1)) * 10
+        fast = one_dimensional_kcenter(points, 3)
+        slow = exact_euclidean_kcenter(points, 3)
+        assert fast.radius == pytest.approx(slow.radius, abs=1e-6)
+
+    @given(arrays(np.float64, (10, 1), elements=coords), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_discrete_lower_bound(self, points, k):
+        result = one_dimensional_kcenter(points, k)
+        # Optimal radius can never exceed half the range and never be negative.
+        span = points.max() - points.min()
+        assert -1e-12 <= result.radius <= span / 2.0 + 1e-9
+
+    @given(arrays(np.float64, (8, 1), elements=coords))
+    @settings(max_examples=30, deadline=None)
+    def test_property_monotone_in_k(self, points):
+        radii = [one_dimensional_kcenter(points, k).radius for k in (1, 2, 3, 5)]
+        for previous, current in zip(radii, radii[1:]):
+            assert current <= previous + 1e-9

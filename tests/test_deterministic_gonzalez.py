@@ -1,0 +1,173 @@
+"""Unit and property tests for the Gonzalez and Hochbaum–Shmoys solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.deterministic import (
+    assign_to_nearest,
+    coverage_radius_per_center,
+    exact_euclidean_kcenter,
+    gonzalez_kcenter,
+    hochbaum_shmoys_kcenter,
+    kcenter_cost,
+)
+from repro.metrics import EuclideanMetric, ManhattanMetric, MatrixMetric
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestGonzalez:
+    def test_k_one_picks_seed(self, rng):
+        points = rng.normal(size=(10, 2))
+        result = gonzalez_kcenter(points, 1)
+        assert result.k == 1
+        np.testing.assert_allclose(result.centers[0], points[0])
+
+    def test_k_equals_n_zero_radius(self, rng):
+        points = rng.normal(size=(6, 2))
+        result = gonzalez_kcenter(points, 6)
+        assert result.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_larger_than_n_clamped(self, rng):
+        points = rng.normal(size=(4, 2))
+        result = gonzalez_kcenter(points, 10)
+        assert result.k <= 4
+
+    def test_centers_are_input_points(self, rng):
+        points = rng.normal(size=(20, 3))
+        result = gonzalez_kcenter(points, 4)
+        for center in result.centers:
+            assert any(np.allclose(center, point) for point in points)
+
+    def test_labels_consistent_with_centers(self, rng):
+        points = rng.normal(size=(30, 2))
+        result = gonzalez_kcenter(points, 3)
+        labels, distances = assign_to_nearest(points, result.centers, EuclideanMetric())
+        np.testing.assert_array_equal(labels, result.labels)
+        assert result.radius == pytest.approx(distances.max())
+
+    def test_well_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        clusters = [np.array([0.0, 0.0]), np.array([100.0, 0.0]), np.array([0.0, 100.0])]
+        points = np.vstack([c + rng.normal(scale=0.5, size=(10, 2)) for c in clusters])
+        result = gonzalez_kcenter(points, 3)
+        # Each true cluster must contain exactly one chosen center.
+        assignment = [np.argmin([np.linalg.norm(center - c) for c in clusters]) for center in result.centers]
+        assert sorted(assignment) == [0, 1, 2]
+        assert result.radius < 5.0
+
+    def test_duplicate_points_early_stop(self):
+        points = np.array([[1.0, 1.0]] * 5)
+        result = gonzalez_kcenter(points, 3)
+        assert result.radius == 0.0
+        assert result.k >= 1
+
+    def test_invalid_first_index(self, rng):
+        with pytest.raises(IndexError):
+            gonzalez_kcenter(rng.normal(size=(5, 2)), 2, first_index=9)
+
+    def test_random_seed_start(self, rng):
+        points = rng.normal(size=(15, 2))
+        result = gonzalez_kcenter(points, 3, first_index=None, seed=5)
+        assert result.k == 3
+
+    def test_works_with_other_metric(self, rng):
+        points = rng.normal(size=(20, 2))
+        result = gonzalez_kcenter(points, 3, ManhattanMetric())
+        assert result.radius == pytest.approx(kcenter_cost(points, result.centers, ManhattanMetric()))
+
+    def test_works_on_finite_metric(self):
+        matrix = np.array(
+            [
+                [0.0, 1.0, 2.0, 3.0],
+                [1.0, 0.0, 1.0, 2.0],
+                [2.0, 1.0, 0.0, 1.0],
+                [3.0, 2.0, 1.0, 0.0],
+            ]
+        )
+        metric = MatrixMetric(matrix)
+        result = gonzalez_kcenter(metric.all_elements(), 2, metric)
+        assert result.radius <= 1.0 + 1e-12
+
+    @given(arrays(np.float64, (12, 2), elements=coords), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_two_approximation(self, points, k):
+        greedy = gonzalez_kcenter(points, k)
+        if points.shape[0] <= 10:
+            optimum = exact_euclidean_kcenter(points[:10], k)
+            # (only compare when the instance was small enough to solve exactly)
+            if points.shape[0] <= 10:
+                assert greedy.radius <= 2.0 * optimum.radius + 1e-7
+
+    @given(arrays(np.float64, (10, 2), elements=coords))
+    @settings(max_examples=30, deadline=None)
+    def test_property_radius_decreases_with_k(self, points):
+        radii = [gonzalez_kcenter(points, k).radius for k in (1, 2, 4, 8)]
+        for previous, current in zip(radii, radii[1:]):
+            assert current <= previous + 1e-9
+
+
+class TestHochbaumShmoys:
+    def test_two_approximation_vs_exact(self, rng):
+        points = rng.normal(size=(10, 2))
+        result = hochbaum_shmoys_kcenter(points, 3)
+        optimum = exact_euclidean_kcenter(points, 3)
+        assert result.radius <= 2.0 * optimum.radius + 1e-7
+
+    def test_centers_are_input_points(self, rng):
+        points = rng.normal(size=(15, 2))
+        result = hochbaum_shmoys_kcenter(points, 4)
+        for center in result.centers:
+            assert any(np.allclose(center, point) for point in points)
+
+    def test_radius_matches_assignment(self, rng):
+        points = rng.normal(size=(20, 2))
+        result = hochbaum_shmoys_kcenter(points, 3)
+        assert result.radius == pytest.approx(kcenter_cost(points, result.centers, EuclideanMetric()))
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(5, 2))
+        result = hochbaum_shmoys_kcenter(points, 5)
+        assert result.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_on_finite_metric_uses_threshold(self):
+        matrix = np.array(
+            [
+                [0.0, 1.0, 4.0, 5.0],
+                [1.0, 0.0, 3.0, 4.0],
+                [4.0, 3.0, 0.0, 1.0],
+                [5.0, 4.0, 1.0, 0.0],
+            ]
+        )
+        metric = MatrixMetric(matrix)
+        result = hochbaum_shmoys_kcenter(metric.all_elements(), 2, metric)
+        assert result.radius <= 2.0  # two natural clusters {0,1} and {2,3}
+
+    def test_comparable_to_gonzalez(self, rng):
+        points = rng.normal(size=(40, 2))
+        hs = hochbaum_shmoys_kcenter(points, 4).radius
+        gz = gonzalez_kcenter(points, 4).radius
+        # Both are 2-approximations; neither should be more than 2x the other.
+        assert hs <= 2.0 * gz + 1e-9
+        assert gz <= 2.0 * hs + 1e-9
+
+
+class TestAssignHelpers:
+    def test_coverage_radius_per_center(self, rng):
+        points = rng.normal(size=(20, 2))
+        result = gonzalez_kcenter(points, 3)
+        radii = coverage_radius_per_center(points, result.centers, EuclideanMetric())
+        assert radii.shape == (3,)
+        assert radii.max() == pytest.approx(result.radius)
+
+    def test_kcenter_cost_matches_manual(self, rng):
+        points = rng.normal(size=(10, 2))
+        centers = points[:2]
+        metric = EuclideanMetric()
+        expected = max(min(np.linalg.norm(p - c) for c in centers) for p in points)
+        assert kcenter_cost(points, centers, metric) == pytest.approx(expected)

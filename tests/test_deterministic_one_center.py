@@ -1,0 +1,84 @@
+"""Unit tests for the deterministic 1-center solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deterministic import (
+    discrete_one_center,
+    discrete_weighted_one_center,
+    euclidean_one_center,
+    one_center_cost,
+)
+from repro.metrics import EuclideanMetric, MatrixMetric
+
+
+class TestEuclideanOneCenter:
+    def test_matches_seb(self, rng):
+        points = rng.normal(size=(20, 2))
+        ball = euclidean_one_center(points)
+        assert ball.contains_all(points)
+        assert ball.radius == pytest.approx(one_center_cost(points, ball.center), rel=1e-9)
+
+
+class TestDiscreteOneCenter:
+    def test_picks_best_candidate(self):
+        metric = EuclideanMetric()
+        points = np.array([[0.0, 0.0], [2.0, 0.0], [4.0, 0.0]])
+        center, radius = discrete_one_center(points, metric)
+        np.testing.assert_allclose(center, [2.0, 0.0])
+        assert radius == pytest.approx(2.0)
+
+    def test_custom_candidates(self):
+        metric = EuclideanMetric()
+        points = np.array([[0.0, 0.0], [4.0, 0.0]])
+        candidates = np.array([[2.0, 0.0], [0.0, 0.0]])
+        center, radius = discrete_one_center(points, metric, candidates)
+        np.testing.assert_allclose(center, [2.0, 0.0])
+        assert radius == pytest.approx(2.0)
+
+    def test_on_finite_metric_uses_all_elements(self):
+        matrix = np.array(
+            [
+                [0.0, 1.0, 2.0],
+                [1.0, 0.0, 1.0],
+                [2.0, 1.0, 0.0],
+            ]
+        )
+        metric = MatrixMetric(matrix)
+        # Points are elements 0 and 2; the best center is element 1 (radius 1)
+        # even though it is not one of the points.
+        points = np.array([[0.0], [2.0]])
+        center, radius = discrete_one_center(points, metric)
+        assert center[0] == pytest.approx(1.0)
+        assert radius == pytest.approx(1.0)
+
+
+class TestDiscreteWeightedOneCenter:
+    def test_minimises_expected_distance(self):
+        metric = EuclideanMetric()
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        weights = np.array([0.9, 0.1])
+        candidates = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        center, value = discrete_weighted_one_center(points, weights, metric, candidates)
+        # Expected distances: at 0 -> 1.0, at 5 -> 5.0, at 10 -> 9.0.
+        np.testing.assert_allclose(center, [0.0, 0.0])
+        assert value == pytest.approx(1.0)
+
+    def test_uniform_weights_reduce_to_expected_distance_median(self):
+        metric = EuclideanMetric()
+        points = np.array([[0.0], [1.0], [10.0]])
+        weights = np.full(3, 1.0 / 3.0)
+        center, value = discrete_weighted_one_center(points, weights, metric)
+        # Candidate 1.0 minimises (1 + 0 + 9)/3.
+        assert center[0] == pytest.approx(1.0)
+        assert value == pytest.approx(10.0 / 3.0)
+
+    def test_value_consistent_with_manual_computation(self, rng):
+        metric = EuclideanMetric()
+        points = rng.normal(size=(6, 2))
+        weights = rng.dirichlet(np.ones(6))
+        center, value = discrete_weighted_one_center(points, weights, metric)
+        manual = float((weights * np.linalg.norm(points - center, axis=1)).sum())
+        assert value == pytest.approx(manual, rel=1e-9)

@@ -1,0 +1,116 @@
+"""Unit tests for the geometric median and the small geometry helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.geometry import (
+    bounding_box,
+    bounding_box_diagonal,
+    centroid,
+    exact_diameter,
+    farthest_point_index,
+    geometric_median,
+    median_objective,
+    unique_points,
+)
+
+coords = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False, allow_infinity=False)
+
+
+class TestGeometricMedian:
+    def test_single_point(self):
+        np.testing.assert_allclose(geometric_median([[2.0, 3.0]]), [2.0, 3.0])
+
+    def test_two_points_any_point_on_segment_is_optimal(self):
+        median = geometric_median([[0.0, 0.0], [2.0, 0.0]])
+        value = median_objective([[0.0, 0.0], [2.0, 0.0]], median)
+        assert value == pytest.approx(2.0, abs=1e-6)
+
+    def test_symmetric_square_center(self):
+        points = [[1.0, 1.0], [1.0, -1.0], [-1.0, 1.0], [-1.0, -1.0]]
+        median = geometric_median(points)
+        np.testing.assert_allclose(median, [0.0, 0.0], atol=1e-6)
+
+    def test_dominant_weight_snaps_to_point(self):
+        points = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]]
+        weights = [100.0, 1.0, 1.0]
+        median = geometric_median(points, weights)
+        np.testing.assert_allclose(median, [0.0, 0.0], atol=1e-3)
+
+    def test_collinear_weighted_median(self):
+        # In 1-D the geometric median is the weighted median.
+        points = [[0.0], [1.0], [2.0], [3.0], [4.0]]
+        median = geometric_median(points)
+        assert median[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_identical_points(self):
+        median = geometric_median([[1.0, 2.0]] * 6)
+        np.testing.assert_allclose(median, [1.0, 2.0], atol=1e-9)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValidationError):
+            geometric_median([[0.0], [1.0]], weights=[1.0])
+        with pytest.raises(ValidationError):
+            geometric_median([[0.0], [1.0]], weights=[-1.0, 2.0])
+        with pytest.raises(ValidationError):
+            geometric_median([[0.0], [1.0]], weights=[0.0, 0.0])
+
+    @given(arrays(np.float64, (7, 2), elements=coords))
+    @settings(max_examples=40, deadline=None)
+    def test_property_beats_every_input_point(self, points):
+        median = geometric_median(points)
+        best_input = min(median_objective(points, point) for point in points)
+        assert median_objective(points, median) <= best_input + 1e-6
+
+    @given(
+        arrays(np.float64, (6, 2), elements=coords),
+        arrays(np.float64, (3, 2), elements=coords),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_beats_random_candidates(self, points, candidates):
+        median = geometric_median(points)
+        value = median_objective(points, median)
+        for candidate in candidates:
+            assert value <= median_objective(points, candidate) + 1e-6
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        lower, upper = bounding_box([[0.0, 1.0], [2.0, -1.0]])
+        np.testing.assert_allclose(lower, [0.0, -1.0])
+        np.testing.assert_allclose(upper, [2.0, 1.0])
+
+    def test_bounding_box_diagonal(self):
+        assert bounding_box_diagonal([[0.0, 0.0], [3.0, 4.0]]) == pytest.approx(5.0)
+
+    def test_exact_diameter(self):
+        points = [[0.0, 0.0], [1.0, 1.0], [3.0, 4.0]]
+        assert exact_diameter(points) == pytest.approx(5.0)
+
+    def test_exact_diameter_single_point(self):
+        assert exact_diameter([[1.0, 1.0]]) == 0.0
+
+    def test_centroid(self):
+        np.testing.assert_allclose(centroid([[0.0, 0.0], [2.0, 2.0]]), [1.0, 1.0])
+
+    def test_weighted_centroid(self):
+        value = centroid(np.array([[0.0], [10.0]]), weights=np.array([3.0, 1.0]))
+        assert value[0] == pytest.approx(2.5)
+
+    def test_farthest_point_index(self):
+        points = np.array([[0.0, 0.0], [5.0, 0.0], [1.0, 1.0]])
+        assert farthest_point_index(points, np.array([0.0, 0.0])) == 1
+
+    def test_unique_points(self):
+        points = [[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]
+        assert unique_points(points).shape == (2, 2)
+
+    def test_diameter_upper_bounded_by_box_diagonal(self, rng):
+        points = rng.normal(size=(20, 3))
+        assert exact_diameter(points) <= bounding_box_diagonal(points) + 1e-9

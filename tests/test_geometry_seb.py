@@ -1,0 +1,142 @@
+"""Unit and property tests for the smallest-enclosing-ball solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.geometry import (
+    Ball,
+    ritter_ball,
+    smallest_enclosing_ball,
+    weighted_one_center,
+    welzl_ball,
+)
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestBall:
+    def test_contains(self):
+        ball = Ball(center=np.array([0.0, 0.0]), radius=1.0)
+        assert ball.contains(np.array([0.5, 0.5]))
+        assert not ball.contains(np.array([2.0, 0.0]))
+
+    def test_contains_all(self):
+        ball = Ball(center=np.array([0.0, 0.0]), radius=2.0)
+        points = np.array([[1.0, 0.0], [0.0, -1.5]])
+        assert ball.contains_all(points)
+
+
+class TestSmallestEnclosingBall:
+    def test_single_point(self):
+        ball = smallest_enclosing_ball([[3.0, 4.0]])
+        np.testing.assert_allclose(ball.center, [3.0, 4.0])
+        assert ball.radius == 0.0
+
+    def test_two_points(self):
+        ball = smallest_enclosing_ball([[0.0, 0.0], [2.0, 0.0]])
+        np.testing.assert_allclose(ball.center, [1.0, 0.0], atol=1e-9)
+        assert ball.radius == pytest.approx(1.0, abs=1e-9)
+
+    def test_equilateral_triangle(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        ball = smallest_enclosing_ball(points)
+        assert ball.radius == pytest.approx(1.0 / np.sqrt(3), abs=1e-8)
+
+    def test_obtuse_triangle_uses_two_points(self):
+        # For an obtuse triangle the SEB is the diameter of the longest side.
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 0.1]])
+        ball = smallest_enclosing_ball(points)
+        assert ball.radius == pytest.approx(5.0, abs=1e-6)
+
+    def test_collinear_points(self):
+        points = np.array([[float(i), 0.0] for i in range(7)])
+        ball = smallest_enclosing_ball(points)
+        assert ball.radius == pytest.approx(3.0, abs=1e-8)
+        np.testing.assert_allclose(ball.center, [3.0, 0.0], atol=1e-7)
+
+    def test_duplicate_points(self):
+        points = np.array([[1.0, 1.0]] * 5 + [[3.0, 1.0]])
+        ball = smallest_enclosing_ball(points)
+        assert ball.radius == pytest.approx(1.0, abs=1e-8)
+
+    def test_square_in_3d(self):
+        points = np.array(
+            [[1.0, 1.0, 0.0], [1.0, -1.0, 0.0], [-1.0, 1.0, 0.0], [-1.0, -1.0, 0.0]]
+        )
+        ball = smallest_enclosing_ball(points)
+        assert ball.radius == pytest.approx(np.sqrt(2.0), abs=1e-8)
+
+    def test_high_dimension_fallback(self, rng):
+        points = rng.normal(size=(30, 20))
+        ball = smallest_enclosing_ball(points)
+        assert ball.contains_all(points, atol=1e-6)
+        # The numerical solver should be within a few percent of the best
+        # single-point bound.
+        assert ball.radius <= 1.05 * ritter_ball(points).radius
+
+    def test_matches_ritter_upper_bound(self, rng):
+        points = rng.normal(size=(40, 3))
+        exact = smallest_enclosing_ball(points)
+        approx = ritter_ball(points)
+        assert exact.radius <= approx.radius + 1e-9
+
+    @given(arrays(np.float64, (8, 2), elements=coords))
+    @settings(max_examples=60, deadline=None)
+    def test_property_covers_and_not_larger_than_ritter(self, points):
+        ball = smallest_enclosing_ball(points)
+        assert ball.contains_all(points, atol=1e-6)
+        assert ball.radius <= ritter_ball(points).radius + 1e-6
+
+    @given(arrays(np.float64, (6, 3), elements=coords))
+    @settings(max_examples=40, deadline=None)
+    def test_property_radius_at_least_half_diameter(self, points):
+        ball = smallest_enclosing_ball(points)
+        diameter = max(
+            np.linalg.norm(points[i] - points[j]) for i in range(len(points)) for j in range(len(points))
+        )
+        assert ball.radius >= diameter / 2.0 - 1e-7
+
+
+class TestWelzlDirect:
+    def test_matches_public_entry(self, rng):
+        points = rng.normal(size=(25, 2))
+        a = welzl_ball(points, seed=0)
+        b = smallest_enclosing_ball(points)
+        assert a.radius == pytest.approx(b.radius, rel=1e-9)
+
+    def test_seed_invariance(self, rng):
+        points = rng.normal(size=(25, 3))
+        radii = {round(welzl_ball(points, seed=s).radius, 9) for s in range(4)}
+        assert len(radii) == 1
+
+
+class TestWeightedOneCenter:
+    def test_uniform_weights_match_seb(self, rng):
+        points = rng.normal(size=(15, 2))
+        seb = smallest_enclosing_ball(points)
+        weighted = weighted_one_center(points, np.ones(15))
+        objective_seb = np.linalg.norm(points - seb.center, axis=1).max()
+        objective_weighted = np.linalg.norm(points - weighted.center, axis=1).max()
+        assert objective_weighted <= objective_seb * 1.02 + 1e-9
+
+    def test_heavier_point_pulls_center(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        weights = np.array([10.0, 1.0])
+        ball = weighted_one_center(points, weights)
+        # The optimal weighted center sits where 10*d0 = 1*d1 along the segment.
+        assert ball.center[0] < 2.0
+
+    def test_rejects_bad_weights(self):
+        points = np.array([[0.0], [1.0]])
+        with pytest.raises(ValidationError):
+            weighted_one_center(points, [1.0])
+        with pytest.raises(ValidationError):
+            weighted_one_center(points, [-1.0, 1.0])
+        with pytest.raises(ValidationError):
+            weighted_one_center(points, [0.0, 0.0])

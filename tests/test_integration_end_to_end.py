@@ -1,0 +1,131 @@
+"""Integration tests exercising the full pipeline across modules.
+
+Each test mirrors a realistic usage path: generate a workload, run the
+paper's algorithm, verify the guarantee against references/lower bounds, and
+cross-check the cost with an independent engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExpectedDistanceAssignment,
+    UncertainDataset,
+    assigned_cost_lower_bound,
+    brute_force_unrestricted_assigned,
+    cormode_mcgregor_baseline,
+    expected_cost_assigned,
+    expected_cost_unassigned,
+    gaussian_clusters,
+    graph_uncertain_workload,
+    guha_munagala_baseline,
+    heavy_tailed,
+    line_workload,
+    monte_carlo_cost_assigned,
+    solve_metric_unrestricted,
+    solve_restricted_assigned,
+    solve_uncertain_kmedian,
+    solve_unrestricted_assigned,
+    wang_zhang_1d,
+)
+
+
+class TestEuclideanPipeline:
+    def test_gaussian_workload_end_to_end(self):
+        dataset, spec = gaussian_clusters(n=50, z=4, dimension=2, k_true=4, seed=1)
+        result = solve_unrestricted_assigned(dataset, 4, solver="epsilon", epsilon=0.1)
+
+        # Exact cost agrees with an independent Monte-Carlo estimate.
+        estimate = monte_carlo_cost_assigned(
+            dataset, result.centers, result.assignment, samples=20_000, rng=0
+        )
+        assert estimate.within(result.expected_cost, sigmas=5.0)
+
+        # Guarantee holds against the provable lower bound.
+        lower_bound = assigned_cost_lower_bound(dataset, 4)
+        assert lower_bound > 0
+        assert result.expected_cost / lower_bound <= result.guaranteed_factor + 1e-9
+
+        # The well-clustered workload should be solved nearly optimally.
+        assert result.expected_cost / lower_bound < 2.5
+
+    def test_restricted_vs_unrestricted_consistency(self):
+        dataset, _ = gaussian_clusters(n=30, z=3, dimension=3, k_true=3, seed=2)
+        restricted = solve_restricted_assigned(dataset, 3, assignment="expected-point", solver="epsilon")
+        unrestricted = solve_unrestricted_assigned(dataset, 3, assignment="expected-point", solver="epsilon")
+        # Identical reduction => identical centers and costs; only the claimed
+        # benchmark differs.
+        np.testing.assert_allclose(restricted.centers, unrestricted.centers)
+        assert restricted.expected_cost == pytest.approx(unrestricted.expected_cost)
+
+    def test_heavy_tailed_beats_naive_baselines(self):
+        dataset, _ = heavy_tailed(n=40, z=5, dimension=2, seed=3)
+        ours = solve_unrestricted_assigned(dataset, 3, solver="epsilon")
+        gm = guha_munagala_baseline(dataset, 3)
+        cm = cormode_mcgregor_baseline(dataset, 3)
+        assert ours.expected_cost <= gm.expected_cost + 1e-9
+        assert ours.expected_cost <= cm.expected_cost + 1e-9
+
+    def test_unassigned_cost_of_solution_is_cheaper(self):
+        dataset, _ = gaussian_clusters(n=25, z=3, dimension=2, seed=4)
+        result = solve_unrestricted_assigned(dataset, 3)
+        unassigned = expected_cost_unassigned(dataset, result.centers)
+        assert unassigned <= result.expected_cost + 1e-12
+
+
+class TestOneDimensionalPipeline:
+    def test_line_workload_theorem_2_3_chain(self):
+        dataset, _ = line_workload(n=8, z=2, segment_count=2, seed=5)
+        wz = wang_zhang_1d(dataset, 2)
+        reference = brute_force_unrestricted_assigned(dataset, 2)
+        assert wz.expected_cost <= 3.0 * reference.expected_cost + 1e-9
+
+
+class TestGraphPipeline:
+    def test_sensor_network_end_to_end(self):
+        dataset, _ = graph_uncertain_workload(n=12, z=3, node_count=30, seed=6)
+        result = solve_metric_unrestricted(dataset, 3, assignment="one-center")
+        # Centers must be nodes and the reported cost must be reproducible.
+        for center in result.centers:
+            assert float(center[0]).is_integer()
+        recomputed = expected_cost_assigned(dataset, result.centers, result.assignment)
+        assert result.expected_cost == pytest.approx(recomputed)
+        lower_bound = assigned_cost_lower_bound(dataset, 3)
+        if lower_bound > 0:
+            assert result.expected_cost / lower_bound <= result.guaranteed_factor + 1e-9
+
+
+class TestSerializationPipeline:
+    def test_json_round_trip_preserves_solution(self, tmp_path):
+        dataset, _ = gaussian_clusters(n=10, z=3, dimension=2, seed=7)
+        path = tmp_path / "workload.json"
+        dataset.save_json(path)
+        restored = UncertainDataset.load_json(path)
+        original = solve_restricted_assigned(dataset, 2, solver="gonzalez")
+        reloaded = solve_restricted_assigned(restored, 2, solver="gonzalez")
+        assert original.expected_cost == pytest.approx(reloaded.expected_cost)
+
+
+class TestExtensionPipeline:
+    def test_kcenter_and_kmedian_agree_on_clusters(self):
+        # On well separated clusters both objectives should recover the same
+        # cluster structure (same partition of points).
+        dataset, _ = gaussian_clusters(n=30, z=3, dimension=2, k_true=3, cluster_spread=30.0, seed=8)
+        kcenter = solve_unrestricted_assigned(dataset, 3, solver="epsilon")
+        kmedian = solve_uncertain_kmedian(dataset, 3)
+
+        def partition_signature(assignment):
+            groups = {}
+            for index, label in enumerate(assignment):
+                groups.setdefault(int(label), set()).add(index)
+            return frozenset(frozenset(group) for group in groups.values())
+
+        assert partition_signature(kcenter.assignment) == partition_signature(kmedian.assignment)
+
+    def test_expected_distance_assignment_stability(self):
+        dataset, _ = gaussian_clusters(n=20, z=3, dimension=2, seed=9)
+        result = solve_restricted_assigned(dataset, 3, assignment="expected-distance")
+        policy = ExpectedDistanceAssignment()
+        np.testing.assert_array_equal(result.assignment, policy(dataset, result.centers))

@@ -1,0 +1,108 @@
+"""Tests for the CSV location-table import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import dump_location_table, load_location_table
+from repro.exceptions import ProbabilityError, ValidationError
+from repro.io import dataset_from_records
+from tests.conftest import make_uncertain_dataset
+
+
+class TestDatasetFromRecords:
+    def test_basic_grouping(self):
+        records = [
+            ("a", 0.7, 0.0, 0.0),
+            ("a", 0.3, 1.0, 0.0),
+            ("b", 1.0, 5.0, 5.0),
+        ]
+        dataset = dataset_from_records(records)
+        assert dataset.size == 2
+        assert dataset[0].label == "a"
+        assert dataset[0].support_size == 2
+        assert dataset[1].is_certain
+
+    def test_order_of_first_appearance_preserved(self):
+        records = [
+            ("z-last", 1.0, 0.0),
+            ("a-first", 0.5, 1.0),
+            ("a-first", 0.5, 2.0),
+        ]
+        dataset = dataset_from_records(records)
+        assert [point.label for point in dataset] == ["z-last", "a-first"]
+
+    def test_unnormalised_weights_need_flag(self):
+        records = [("a", 2.0, 0.0), ("a", 2.0, 1.0)]
+        with pytest.raises(ProbabilityError):
+            dataset_from_records(records)
+        dataset = dataset_from_records(records, normalize=True)
+        np.testing.assert_allclose(dataset[0].probabilities, [0.5, 0.5])
+
+    def test_bad_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            dataset_from_records([("a", 1.0)])
+        with pytest.raises(ValidationError):
+            dataset_from_records([("a", "not-a-number", 0.0)])
+        with pytest.raises(ValidationError):
+            dataset_from_records([])
+
+    def test_inconsistent_dimension_rejected(self):
+        records = [("a", 1.0, 0.0), ("b", 1.0, 0.0, 1.0)]
+        with pytest.raises(ValidationError):
+            dataset_from_records(records)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_dataset(self, tmp_path):
+        dataset = make_uncertain_dataset(n=5, z=3, dimension=2, seed=13)
+        path = tmp_path / "table.csv"
+        dump_location_table(dataset, path)
+        restored = load_location_table(path)
+        assert restored.size == dataset.size
+        np.testing.assert_allclose(restored.all_locations(), dataset.all_locations())
+        np.testing.assert_allclose(restored.all_probabilities(), dataset.all_probabilities())
+        assert [point.label for point in restored] == [point.label for point in dataset]
+
+    def test_header_written(self, tmp_path):
+        dataset = make_uncertain_dataset(n=2, z=2, dimension=3, seed=1)
+        path = tmp_path / "table.csv"
+        dump_location_table(dataset, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "entity,probability,x0,x1,x2"
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_location_table(path)
+
+    def test_load_rejects_short_header(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("entity,probability\n")
+        with pytest.raises(ValidationError):
+            load_location_table(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("entity,probability,x0\na,0.5,0.0\n\na,0.5,1.0\n")
+        dataset = load_location_table(path)
+        assert dataset.size == 1
+        assert dataset[0].support_size == 2
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "table.tsv"
+        path.write_text("entity\tprobability\tx0\na\t1.0\t3.5\n")
+        dataset = load_location_table(path, delimiter="\t")
+        assert dataset[0].locations[0, 0] == pytest.approx(3.5)
+
+    def test_loaded_dataset_is_solvable(self, tmp_path):
+        from repro import solve_unrestricted_assigned
+
+        dataset = make_uncertain_dataset(n=6, z=2, dimension=2, seed=2)
+        path = tmp_path / "table.csv"
+        dump_location_table(dataset, path)
+        restored = load_location_table(path)
+        result = solve_unrestricted_assigned(restored, 2)
+        assert result.expected_cost > 0

@@ -1,0 +1,124 @@
+"""Unit and property tests for the normed vector-space metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import MetricError
+from repro.metrics import ChebyshevMetric, EuclideanMetric, ManhattanMetric, MinkowskiMetric
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestEuclideanMetric:
+    def test_distance_matches_numpy(self, rng):
+        metric = EuclideanMetric()
+        a, b = rng.normal(size=2), rng.normal(size=2)
+        assert metric.distance(a, b) == pytest.approx(np.linalg.norm(a - b))
+
+    def test_pairwise_shape_and_values(self, rng):
+        metric = EuclideanMetric()
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(6, 3))
+        matrix = metric.pairwise(a, b)
+        assert matrix.shape == (4, 6)
+        for i in range(4):
+            for j in range(6):
+                assert matrix[i, j] == pytest.approx(np.linalg.norm(a[i] - b[j]), abs=1e-9)
+
+    def test_dimension_mismatch_raises(self):
+        metric = EuclideanMetric()
+        with pytest.raises(MetricError):
+            metric.distance([0.0, 0.0], [0.0, 0.0, 0.0])
+        with pytest.raises(MetricError):
+            metric.pairwise(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_supports_expected_point(self):
+        assert EuclideanMetric().supports_expected_point is True
+
+    def test_distance_to_set_and_nearest(self, rng):
+        metric = EuclideanMetric()
+        centers = np.array([[0.0, 0.0], [10.0, 0.0]])
+        point = np.array([1.0, 0.0])
+        assert metric.distance_to_set(point, centers) == pytest.approx(1.0)
+        index, distance = metric.nearest_center(point, centers)
+        assert index == 0 and distance == pytest.approx(1.0)
+
+    def test_diameter(self):
+        metric = EuclideanMetric()
+        points = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        assert metric.diameter(points) == pytest.approx(5.0)
+
+    def test_axioms_on_sample(self, rng):
+        metric = EuclideanMetric()
+        assert metric.check_axioms(rng.normal(size=(12, 3)))
+
+
+class TestOtherNorms:
+    def test_manhattan(self):
+        metric = ManhattanMetric()
+        assert metric.distance([0.0, 0.0], [1.0, 2.0]) == pytest.approx(3.0)
+
+    def test_chebyshev(self):
+        metric = ChebyshevMetric()
+        assert metric.distance([0.0, 0.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_minkowski_p3(self):
+        metric = MinkowskiMetric(order=3)
+        expected = (1.0**3 + 2.0**3) ** (1.0 / 3.0)
+        assert metric.distance([0.0, 0.0], [1.0, 2.0]) == pytest.approx(expected)
+
+    def test_minkowski_invalid_order(self):
+        with pytest.raises(MetricError):
+            MinkowskiMetric(order=0.5)
+
+    def test_ordering_between_norms(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        chebyshev = ChebyshevMetric().distance(a, b)
+        euclidean = EuclideanMetric().distance(a, b)
+        manhattan = ManhattanMetric().distance(a, b)
+        assert chebyshev <= euclidean + 1e-12 <= manhattan + 1e-9
+
+    def test_pairwise_generic_order(self, rng):
+        metric = MinkowskiMetric(order=3)
+        a = rng.normal(size=(3, 2))
+        b = rng.normal(size=(4, 2))
+        matrix = metric.pairwise(a, b)
+        assert matrix.shape == (3, 4)
+        assert matrix[1, 2] == pytest.approx(metric.distance(a[1], b[2]))
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.float64, (5, 2), elements=finite_floats),
+        arrays(np.float64, (5, 2), elements=finite_floats),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_and_nonnegativity(self, a, b):
+        metric = EuclideanMetric()
+        forward = metric.pairwise(a, b)
+        backward = metric.pairwise(b, a)
+        assert np.all(forward >= 0)
+        np.testing.assert_allclose(forward, backward.T, atol=1e-8)
+
+    @given(
+        arrays(np.float64, (3,), elements=finite_floats),
+        arrays(np.float64, (3,), elements=finite_floats),
+        arrays(np.float64, (3,), elements=finite_floats),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        for metric in (EuclideanMetric(), ManhattanMetric(), ChebyshevMetric()):
+            ab = metric.distance(a, b)
+            bc = metric.distance(b, c)
+            ac = metric.distance(a, c)
+            assert ac <= ab + bc + 1e-8
+
+    @given(arrays(np.float64, (4,), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, a):
+        assert EuclideanMetric().distance(a, a) == pytest.approx(0.0, abs=1e-12)

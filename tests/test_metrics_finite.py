@@ -1,0 +1,149 @@
+"""Unit tests for the finite metrics (distance matrix and graph)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError, ValidationError
+from repro.metrics import GraphMetric, MatrixMetric
+
+
+def simple_matrix() -> np.ndarray:
+    # A path metric on 4 points: 0 - 1 - 2 - 3 with unit edges.
+    return np.array(
+        [
+            [0.0, 1.0, 2.0, 3.0],
+            [1.0, 0.0, 1.0, 2.0],
+            [2.0, 1.0, 0.0, 1.0],
+            [3.0, 2.0, 1.0, 0.0],
+        ]
+    )
+
+
+class TestMatrixMetric:
+    def test_basic_distances(self):
+        metric = MatrixMetric(simple_matrix())
+        assert metric.size == 4
+        assert metric.distance(metric.element(0), metric.element(3)) == pytest.approx(3.0)
+        assert metric.distance([1.0], [2.0]) == pytest.approx(1.0)
+
+    def test_pairwise(self):
+        metric = MatrixMetric(simple_matrix())
+        points = np.array([[0.0], [2.0]])
+        matrix = metric.pairwise(points, metric.all_elements())
+        assert matrix.shape == (2, 4)
+        np.testing.assert_allclose(matrix[0], [0.0, 1.0, 2.0, 3.0])
+
+    def test_candidate_centers_are_all_elements(self):
+        metric = MatrixMetric(simple_matrix())
+        candidates = metric.candidate_centers(np.array([[1.0]]))
+        assert candidates.shape == (4, 1)
+
+    def test_rejects_asymmetric(self):
+        bad = simple_matrix()
+        bad[0, 1] = 5.0
+        with pytest.raises(MetricError):
+            MatrixMetric(bad)
+
+    def test_rejects_negative(self):
+        bad = simple_matrix()
+        bad[0, 1] = bad[1, 0] = -1.0
+        with pytest.raises(MetricError):
+            MatrixMetric(bad)
+
+    def test_rejects_nonzero_diagonal(self):
+        bad = simple_matrix()
+        bad[1, 1] = 0.5
+        with pytest.raises(MetricError):
+            MatrixMetric(bad)
+
+    def test_rejects_triangle_violation(self):
+        bad = simple_matrix()
+        bad[0, 3] = bad[3, 0] = 100.0
+        with pytest.raises(MetricError):
+            MatrixMetric(bad)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            MatrixMetric(np.zeros((2, 3)))
+
+    def test_rejects_fractional_point(self):
+        metric = MatrixMetric(simple_matrix())
+        with pytest.raises(MetricError):
+            metric.distance([0.5], [1.0])
+
+    def test_rejects_out_of_range_index(self):
+        metric = MatrixMetric(simple_matrix())
+        with pytest.raises(MetricError):
+            metric.distance([0.0], [9.0])
+        with pytest.raises(MetricError):
+            metric.element(7)
+
+    def test_matrix_view_is_readonly(self):
+        metric = MatrixMetric(simple_matrix())
+        with pytest.raises(ValueError):
+            metric.matrix[0, 0] = 1.0
+
+    def test_does_not_support_expected_point(self):
+        assert MatrixMetric(simple_matrix()).supports_expected_point is False
+
+
+class TestGraphMetric:
+    def make_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_weighted_edges_from([("a", "b", 1.0), ("b", "c", 2.0), ("c", "d", 1.0), ("a", "d", 5.0)])
+        return graph
+
+    def test_shortest_path_distances(self):
+        metric = GraphMetric(self.make_graph())
+        a, d = metric.point_for("a"), metric.point_for("d")
+        # a-b-c-d = 4, direct a-d = 5, so the metric distance is 4.
+        assert metric.distance(a, d) == pytest.approx(4.0)
+
+    def test_node_round_trip(self):
+        metric = GraphMetric(self.make_graph())
+        for node in metric.nodes:
+            assert metric.node_of(metric.point_for(node)) == node
+
+    def test_points_for_batch(self):
+        metric = GraphMetric(self.make_graph())
+        points = metric.points_for(["a", "c"])
+        assert points.shape == (2, 1)
+
+    def test_unknown_node_raises(self):
+        metric = GraphMetric(self.make_graph())
+        with pytest.raises(MetricError):
+            metric.index_of("missing")
+
+    def test_disconnected_graph_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=1.0)
+        graph.add_node("lonely")
+        with pytest.raises(MetricError):
+            GraphMetric(graph)
+
+    def test_directed_graph_rejected(self):
+        with pytest.raises(MetricError):
+            GraphMetric(nx.DiGraph([("a", "b")]))
+
+    def test_negative_weight_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=-1.0)
+        with pytest.raises(MetricError):
+            GraphMetric(graph)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            GraphMetric(nx.Graph())
+
+    def test_unweighted_edges_default_to_one(self):
+        graph = nx.path_graph(4)
+        metric = GraphMetric(graph)
+        assert metric.distance(metric.element(0), metric.element(3)) == pytest.approx(3.0)
+
+    def test_axioms_hold(self):
+        graph = nx.connected_watts_strogatz_graph(15, 4, 0.2, seed=3)
+        metric = GraphMetric(graph)
+        assert metric.check_axioms(metric.all_elements())

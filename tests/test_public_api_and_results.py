@@ -1,0 +1,91 @@
+"""Tests for the public API surface and the result dataclasses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms.result import UncertainKCenterResult
+from repro.deterministic.result import KCenterResult
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists {name} but it is not importable"
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "UncertainPoint",
+            "UncertainDataset",
+            "solve_restricted_assigned",
+            "solve_unrestricted_assigned",
+            "solve_metric_unrestricted",
+            "expected_point_one_center",
+            "expected_cost_assigned",
+            "gonzalez_kcenter",
+            "gaussian_clusters",
+        ):
+            assert name in repro.__all__
+
+    def test_quickstart_docstring_example_runs(self):
+        points = [
+            repro.UncertainPoint(locations=[[0.0, 0.0], [0.5, 0.2]], probabilities=[0.7, 0.3]),
+            repro.UncertainPoint(locations=[[5.0, 5.0], [5.3, 4.9]], probabilities=[0.5, 0.5]),
+            repro.UncertainPoint(locations=[[0.2, -0.1], [0.1, 0.3]], probabilities=[0.6, 0.4]),
+        ]
+        dataset = repro.UncertainDataset(points=tuple(points))
+        result = repro.solve_unrestricted_assigned(dataset, k=2)
+        assert result.centers.shape == (2, 2)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.ProbabilityError, repro.ValidationError)
+        assert issubclass(repro.NotSupportedError, repro.ReproError)
+        assert issubclass(repro.ValidationError, ValueError)
+
+
+class TestKCenterResult:
+    def test_summary_and_clusters(self, rng):
+        points = rng.normal(size=(10, 2))
+        result = repro.gonzalez_kcenter(points, 3)
+        assert result.k == 3
+        assert "k=3" in result.summary()
+        all_members = np.concatenate([result.cluster_indices(i) for i in range(3)])
+        assert sorted(all_members.tolist()) == list(range(10))
+
+    def test_exact_summary_wording(self, rng):
+        points = rng.normal(size=(6, 2))
+        result = repro.exact_euclidean_kcenter(points, 2)
+        assert "exact" in result.summary()
+
+    def test_dataclass_fields(self, rng):
+        result = KCenterResult(
+            centers=np.zeros((1, 2)), labels=np.zeros(3, dtype=int), radius=1.0, approximation_factor=None
+        )
+        assert "heuristic" in result.summary()
+
+
+class TestUncertainKCenterResult:
+    def test_summary_contains_fields(self, euclidean_dataset):
+        result = repro.solve_unrestricted_assigned(euclidean_dataset, 2)
+        text = result.summary()
+        assert "unrestricted-assigned" in text
+        assert "Ecost" in text
+        assert "opt" in text  # the guarantee clause
+
+    def test_k_property(self, euclidean_dataset):
+        result = repro.solve_restricted_assigned(euclidean_dataset, 3)
+        assert result.k == 3
+
+    def test_minimal_construction(self):
+        result = UncertainKCenterResult(
+            centers=np.zeros((2, 2)), expected_cost=1.0, objective="unassigned"
+        )
+        assert result.assignment is None
+        assert "unassigned" in result.summary()

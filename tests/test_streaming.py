@@ -1,0 +1,84 @@
+"""Tests for the streaming uncertain 1-center sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import expected_point_one_center, refined_uncertain_one_center
+from repro.exceptions import ValidationError
+from repro.uncertain import StreamingOneCenterSketch, UncertainDataset
+from tests.conftest import make_uncertain_dataset
+
+
+class TestStreamingSketch:
+    def test_empty_sketch_rejects_queries(self):
+        sketch = StreamingOneCenterSketch()
+        with pytest.raises(ValidationError):
+            _ = sketch.center
+        with pytest.raises(ValidationError):
+            sketch.estimated_cost()
+
+    def test_center_is_first_points_expected_point(self, euclidean_dataset):
+        sketch = StreamingOneCenterSketch()
+        sketch.extend(euclidean_dataset.points)
+        np.testing.assert_allclose(sketch.center, euclidean_dataset[0].expected_point())
+        assert sketch.count == euclidean_dataset.size
+        assert sketch.guaranteed_factor == 2.0
+
+    def test_matches_batch_theorem_2_1(self, euclidean_dataset):
+        sketch = StreamingOneCenterSketch()
+        sketch.extend(euclidean_dataset.points)
+        batch = expected_point_one_center(euclidean_dataset)
+        exact_cost = sketch.finalise(euclidean_dataset)
+        assert exact_cost == pytest.approx(batch.expected_cost)
+
+    def test_factor_two_guarantee_holds(self):
+        dataset = make_uncertain_dataset(n=12, z=3, dimension=2, seed=3)
+        sketch = StreamingOneCenterSketch()
+        sketch.extend(dataset.points)
+        reference = refined_uncertain_one_center(dataset)
+        assert sketch.finalise(dataset) <= 2.0 * reference.expected_cost + 1e-9
+
+    def test_estimated_cost_exact_when_reservoir_large(self):
+        dataset = make_uncertain_dataset(n=10, z=2, dimension=2, seed=5)
+        sketch = StreamingOneCenterSketch(reservoir_size=100)
+        sketch.extend(dataset.points)
+        assert sketch.estimated_cost() == pytest.approx(sketch.finalise(dataset))
+
+    def test_estimated_cost_reasonable_when_sampling(self):
+        dataset = make_uncertain_dataset(n=60, z=2, dimension=2, seed=6)
+        sketch = StreamingOneCenterSketch(reservoir_size=20, seed=1)
+        sketch.extend(dataset.points)
+        exact = sketch.finalise(dataset)
+        estimate = sketch.estimated_cost()
+        # The sample estimate is downward biased but must stay in the ballpark.
+        assert 0.3 * exact <= estimate <= exact + 1e-9
+
+    def test_reservoir_respects_memory_bound(self):
+        dataset = make_uncertain_dataset(n=50, z=2, dimension=2, seed=7)
+        sketch = StreamingOneCenterSketch(reservoir_size=8)
+        sketch.extend(dataset.points)
+        assert len(sketch._reservoir) == 8
+
+    def test_dimension_change_rejected(self):
+        sketch = StreamingOneCenterSketch()
+        first = make_uncertain_dataset(n=1, z=2, dimension=2, seed=0)[0]
+        second = make_uncertain_dataset(n=1, z=2, dimension=3, seed=0)[0]
+        sketch.update(first)
+        with pytest.raises(ValidationError):
+            sketch.update(second)
+
+    def test_non_point_rejected(self):
+        sketch = StreamingOneCenterSketch()
+        with pytest.raises(ValidationError):
+            sketch.update("not a point")
+
+    def test_order_only_affects_anchor(self):
+        dataset = make_uncertain_dataset(n=8, z=2, dimension=2, seed=9)
+        forward = StreamingOneCenterSketch()
+        forward.extend(dataset.points)
+        backward = StreamingOneCenterSketch()
+        backward.extend(tuple(reversed(dataset.points)))
+        np.testing.assert_allclose(forward.center, dataset[0].expected_point())
+        np.testing.assert_allclose(backward.center, dataset[-1].expected_point())

@@ -1,0 +1,124 @@
+"""Tests for the k-supplier substrate and the facility-restricted variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import k_supplier, exact_k_supplier, solve_facility_restricted
+from repro.baselines import brute_force_unrestricted_assigned
+from repro.cost import expected_cost_assigned
+from repro.exceptions import ValidationError
+from repro.metrics import EuclideanMetric
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+class TestKSupplier:
+    def test_centers_come_from_facilities(self, rng):
+        clients = rng.normal(size=(20, 2))
+        facilities = rng.normal(size=(8, 2)) * 2
+        result = k_supplier(clients, facilities, 3)
+        for center in result.centers:
+            assert any(np.allclose(center, facility) for facility in facilities)
+
+    def test_three_approximation_vs_exact(self, rng):
+        clients = rng.normal(size=(12, 2))
+        facilities = rng.normal(size=(6, 2))
+        approx = k_supplier(clients, facilities, 2)
+        exact = exact_k_supplier(clients, facilities, 2)
+        assert exact.radius <= approx.radius + 1e-9
+        assert approx.radius <= 3.0 * exact.radius + 1e-7
+
+    def test_exact_is_optimal_over_facility_subsets(self, rng):
+        from itertools import combinations
+
+        clients = rng.normal(size=(8, 2))
+        facilities = rng.normal(size=(5, 2))
+        metric = EuclideanMetric()
+        exact = exact_k_supplier(clients, facilities, 2)
+        best = min(
+            metric.pairwise(clients, facilities[list(subset)]).min(axis=1).max()
+            for subset in combinations(range(5), 2)
+        )
+        assert exact.radius == pytest.approx(best, rel=1e-9)
+
+    def test_single_facility(self, rng):
+        clients = rng.normal(size=(10, 2))
+        facilities = np.array([[0.0, 0.0]])
+        result = k_supplier(clients, facilities, 3)
+        assert result.centers.shape == (1, 2)
+        assert result.radius == pytest.approx(np.linalg.norm(clients, axis=1).max())
+
+    def test_k_larger_than_facilities_clamped(self, rng):
+        clients = rng.normal(size=(6, 2))
+        facilities = rng.normal(size=(2, 2))
+        result = k_supplier(clients, facilities, 5)
+        assert result.centers.shape[0] <= 2
+
+    def test_exact_rejects_large_instances(self, rng):
+        clients = rng.normal(size=(250, 2))
+        facilities = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError):
+            exact_k_supplier(clients, facilities, 2)
+
+    def test_approximation_factor_metadata(self, rng):
+        clients = rng.normal(size=(10, 2))
+        facilities = rng.normal(size=(4, 2))
+        assert k_supplier(clients, facilities, 2).approximation_factor == 3.0
+        assert exact_k_supplier(clients, facilities, 2).approximation_factor == 1.0
+
+
+class TestFacilityRestrictedUncertain:
+    def test_centers_restricted_to_facilities(self, euclidean_dataset, rng):
+        facilities = rng.normal(scale=5.0, size=(6, 2))
+        result = solve_facility_restricted(euclidean_dataset, 2, facilities)
+        for center in result.centers:
+            assert any(np.allclose(center, facility) for facility in facilities)
+        assert result.objective == "facility-restricted-assigned"
+
+    def test_cost_consistent_with_engine(self, euclidean_dataset, rng):
+        facilities = rng.normal(scale=5.0, size=(6, 2))
+        result = solve_facility_restricted(euclidean_dataset, 2, facilities)
+        recomputed = expected_cost_assigned(euclidean_dataset, result.centers, result.assignment)
+        assert result.expected_cost == pytest.approx(recomputed)
+
+    def test_exact_never_worse_than_approximate(self, euclidean_dataset, rng):
+        facilities = rng.normal(scale=5.0, size=(6, 2))
+        approx = solve_facility_restricted(euclidean_dataset, 2, facilities, exact=False)
+        exact = solve_facility_restricted(euclidean_dataset, 2, facilities, exact=True)
+        # The exact supplier solver gives a smaller (or equal) deterministic
+        # radius, which typically (not provably per-instance) carries over.
+        assert exact.metadata["deterministic_factor"] == 1.0
+        assert approx.metadata["deterministic_factor"] == 3.0
+
+    def test_guarantee_vs_facility_restricted_reference(self):
+        # The guarantee is relative to the best assigned solution whose
+        # centers sit on facilities; brute force over the facilities provides
+        # that reference on micro instances.
+        dataset = make_uncertain_dataset(n=5, z=2, dimension=2, seed=31, spread=6.0)
+        rng = np.random.default_rng(0)
+        facilities = np.vstack([dataset.expected_points(), rng.normal(scale=6.0, size=(3, 2))])
+        reference = brute_force_unrestricted_assigned(dataset, 2, candidates=facilities)
+        for assignment in ("expected-distance", "expected-point"):
+            result = solve_facility_restricted(dataset, 2, facilities, assignment=assignment)
+            assert result.guaranteed_factor is not None
+            assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-9
+
+    def test_graph_metric_variant(self, graph_dataset):
+        facilities = graph_dataset.metric.all_elements()[::2]
+        result = solve_facility_restricted(graph_dataset, 2, facilities, assignment="one-center")
+        size = graph_dataset.metric.size
+        for center in result.centers:
+            assert 0 <= int(center[0]) < size
+        assert result.guaranteed_factor == pytest.approx(3.0 + 2.0 * 3.0)
+
+    def test_unknown_assignment_rejected(self, euclidean_dataset, rng):
+        facilities = rng.normal(size=(4, 2))
+        with pytest.raises(ValidationError):
+            solve_facility_restricted(euclidean_dataset, 2, facilities, assignment="bogus")
+
+    def test_expected_point_assignment_factor(self, euclidean_dataset, rng):
+        facilities = rng.normal(scale=5.0, size=(6, 2))
+        result = solve_facility_restricted(euclidean_dataset, 2, facilities, assignment="expected-point")
+        # 2 + f with the 3-approximate supplier solver.
+        assert result.guaranteed_factor == pytest.approx(5.0)

@@ -1,0 +1,156 @@
+"""Property-based end-to-end checks of the paper's approximation guarantees.
+
+These are the reproduction's core correctness tests: on randomly generated
+micro instances (where a brute-force reference is affordable) every theorem's
+guarantee must hold between the algorithm's exact expected cost and the
+reference.  The references upper-bound the true optima, which makes each
+assertion conservative — a failure would be a genuine violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import UncertainDataset, UncertainPoint
+from repro.algorithms import (
+    expected_point_one_center,
+    refined_uncertain_one_center,
+    solve_metric_unrestricted,
+    solve_restricted_assigned,
+    solve_unrestricted_assigned,
+)
+from repro.assignments import ExpectedDistanceAssignment, ExpectedPointAssignment
+from repro.baselines import (
+    brute_force_restricted_assigned,
+    brute_force_unrestricted_assigned,
+)
+from repro.metrics import MatrixMetric
+
+coordinate = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def euclidean_instance(draw, max_points: int = 5, max_support: int = 3, dimension: int = 2):
+    """A random small Euclidean uncertain dataset."""
+    n = draw(st.integers(min_value=2, max_value=max_points))
+    points = []
+    for _ in range(n):
+        z = draw(st.integers(min_value=1, max_value=max_support))
+        locations = np.array(
+            [[draw(coordinate) for _ in range(dimension)] for _ in range(z)]
+        )
+        raw = np.array([draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(z)])
+        points.append(UncertainPoint(locations=locations, probabilities=raw / raw.sum()))
+    return UncertainDataset(points=tuple(points))
+
+
+@st.composite
+def finite_metric_instance(draw, elements: int = 8, max_points: int = 4, max_support: int = 3):
+    """A random small uncertain dataset over a random finite metric.
+
+    The metric is the shortest-path closure of a random symmetric weight
+    matrix, which always satisfies the triangle inequality.
+    """
+    raw = np.array(
+        [[draw(st.floats(min_value=0.5, max_value=10.0)) for _ in range(elements)] for _ in range(elements)]
+    )
+    symmetric = (raw + raw.T) / 2.0
+    np.fill_diagonal(symmetric, 0.0)
+    # Floyd–Warshall closure to enforce the triangle inequality.
+    closure = symmetric.copy()
+    for middle in range(elements):
+        closure = np.minimum(closure, closure[:, middle][:, None] + closure[middle, :][None, :])
+    metric = MatrixMetric(closure)
+
+    n = draw(st.integers(min_value=2, max_value=max_points))
+    points = []
+    for _ in range(n):
+        z = draw(st.integers(min_value=1, max_value=max_support))
+        chosen = draw(
+            st.lists(st.integers(min_value=0, max_value=elements - 1), min_size=z, max_size=z)
+        )
+        locations = np.array(chosen, dtype=float).reshape(-1, 1)
+        raw_probabilities = np.array([draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(z)])
+        points.append(
+            UncertainPoint(locations=locations, probabilities=raw_probabilities / raw_probabilities.sum())
+        )
+    return UncertainDataset(points=tuple(points), metric=metric)
+
+
+COMMON_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestTheorem21Property:
+    @given(euclidean_instance())
+    @settings(**COMMON_SETTINGS)
+    def test_expected_point_is_2_approximation(self, dataset):
+        theorem = expected_point_one_center(dataset)
+        reference = refined_uncertain_one_center(dataset)
+        assert theorem.expected_cost <= 2.0 * reference.expected_cost + 1e-7
+
+
+class TestTheorem22Property:
+    @given(euclidean_instance(), st.integers(min_value=1, max_value=3), st.sampled_from(["gonzalez", "epsilon"]))
+    @settings(**COMMON_SETTINGS)
+    def test_expected_distance_guarantee(self, dataset, k, solver):
+        result = solve_restricted_assigned(dataset, k, assignment="expected-distance", solver=solver)
+        reference = brute_force_restricted_assigned(dataset, k, assignment=ExpectedDistanceAssignment())
+        assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-7
+
+    @given(euclidean_instance(), st.integers(min_value=1, max_value=3), st.sampled_from(["gonzalez", "epsilon"]))
+    @settings(**COMMON_SETTINGS)
+    def test_expected_point_guarantee(self, dataset, k, solver):
+        result = solve_restricted_assigned(dataset, k, assignment="expected-point", solver=solver)
+        reference = brute_force_restricted_assigned(dataset, k, assignment=ExpectedPointAssignment())
+        assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-7
+
+
+class TestTheorems2425Property:
+    @given(euclidean_instance(), st.integers(min_value=1, max_value=3))
+    @settings(**COMMON_SETTINGS)
+    def test_unrestricted_guarantees(self, dataset, k):
+        reference = brute_force_unrestricted_assigned(dataset, k)
+        for assignment in ("expected-point", "expected-distance"):
+            result = solve_unrestricted_assigned(dataset, k, assignment=assignment, solver="gonzalez")
+            assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-7
+
+
+class TestTheorems2627Property:
+    @given(finite_metric_instance(), st.integers(min_value=1, max_value=3))
+    @settings(**COMMON_SETTINGS)
+    def test_metric_guarantees(self, dataset, k):
+        reference = brute_force_unrestricted_assigned(dataset, k)
+        for assignment in ("one-center", "expected-distance"):
+            result = solve_metric_unrestricted(dataset, k, assignment=assignment, solver="gonzalez")
+            assert result.expected_cost <= result.guaranteed_factor * reference.expected_cost + 1e-7
+
+
+class TestStructuralProperties:
+    @given(euclidean_instance(), st.integers(min_value=1, max_value=3))
+    @settings(**COMMON_SETTINGS)
+    def test_assignment_hierarchy(self, dataset, k):
+        # Unassigned optimum <= unrestricted assigned optimum <= ED-restricted
+        # optimum, all over the same candidate set.
+        from repro.baselines import brute_force_unassigned
+
+        unassigned = brute_force_unassigned(dataset, k)
+        unrestricted = brute_force_unrestricted_assigned(dataset, k)
+        restricted = brute_force_restricted_assigned(dataset, k)
+        assert unassigned.expected_cost <= unrestricted.expected_cost + 1e-9
+        assert unrestricted.expected_cost <= restricted.expected_cost + 1e-9
+
+    @given(euclidean_instance())
+    @settings(**COMMON_SETTINGS)
+    def test_lower_bound_below_reference(self, dataset):
+        from repro.bounds import assigned_cost_lower_bound
+
+        k = 2
+        reference = brute_force_unrestricted_assigned(dataset, k)
+        assert assigned_cost_lower_bound(dataset, k) <= reference.expected_cost + 1e-9

@@ -1,0 +1,134 @@
+"""Unit tests for :class:`repro.UncertainPoint`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EuclideanMetric, ManhattanMetric, UncertainPoint
+from repro.exceptions import NotSupportedError, ProbabilityError, ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        point = UncertainPoint(locations=[[0.0, 0.0], [1.0, 1.0]], probabilities=[0.4, 0.6])
+        assert point.support_size == 2
+        assert point.dimension == 2
+        assert not point.is_certain
+
+    def test_certain_constructor(self):
+        point = UncertainPoint.certain([2.0, 3.0], label="x")
+        assert point.is_certain
+        assert point.support_size == 1
+        np.testing.assert_allclose(point.expected_point(), [2.0, 3.0])
+
+    def test_uniform_constructor(self):
+        point = UncertainPoint.uniform([[0.0], [1.0], [2.0]])
+        np.testing.assert_allclose(point.probabilities, [1 / 3] * 3)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ProbabilityError):
+            UncertainPoint(locations=[[0.0], [1.0]], probabilities=[0.3, 0.3])
+
+    def test_probability_location_count_mismatch(self):
+        with pytest.raises(ProbabilityError):
+            UncertainPoint(locations=[[0.0], [1.0]], probabilities=[1.0])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ProbabilityError):
+            UncertainPoint(locations=[[0.0], [1.0]], probabilities=[1.5, -0.5])
+
+    def test_empty_locations_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertainPoint(locations=np.empty((0, 2)), probabilities=np.array([]))
+
+    def test_arrays_are_immutable(self):
+        point = UncertainPoint.uniform([[0.0], [1.0]])
+        with pytest.raises(ValueError):
+            point.locations[0, 0] = 9.0
+        with pytest.raises(ValueError):
+            point.probabilities[0] = 0.0
+
+    def test_iteration_and_len(self):
+        point = UncertainPoint(locations=[[0.0], [1.0]], probabilities=[0.25, 0.75])
+        assert len(point) == 2
+        pairs = list(point)
+        assert pairs[0][1] == pytest.approx(0.25)
+
+
+class TestExpectations:
+    def test_expected_point(self):
+        point = UncertainPoint(locations=[[0.0, 0.0], [2.0, 4.0]], probabilities=[0.5, 0.5])
+        np.testing.assert_allclose(point.expected_point(), [1.0, 2.0])
+
+    def test_expected_distance(self):
+        point = UncertainPoint(locations=[[0.0], [2.0]], probabilities=[0.5, 0.5])
+        value = point.expected_distance_to([0.0], EuclideanMetric())
+        assert value == pytest.approx(1.0)
+
+    def test_expected_distance_jensen_inequality(self, rng):
+        # Lemma 3.1: d(P̄, Q) <= E[d(P, Q)] in a normed space.
+        locations = rng.normal(size=(5, 3))
+        probabilities = rng.dirichlet(np.ones(5))
+        point = UncertainPoint(locations=locations, probabilities=probabilities)
+        target = rng.normal(size=3)
+        for metric in (EuclideanMetric(), ManhattanMetric()):
+            lhs = metric.distance(point.expected_point(), target)
+            rhs = point.expected_distance_to(target, metric)
+            assert lhs <= rhs + 1e-9
+
+    def test_expected_distances_to_many(self, rng):
+        point = UncertainPoint.uniform(rng.normal(size=(4, 2)))
+        targets = rng.normal(size=(3, 2))
+        values = point.expected_distances_to_many(targets, EuclideanMetric())
+        assert values.shape == (3,)
+        for index in range(3):
+            assert values[index] == pytest.approx(point.expected_distance_to(targets[index], EuclideanMetric()))
+
+    def test_distance_distribution(self):
+        point = UncertainPoint(locations=[[0.0], [3.0]], probabilities=[0.2, 0.8])
+        values, probabilities = point.distance_distribution([1.0], EuclideanMetric())
+        np.testing.assert_allclose(sorted(values), [1.0, 2.0])
+        assert probabilities.sum() == pytest.approx(1.0)
+
+
+class TestSamplingSerialization:
+    def test_sample_single_and_batch(self):
+        point = UncertainPoint(locations=[[0.0], [1.0]], probabilities=[0.5, 0.5])
+        single = point.sample(rng=0)
+        assert single.shape == (1,)
+        batch = point.sample(rng=0, size=100)
+        assert batch.shape == (100, 1)
+
+    def test_sample_respects_probabilities(self):
+        point = UncertainPoint(locations=[[0.0], [1.0]], probabilities=[0.9, 0.1])
+        batch = point.sample(rng=3, size=5000)
+        fraction_zero = float((batch[:, 0] == 0.0).mean())
+        assert 0.85 <= fraction_zero <= 0.95
+
+    def test_dict_round_trip(self):
+        point = UncertainPoint(locations=[[0.0, 1.0], [2.0, 3.0]], probabilities=[0.3, 0.7], label="p")
+        clone = UncertainPoint.from_dict(point.to_dict())
+        np.testing.assert_allclose(clone.locations, point.locations)
+        np.testing.assert_allclose(clone.probabilities, point.probabilities)
+        assert clone.label == "p"
+
+    def test_from_dict_missing_keys(self):
+        with pytest.raises(ValidationError):
+            UncertainPoint.from_dict({"locations": [[0.0]]})
+
+    def test_restricted_to_support(self):
+        point = UncertainPoint(locations=[[0.0], [1.0], [2.0]], probabilities=[0.2, 0.3, 0.5])
+        restricted = point.restricted_to_support([1, 2])
+        assert restricted.support_size == 2
+        np.testing.assert_allclose(restricted.probabilities, [0.375, 0.625])
+
+    def test_restricted_to_empty_support_rejected(self):
+        point = UncertainPoint.uniform([[0.0], [1.0]])
+        with pytest.raises(ValidationError):
+            point.restricted_to_support([])
+
+    def test_restricted_to_zero_probability_rejected(self):
+        point = UncertainPoint(locations=[[0.0], [1.0]], probabilities=[1.0, 0.0])
+        with pytest.raises(NotSupportedError):
+            point.restricted_to_support([1])

@@ -1,0 +1,104 @@
+"""Unit tests for the certain-point reductions (expected point, 1-center, medoid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import UncertainDataset, UncertainPoint
+from repro.exceptions import NotSupportedError, ValidationError
+from repro.geometry import median_objective
+from repro.uncertain import (
+    expected_point_reduction,
+    medoid_reduction,
+    one_center_reduction,
+    reduce_dataset,
+)
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+class TestExpectedPointReduction:
+    def test_shape_and_values(self, euclidean_dataset):
+        reps = expected_point_reduction(euclidean_dataset)
+        assert reps.shape == (euclidean_dataset.size, euclidean_dataset.dimension)
+        np.testing.assert_allclose(reps, euclidean_dataset.expected_points())
+
+    def test_certain_points_unchanged(self, certain_dataset):
+        reps = expected_point_reduction(certain_dataset)
+        np.testing.assert_allclose(reps, certain_dataset.all_locations())
+
+    def test_rejected_on_finite_metric(self, graph_dataset):
+        with pytest.raises(NotSupportedError):
+            reduce_dataset(graph_dataset, "expected-point")
+
+
+class TestOneCenterReduction:
+    def test_euclidean_uses_weighted_median(self, euclidean_dataset):
+        reps = one_center_reduction(euclidean_dataset)
+        assert reps.shape == (euclidean_dataset.size, 2)
+        # Each representative minimises the expected distance at least as well
+        # as every location of its own point.
+        for point, representative in zip(euclidean_dataset, reps):
+            value = median_objective(point.locations, representative, point.probabilities)
+            for location in point.locations:
+                assert value <= median_objective(point.locations, location, point.probabilities) + 1e-6
+
+    def test_finite_metric_uses_candidates(self, graph_dataset):
+        reps = one_center_reduction(graph_dataset)
+        assert reps.shape == (graph_dataset.size, 1)
+        # Representatives must be elements of the finite metric.
+        size = graph_dataset.metric.size
+        for representative in reps:
+            assert 0 <= int(representative[0]) < size
+            assert representative[0] == pytest.approx(round(representative[0]))
+
+    def test_finite_metric_representative_is_optimal_over_candidates(self, graph_dataset):
+        reps = one_center_reduction(graph_dataset)
+        metric = graph_dataset.metric
+        candidates = metric.all_elements()
+        for point, representative in zip(graph_dataset, reps):
+            expected = point.expected_distances_to_many(candidates, metric)
+            achieved = point.expected_distance_to(representative, metric)
+            assert achieved == pytest.approx(expected.min(), abs=1e-12)
+
+    def test_custom_candidates(self, euclidean_dataset):
+        candidates = euclidean_dataset.all_locations()
+        reps = one_center_reduction(euclidean_dataset, candidates=candidates)
+        # Every representative must come from the supplied candidate set.
+        for representative in reps:
+            assert any(np.allclose(representative, candidate) for candidate in candidates)
+
+
+class TestMedoidReduction:
+    def test_medoid_is_own_location(self, euclidean_dataset):
+        reps = medoid_reduction(euclidean_dataset)
+        for point, representative in zip(euclidean_dataset, reps):
+            assert any(np.allclose(representative, location) for location in point.locations)
+
+    def test_certain_point_medoid_is_itself(self, certain_dataset):
+        reps = medoid_reduction(certain_dataset)
+        np.testing.assert_allclose(reps, certain_dataset.all_locations())
+
+
+class TestDispatch:
+    def test_reduce_dataset_kinds(self, euclidean_dataset):
+        for kind in ("expected-point", "one-center", "medoid"):
+            reps = reduce_dataset(euclidean_dataset, kind)
+            assert reps.shape == (euclidean_dataset.size, 2)
+
+    def test_unknown_kind_rejected(self, euclidean_dataset):
+        with pytest.raises(ValidationError):
+            reduce_dataset(euclidean_dataset, "nonsense")
+
+    def test_heavy_outlier_separates_mean_and_median(self):
+        # With a far, low-probability outlier the expected point moves toward
+        # the outlier while the 1-center (weighted median) stays at the mass.
+        point = UncertainPoint(
+            locations=[[0.0, 0.0], [0.2, 0.0], [100.0, 0.0]],
+            probabilities=[0.55, 0.4, 0.05],
+        )
+        dataset = UncertainDataset(points=(point,))
+        expected = reduce_dataset(dataset, "expected-point")[0]
+        median = reduce_dataset(dataset, "one-center")[0]
+        assert expected[0] > 4.0
+        assert median[0] < 1.0

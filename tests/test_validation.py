@@ -1,0 +1,160 @@
+"""Unit tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_point_array,
+    as_probability_vector,
+    as_rng,
+    as_single_point,
+    check_epsilon,
+    check_positive_int,
+    check_same_dimension,
+)
+from repro.exceptions import DimensionMismatchError, ProbabilityError, ValidationError
+
+
+class TestAsPointArray:
+    def test_list_of_lists(self):
+        array = as_point_array([[1.0, 2.0], [3.0, 4.0]])
+        assert array.shape == (2, 2)
+        assert array.dtype == np.float64
+
+    def test_flat_list_becomes_column(self):
+        array = as_point_array([1.0, 2.0, 3.0])
+        assert array.shape == (3, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            as_point_array(np.empty((0, 2)))
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            as_point_array(np.empty((3, 0)))
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            as_point_array(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            as_point_array([[1.0, np.nan]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            as_point_array([[np.inf, 0.0]])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            as_point_array([["a", "b"]])
+
+
+class TestAsSinglePoint:
+    def test_scalar_becomes_vector(self):
+        assert as_single_point(3.0).shape == (1,)
+
+    def test_vector_passthrough(self):
+        np.testing.assert_allclose(as_single_point([1.0, 2.0]), [1.0, 2.0])
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            as_single_point([[1.0, 2.0]])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            as_single_point([np.nan])
+
+
+class TestProbabilityVector:
+    def test_valid(self):
+        vector = as_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(vector, [0.25, 0.75])
+
+    def test_sum_not_one_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_probability_vector([0.2, 0.2])
+
+    def test_normalize(self):
+        vector = as_probability_vector([2.0, 2.0], normalize=True)
+        np.testing.assert_allclose(vector, [0.5, 0.5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_probability_vector([-0.5, 1.5])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_probability_vector([1.0], size=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_probability_vector([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_probability_vector([np.nan, 1.0])
+
+    def test_normalize_zero_sum_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_probability_vector([0.0, 0.0], normalize=True)
+
+    def test_tiny_negative_clipped(self):
+        vector = as_probability_vector([1.0 + 1e-12, -1e-12])
+        assert vector[1] == 0.0
+        assert np.isclose(vector.sum(), 1.0)
+
+
+class TestScalarChecks:
+    def test_check_positive_int_ok(self):
+        assert check_positive_int(3, name="k") == 3
+
+    def test_check_positive_int_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, name="k")
+
+    def test_check_positive_int_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, name="k")
+
+    def test_check_positive_int_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, name="k")
+
+    def test_check_positive_int_maximum(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(10, name="k", maximum=5)
+
+    def test_check_epsilon_ok(self):
+        assert check_epsilon(0.1) == pytest.approx(0.1)
+        assert check_epsilon(0) == 0.0
+
+    def test_check_epsilon_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            check_epsilon(-0.1)
+
+    def test_check_epsilon_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_epsilon(float("nan"))
+
+
+class TestDimensionAndRng:
+    def test_same_dimension_ok(self):
+        a = np.zeros((3, 2))
+        b = np.zeros((5, 2))
+        assert check_same_dimension(a, b) == 2
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            check_same_dimension(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_as_rng_from_seed(self):
+        rng1 = as_rng(7)
+        rng2 = as_rng(7)
+        assert rng1.integers(0, 100) == rng2.integers(0, 100)
+
+    def test_as_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator

@@ -1,0 +1,65 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.visualization import render_dataset, render_solution_summary
+from repro import solve_unrestricted_assigned
+from tests.conftest import make_graph_dataset, make_uncertain_dataset
+
+
+class TestRenderDataset:
+    def test_grid_dimensions(self, euclidean_dataset):
+        text = render_dataset(euclidean_dataset, width=40, height=10)
+        lines = text.splitlines()
+        # legend + top frame + 10 rows + bottom frame
+        assert len(lines) == 13
+        for row in lines[2:-1]:
+            assert len(row) == 42  # 40 columns plus two frame characters
+
+    def test_contains_markers(self, euclidean_dataset):
+        result = solve_unrestricted_assigned(euclidean_dataset, 2)
+        text = render_dataset(euclidean_dataset, result.centers)
+        assert "C" in text
+        assert "o" in text
+
+    def test_without_expected_points(self, euclidean_dataset):
+        text = render_dataset(euclidean_dataset, show_expected_points=False)
+        body = "\n".join(text.splitlines()[2:-1])
+        assert "o" not in body
+
+    def test_one_dimensional_dataset(self, line_dataset):
+        text = render_dataset(line_dataset, width=30, height=6)
+        assert len(text.splitlines()) == 9
+
+    def test_high_dimension_projects_to_two(self):
+        dataset = make_uncertain_dataset(n=5, z=2, dimension=5, seed=1)
+        text = render_dataset(dataset)
+        assert "legend" in text
+
+    def test_rejects_graph_dataset(self, graph_dataset):
+        with pytest.raises(ValidationError):
+            render_dataset(graph_dataset)
+
+    def test_rejects_tiny_grid(self, euclidean_dataset):
+        with pytest.raises(ValidationError):
+            render_dataset(euclidean_dataset, width=4, height=2)
+
+
+class TestRenderSolutionSummary:
+    def test_summary_lists_every_center(self, euclidean_dataset):
+        result = solve_unrestricted_assigned(euclidean_dataset, 2)
+        text = render_solution_summary(euclidean_dataset, result.centers, result.assignment)
+        assert text.count("center[") == 2
+        # Every point label appears exactly once across the two clusters.
+        for point in euclidean_dataset:
+            assert text.count(point.label) == 1
+
+    def test_summary_without_assignment(self, euclidean_dataset):
+        result = solve_unrestricted_assigned(euclidean_dataset, 2)
+        text = render_solution_summary(euclidean_dataset, result.centers, None)
+        # With no assignment every point is listed under every center.
+        assert text.count(euclidean_dataset[0].label) == 2

@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import GraphMetric
+from repro.workloads import (
+    EUCLIDEAN_WORKLOADS,
+    anisotropic_clusters,
+    gaussian_clusters,
+    graph_uncertain_workload,
+    heavy_tailed,
+    line_workload,
+    random_graph_metric,
+    uniform_cloud,
+)
+
+
+class TestEuclideanWorkloads:
+    @pytest.mark.parametrize("name,maker", sorted(EUCLIDEAN_WORKLOADS.items()))
+    def test_basic_shapes(self, name, maker):
+        if name == "line":
+            dataset, spec = maker(n=10, z=3, seed=0)
+            expected_dim = 1
+        else:
+            dataset, spec = maker(n=10, z=3, dimension=2, seed=0)
+            expected_dim = 2
+        assert dataset.size == 10
+        assert dataset.max_support_size == 3
+        assert dataset.dimension == expected_dim
+        assert spec.n == 10 and spec.z == 3
+        assert spec.describe()
+
+    @pytest.mark.parametrize("name,maker", sorted(EUCLIDEAN_WORKLOADS.items()))
+    def test_determinism(self, name, maker):
+        kwargs = {"n": 6, "z": 2, "seed": 42}
+        if name != "line":
+            kwargs["dimension"] = 2
+        a, _ = maker(**kwargs)
+        b, _ = maker(**kwargs)
+        np.testing.assert_allclose(a.all_locations(), b.all_locations())
+        np.testing.assert_allclose(a.all_probabilities(), b.all_probabilities())
+
+    def test_different_seeds_differ(self):
+        a, _ = gaussian_clusters(n=6, z=2, dimension=2, seed=0)
+        b, _ = gaussian_clusters(n=6, z=2, dimension=2, seed=1)
+        assert not np.allclose(a.all_locations(), b.all_locations())
+
+    def test_gaussian_clusters_are_clustered(self):
+        dataset, _ = gaussian_clusters(n=60, z=2, dimension=2, k_true=3, cluster_spread=50.0, seed=1)
+        # The spread between cluster centers dominates the within-cluster
+        # jitter, so the per-point location jitter is small relative to the
+        # dataset diameter.
+        locations = dataset.all_locations()
+        diameter = np.linalg.norm(locations.max(axis=0) - locations.min(axis=0))
+        per_point_spread = max(
+            np.linalg.norm(point.locations.max(axis=0) - point.locations.min(axis=0)) for point in dataset
+        )
+        assert per_point_spread < diameter / 5
+
+    def test_heavy_tailed_has_outliers(self):
+        dataset, _ = heavy_tailed(n=20, z=4, dimension=2, outlier_scale=100.0, seed=0)
+        has_far_location = False
+        for point in dataset:
+            expected = point.expected_point()
+            distances = np.linalg.norm(point.locations - expected, axis=1)
+            if distances.max() > 20.0:
+                has_far_location = True
+        assert has_far_location
+
+    def test_line_workload_is_one_dimensional(self):
+        dataset, spec = line_workload(n=10, z=2, seed=0)
+        assert dataset.dimension == 1
+        assert spec.dimension == 1
+
+    def test_uniform_cloud_within_extent(self):
+        dataset, _ = uniform_cloud(n=10, z=2, dimension=2, extent=5.0, location_jitter=0.5, seed=0)
+        assert np.abs(dataset.all_locations()).max() <= 5.5 + 1e-9
+
+    def test_anisotropic_dimension_parameter(self):
+        dataset, _ = anisotropic_clusters(n=8, z=2, dimension=3, seed=0)
+        assert dataset.dimension == 3
+
+    def test_probabilities_are_valid(self):
+        for maker in (gaussian_clusters, uniform_cloud, heavy_tailed, anisotropic_clusters):
+            dataset, _ = maker(n=5, z=4, dimension=2, seed=3)
+            for point in dataset:
+                assert point.probabilities.min() >= 0
+                assert point.probabilities.sum() == pytest.approx(1.0)
+
+
+class TestGraphWorkloads:
+    @pytest.mark.parametrize("model", ["watts-strogatz", "grid", "geometric"])
+    def test_random_graph_metric_models(self, model):
+        metric = random_graph_metric(20, model=model, seed=0)
+        assert isinstance(metric, GraphMetric)
+        assert metric.size >= 16
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            random_graph_metric(10, model="unknown")
+
+    def test_graph_workload_locations_are_nodes(self):
+        dataset, spec = graph_uncertain_workload(n=8, z=3, node_count=25, seed=1)
+        assert isinstance(dataset.metric, GraphMetric)
+        size = dataset.metric.size
+        for point in dataset:
+            for location in point.locations:
+                assert 0 <= int(location[0]) < size
+        assert spec.name.startswith("graph-")
+
+    def test_graph_workload_determinism(self):
+        a, _ = graph_uncertain_workload(n=6, z=2, node_count=20, seed=5)
+        b, _ = graph_uncertain_workload(n=6, z=2, node_count=20, seed=5)
+        np.testing.assert_allclose(a.all_locations(), b.all_locations())
+
+    def test_locations_are_local_neighbourhoods(self):
+        dataset, _ = graph_uncertain_workload(n=10, z=3, node_count=30, locality=2, seed=2)
+        matrix = dataset.metric.matrix
+        diameter = matrix.max()
+        for point in dataset:
+            indices = point.locations[:, 0].astype(int)
+            spread = matrix[np.ix_(indices, indices)].max()
+            assert spread <= diameter  # sanity: within the graph
