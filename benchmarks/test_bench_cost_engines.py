@@ -2,19 +2,25 @@
 
 Times the exact O(N log N) expected-cost engine against Monte-Carlo
 estimation and full enumeration on a common instance, and checks they agree.
+Also times the batch E[max] kernel and the incremental local-search path
+(the hot path of :class:`OptimalAssignment` and the brute-force baselines).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.assignments import ExpectedDistanceAssignment
+from repro.assignments import ExpectedDistanceAssignment, OptimalAssignment
 from repro.cost import (
+    assigned_cost_evaluator,
     enumerate_expected_cost_assigned,
     expected_cost_assigned,
     monte_carlo_cost_assigned,
 )
+from repro.cost.expected import _expected_max_reference, distance_supports_for_assignment
 from repro.workloads import gaussian_clusters
 
 
@@ -52,3 +58,57 @@ def test_bench_large_exact_engine(benchmark):
     assignment = ExpectedDistanceAssignment()(dataset, centers)
     value = benchmark(expected_cost_assigned, dataset, centers, assignment)
     assert value > 0
+
+
+def test_bench_batch_kernel(benchmark):
+    """Batch evaluation of 256 assignments through the shared sweep kernel."""
+    dataset, _ = gaussian_clusters(n=100, z=6, dimension=2, k_true=4, seed=12)
+    centers = dataset.expected_points()[:4]
+    evaluator = assigned_cost_evaluator(dataset, centers)
+    rng = np.random.default_rng(0)
+    column_sets = rng.integers(0, 4, size=(256, dataset.size))
+    costs = benchmark(evaluator.costs, column_sets)
+    assert costs.shape == (256,)
+    spot = int(rng.integers(0, 256))
+    assert costs[spot] == pytest.approx(
+        expected_cost_assigned(dataset, centers, column_sets[spot]), rel=1e-9
+    )
+
+
+def test_bench_local_search_incremental(benchmark):
+    """The ISSUE's target scenario: OptimalAssignment local search at
+    n≈200, z≈8 through the incremental evaluator."""
+    dataset, _ = gaussian_clusters(n=200, z=8, dimension=2, k_true=4, seed=3)
+    centers = dataset.expected_points()[:4]
+    labels = benchmark.pedantic(OptimalAssignment(), args=(dataset, centers), iterations=1, rounds=2)
+    ed_cost = expected_cost_assigned(dataset, centers, ExpectedDistanceAssignment()(dataset, centers))
+    assert expected_cost_assigned(dataset, centers, labels) <= ed_cost + 1e-9
+
+
+def test_local_search_speedup_over_reference_engine():
+    """Speed guard (not a pytest-benchmark case): one local-search round of
+    single-point moves via the incremental evaluator must clearly beat the
+    same moves re-evaluated from scratch through the historical engine."""
+    dataset, _ = gaussian_clusters(n=60, z=8, dimension=2, k_true=4, seed=3)
+    centers = dataset.expected_points()[:4]
+    assignment = ExpectedDistanceAssignment()(dataset, centers)
+    k = centers.shape[0]
+
+    evaluator = assigned_cost_evaluator(dataset, centers)
+    start = time.perf_counter()
+    for point_index in range(dataset.size):
+        profile = evaluator.rest_profile(assignment, point_index)
+        evaluator.move_costs(profile, np.arange(k))
+    incremental_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for point_index in range(dataset.size):
+        for center_index in range(k):
+            trial = assignment.copy()
+            trial[point_index] = center_index
+            values, probabilities = distance_supports_for_assignment(dataset, centers, trial)
+            _expected_max_reference(values, probabilities)
+    reference_seconds = time.perf_counter() - start
+
+    speedup = reference_seconds / max(incremental_seconds, 1e-9)
+    assert speedup >= 5.0, f"incremental path only {speedup:.1f}x faster than reference engine"

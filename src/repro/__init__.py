@@ -65,12 +65,17 @@ from .baselines import (
 )
 from .bounds import assigned_cost_lower_bound, per_point_lower_bound
 from .cost import (
+    AssignedCostEvaluator,
     MonteCarloEstimate,
+    assigned_cost_evaluator,
     enumerate_expected_cost_assigned,
     enumerate_expected_cost_unassigned,
+    enumerate_expected_max,
     expected_cost_assigned,
     expected_cost_unassigned,
     expected_distance_matrix,
+    expected_max_batch,
+    expected_max_batch_values,
     expected_max_of_independent,
     expected_one_center_cost,
     monte_carlo_cost_assigned,
@@ -171,6 +176,11 @@ __all__ = [
     "dump_location_table",
     # cost engines
     "expected_max_of_independent",
+    "expected_max_batch",
+    "expected_max_batch_values",
+    "AssignedCostEvaluator",
+    "assigned_cost_evaluator",
+    "enumerate_expected_max",
     "expected_cost_assigned",
     "expected_cost_unassigned",
     "expected_one_center_cost",

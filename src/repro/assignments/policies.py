@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cost.expected import (
-    expected_cost_assigned,
+    assigned_cost_evaluator,
     expected_distance_matrix,
 )
 from ..exceptions import NotSupportedError
@@ -105,21 +105,30 @@ class OptimalAssignment(AssignmentPolicy):
     def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
         assignment = ExpectedDistanceAssignment().assign(dataset, centers)
         k = centers.shape[0]
-        best_cost = expected_cost_assigned(dataset, centers, assignment)
+        if k == 1:
+            return assignment
+        # Incremental exact evaluation: per candidate move, only the moved
+        # point's distribution is integrated against the cached sweep of the
+        # others — the union of supports is never re-sorted per move.
+        evaluator = assigned_cost_evaluator(dataset, centers)
+        all_centers = np.arange(k)
+        best_cost = evaluator.cost(assignment)
         for _ in range(self.max_rounds):
             improved = False
             for point_index in range(dataset.size):
-                current = assignment[point_index]
-                for center_index in range(k):
-                    if center_index == current:
-                        continue
-                    assignment[point_index] = center_index
-                    cost = expected_cost_assigned(dataset, centers, assignment)
-                    if cost < best_cost - 1e-15:
-                        best_cost = cost
-                        current = center_index
-                        improved = True
-                    assignment[point_index] = current
+                current = int(assignment[point_index])
+                profile = evaluator.rest_profile(assignment, point_index)
+                costs = evaluator.move_costs(profile, all_centers)
+                best_center = int(np.argmin(costs))
+                # The tolerance is relative: when the maximum is dominated by
+                # one point, moving the others leaves the cost *exactly*
+                # unchanged, and an absolute threshold below one ulp would
+                # accept last-bit noise as an improvement.
+                tolerance = 1e-12 * max(1.0, abs(best_cost))
+                if best_center != current and costs[best_center] < best_cost - tolerance:
+                    assignment[point_index] = best_center
+                    best_cost = float(costs[best_center])
+                    improved = True
             if not improved:
                 break
         return assignment

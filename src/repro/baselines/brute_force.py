@@ -15,13 +15,20 @@ enumerated exhaustively).
 
 All of them enumerate ``C(m, k)`` candidate subsets, so they are exponential
 in ``k``; a safety cap protects against accidental misuse.  Distance supports
-are precomputed once per call so the per-subset work is a single exact
-``E[max]`` evaluation.
+are precomputed once per call into an :class:`AssignedCostEvaluator`, and the
+enumerated subsets/assignments are scored through its *batch* kernel in
+chunks, so the per-subset work is a slice of one vectorized exact ``E[max]``
+sweep rather than a Python-level loop.
+
+When ``k`` exceeds the number of available candidates the solvers run with
+the largest feasible ``k`` and record both ``requested_k`` and
+``effective_k`` in the result metadata instead of silently solving a
+different problem.
 """
 
 from __future__ import annotations
 
-from itertools import combinations, product
+from itertools import combinations, islice, product
 from math import comb
 
 import numpy as np
@@ -30,7 +37,12 @@ from .._validation import as_point_array, check_positive_int
 from ..algorithms.result import UncertainKCenterResult
 from ..assignments.base import AssignmentPolicy
 from ..assignments.policies import ExpectedDistanceAssignment
-from ..cost.expected import expected_cost_assigned, expected_max_of_independent
+from ..cost.expected import (
+    AssignedCostEvaluator,
+    expected_cost_assigned,
+    expected_max_batch_values,
+    expected_max_of_independent,
+)
 from ..exceptions import ValidationError
 from ..uncertain.dataset import UncertainDataset
 
@@ -38,6 +50,8 @@ from ..uncertain.dataset import UncertainDataset
 MAX_CENTER_SUBSETS = 300_000
 #: Cap on exhaustive assignment enumeration work (subsets * k ** n).
 MAX_ASSIGNMENT_ENUMERATION = 250_000
+#: Rows per chunk pushed through the batch E[max] kernel.
+BATCH_CHUNK_ROWS = 2048
 
 
 def default_candidates(dataset: UncertainDataset) -> np.ndarray:
@@ -47,13 +61,22 @@ def default_candidates(dataset: UncertainDataset) -> np.ndarray:
     return dataset.metric.candidate_centers(dataset.all_locations())
 
 
+def _effective_k(k: int, candidate_count: int) -> tuple[int, dict[str, int]]:
+    """Clamp ``k`` to the candidate count, recording the clamp explicitly."""
+    effective = min(k, candidate_count)
+    metadata = {"requested_k": int(k), "effective_k": int(effective)}
+    return effective, metadata
+
+
 class _PrecomputedInstance:
     """Distance supports and expected distances for a fixed candidate set.
 
     ``supports[i]`` is the ``(z_i, m)`` matrix of distances from point ``i``'s
     locations to every candidate; ``expected`` is the ``(n, m)`` matrix of
-    expected distances.  With these in hand, evaluating the exact expected
-    cost of any (subset, assignment) pair needs no further metric calls.
+    expected distances.  The supports are loaded into an
+    :class:`AssignedCostEvaluator` once, so evaluating the exact expected
+    cost of any (subset, assignment) pair — or a whole batch of them — needs
+    no further metric calls and no per-call re-sorting of candidate columns.
     """
 
     def __init__(self, dataset: UncertainDataset, candidates: np.ndarray):
@@ -65,11 +88,23 @@ class _PrecomputedInstance:
         self.expected = np.vstack(
             [point.probabilities @ support for point, support in zip(dataset.points, self.supports)]
         )
+        self._evaluator: AssignedCostEvaluator | None = None
+
+    @property
+    def evaluator(self) -> AssignedCostEvaluator:
+        """Lazily built so policy paths that never score assignments in batch
+        (e.g. the non-ED restricted search) skip the per-column sorts."""
+        if self._evaluator is None:
+            self._evaluator = AssignedCostEvaluator(self.supports, self.probabilities)
+        return self._evaluator
 
     def assigned_cost(self, candidate_indices: np.ndarray) -> float:
         """Exact assigned cost when point ``i`` goes to ``candidate_indices[i]``."""
-        values = [support[:, candidate_indices[i]] for i, support in enumerate(self.supports)]
-        return expected_max_of_independent(values, self.probabilities)
+        return self.evaluator.cost(np.asarray(candidate_indices, dtype=int))
+
+    def assigned_costs(self, candidate_index_rows: np.ndarray) -> np.ndarray:
+        """Exact assigned costs for a ``(B, n)`` batch of assignments."""
+        return self.evaluator.costs(candidate_index_rows, chunk_rows=BATCH_CHUNK_ROWS)
 
     def unassigned_cost(self, subset: tuple[int, ...]) -> float:
         """Exact unassigned cost of the candidate subset."""
@@ -77,11 +112,24 @@ class _PrecomputedInstance:
         values = [support[:, columns].min(axis=1) for support in self.supports]
         return expected_max_of_independent(values, self.probabilities)
 
+    def unassigned_costs(self, subset_rows: np.ndarray) -> np.ndarray:
+        """Exact unassigned costs for a ``(B, kk)`` batch of subsets."""
+        value_rows = [
+            support[:, subset_rows].min(axis=2).T  # (z_i, B, kk) -> (B, z_i)
+            for support in self.supports
+        ]
+        return expected_max_batch_values(value_rows, self.probabilities)
+
     def ed_assignment(self, subset: tuple[int, ...]) -> np.ndarray:
         """Expected-distance assignment restricted to the subset's candidates."""
         columns = np.asarray(subset, dtype=int)
         local = self.expected[:, columns].argmin(axis=1)
         return columns[local]
+
+    def ed_assignments(self, subset_rows: np.ndarray) -> np.ndarray:
+        """Expected-distance assignments for a ``(B, kk)`` batch of subsets."""
+        local = self.expected[:, subset_rows].argmin(axis=2)  # (n, B)
+        return np.take_along_axis(subset_rows, local.T, axis=1)  # (B, n)
 
 
 def _iter_center_subsets(candidate_count: int, k: int):
@@ -91,6 +139,20 @@ def _iter_center_subsets(candidate_count: int, k: int):
             f"cap is {MAX_CENTER_SUBSETS}"
         )
     yield from combinations(range(candidate_count), k)
+
+
+def _iter_index_chunks(iterator, chunk_rows: int = BATCH_CHUNK_ROWS):
+    """Chunk an iterator of index tuples into ``(B, n)`` int arrays."""
+    while True:
+        chunk = list(islice(iterator, chunk_rows))
+        if not chunk:
+            return
+        yield np.asarray(chunk, dtype=int)
+
+
+def _iter_subset_chunks(candidate_count: int, k: int, chunk_rows: int = BATCH_CHUNK_ROWS):
+    """Yield ``(B, k)`` arrays of candidate subsets, ``B <= chunk_rows``."""
+    yield from _iter_index_chunks(_iter_center_subsets(candidate_count, k), chunk_rows)
 
 
 def brute_force_restricted_assigned(
@@ -110,7 +172,7 @@ def brute_force_restricted_assigned(
     if candidates is None:
         candidates = default_candidates(dataset)
     candidates = as_point_array(candidates, name="candidates")
-    k = min(k, candidates.shape[0])
+    k, k_metadata = _effective_k(k, candidates.shape[0])
 
     instance = _PrecomputedInstance(dataset, candidates)
     use_ed_shortcut = isinstance(policy, ExpectedDistanceAssignment)
@@ -118,27 +180,46 @@ def brute_force_restricted_assigned(
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     best_assignment: np.ndarray | None = None
-    for subset in _iter_center_subsets(candidates.shape[0], k):
-        if use_ed_shortcut:
-            candidate_indices = instance.ed_assignment(subset)
-            cost = instance.assigned_cost(candidate_indices)
-            labels = np.searchsorted(np.asarray(subset), candidate_indices)
-        else:
+    if use_ed_shortcut:
+        best_candidate_indices: np.ndarray | None = None
+        for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
+            candidate_index_rows = instance.ed_assignments(subset_rows)
+            costs = instance.assigned_costs(candidate_index_rows)
+            winner = int(np.argmin(costs))
+            if costs[winner] < best_cost:
+                best_cost = float(costs[winner])
+                best_subset = tuple(int(c) for c in subset_rows[winner])
+                best_candidate_indices = candidate_index_rows[winner]
+        assert best_subset is not None and best_candidate_indices is not None
+        best_assignment = np.searchsorted(np.asarray(best_subset), best_candidate_indices)
+    else:
+        for subset in _iter_center_subsets(candidates.shape[0], k):
             centers = candidates[list(subset)]
             labels = policy(dataset, centers)
             cost = expected_cost_assigned(dataset, centers, labels)
-        if cost < best_cost:
-            best_cost, best_subset, best_assignment = cost, subset, np.asarray(labels, dtype=int)
+            if cost < best_cost:
+                best_cost, best_subset, best_assignment = cost, subset, np.asarray(labels, dtype=int)
     assert best_subset is not None and best_assignment is not None
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
         expected_cost=float(best_cost),
         objective="restricted-assigned",
-        assignment=best_assignment,
+        assignment=np.asarray(best_assignment, dtype=int),
         assignment_policy=policy.name,
         guaranteed_factor=None,
-        metadata={"algorithm": "brute-force-restricted", "candidate_count": int(candidates.shape[0])},
+        metadata={
+            "algorithm": "brute-force-restricted",
+            "candidate_count": int(candidates.shape[0]),
+            **k_metadata,
+        },
     )
+
+
+def _iter_assignment_chunks(columns: np.ndarray, n: int, chunk_rows: int = BATCH_CHUNK_ROWS):
+    """Yield ``(B, n)`` chunks of all ``kk ** n`` assignments over ``columns``."""
+    iterator = product(range(columns.shape[0]), repeat=n)
+    for choices in _iter_index_chunks(iterator, chunk_rows):
+        yield columns[choices]
 
 
 def brute_force_unrestricted_assigned(
@@ -152,11 +233,12 @@ def brute_force_unrestricted_assigned(
     """Best-known candidate centers together with the best assignment.
 
     Every ``C(m, k)`` candidate subset is scored with the expected-distance
-    assignment (one exact cost evaluation per subset).  The ``polish_top``
-    cheapest subsets are then re-optimised, either by exhaustive assignment
-    enumeration (exact for those subsets; enabled automatically when
-    ``polish_top * k ** n`` is small, or forced with
-    ``exhaustive_assignment=True``) or by single-move local search.
+    assignment (one batched exact cost evaluation per chunk of subsets).  The
+    ``polish_top`` cheapest subsets are then re-optimised, either by
+    exhaustive assignment enumeration (exact for those subsets; enabled
+    automatically when ``polish_top * k ** n`` is small, or forced with
+    ``exhaustive_assignment=True``) or by single-move local search through
+    the incremental evaluator.
 
     For an exact optimum over the candidate set pass
     ``polish_top >= C(m, k)`` together with ``exhaustive_assignment=True``
@@ -166,15 +248,18 @@ def brute_force_unrestricted_assigned(
     if candidates is None:
         candidates = default_candidates(dataset)
     candidates = as_point_array(candidates, name="candidates")
-    k = min(k, candidates.shape[0])
+    k, k_metadata = _effective_k(k, candidates.shape[0])
     n = dataset.size
 
     instance = _PrecomputedInstance(dataset, candidates)
     scored: list[tuple[float, tuple[int, ...], np.ndarray]] = []
-    for subset in _iter_center_subsets(candidates.shape[0], k):
-        candidate_indices = instance.ed_assignment(subset)
-        cost = instance.assigned_cost(candidate_indices)
-        scored.append((cost, subset, candidate_indices))
+    for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
+        candidate_index_rows = instance.ed_assignments(subset_rows)
+        costs = instance.assigned_costs(candidate_index_rows)
+        scored.extend(
+            (float(cost), tuple(int(c) for c in subset), candidate_indices)
+            for cost, subset, candidate_indices in zip(costs, subset_rows, candidate_index_rows)
+        )
     scored.sort(key=lambda entry: entry[0])
 
     polish_top = max(1, min(polish_top, len(scored)))
@@ -185,11 +270,12 @@ def brute_force_unrestricted_assigned(
     for cost, subset, _ in scored[:polish_top]:
         columns = np.asarray(subset, dtype=int)
         if exhaustive_assignment:
-            for assignment_choice in product(range(len(subset)), repeat=n):
-                candidate_indices = columns[np.asarray(assignment_choice, dtype=int)]
-                candidate_cost = instance.assigned_cost(candidate_indices)
-                if candidate_cost < best_cost:
-                    best_cost, best_subset, best_candidate_indices = candidate_cost, subset, candidate_indices
+            for assignment_rows in _iter_assignment_chunks(columns, n):
+                costs = instance.assigned_costs(assignment_rows)
+                winner = int(np.argmin(costs))
+                if costs[winner] < best_cost:
+                    best_cost = float(costs[winner])
+                    best_subset, best_candidate_indices = subset, assignment_rows[winner]
         else:
             candidate_indices = instance.ed_assignment(subset)
             candidate_indices = _single_move_polish(instance, columns, candidate_indices)
@@ -211,6 +297,7 @@ def brute_force_unrestricted_assigned(
             "candidate_count": int(candidates.shape[0]),
             "exhaustive_assignment": bool(exhaustive_assignment),
             "polished_subsets": polish_top,
+            **k_metadata,
         },
     )
 
@@ -222,24 +309,28 @@ def _single_move_polish(
     *,
     max_rounds: int = 10,
 ) -> np.ndarray:
-    """Single-point reassignment local search on the exact assigned cost."""
+    """Single-point reassignment local search on the exact assigned cost.
+
+    Each point's candidate moves are scored through the incremental
+    evaluator: the other points' sorted sweep is cached once per point and
+    every column of ``columns`` is integrated against it.
+    """
     current = candidate_indices.copy()
-    best_cost = instance.assigned_cost(current)
+    evaluator = instance.evaluator
+    best_cost = evaluator.cost(current)
     n = current.shape[0]
     for _ in range(max_rounds):
         improved = False
         for point_index in range(n):
-            original = current[point_index]
-            for column in columns:
-                if column == original:
-                    continue
-                current[point_index] = column
-                cost = instance.assigned_cost(current)
-                if cost < best_cost - 1e-15:
-                    best_cost = cost
-                    original = column
-                    improved = True
-            current[point_index] = original
+            original = int(current[point_index])
+            profile = evaluator.rest_profile(current, point_index)
+            costs = evaluator.move_costs(profile, columns)
+            winner = int(np.argmin(costs))
+            tolerance = 1e-12 * max(1.0, abs(best_cost))
+            if int(columns[winner]) != original and costs[winner] < best_cost - tolerance:
+                current[point_index] = int(columns[winner])
+                best_cost = float(costs[winner])
+                improved = True
         if not improved:
             break
     return current
@@ -256,20 +347,26 @@ def brute_force_unassigned(
     if candidates is None:
         candidates = default_candidates(dataset)
     candidates = as_point_array(candidates, name="candidates")
-    k = min(k, candidates.shape[0])
+    k, k_metadata = _effective_k(k, candidates.shape[0])
 
     instance = _PrecomputedInstance(dataset, candidates)
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
-    for subset in _iter_center_subsets(candidates.shape[0], k):
-        cost = instance.unassigned_cost(subset)
-        if cost < best_cost:
-            best_cost, best_subset = cost, subset
+    for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
+        costs = instance.unassigned_costs(subset_rows)
+        winner = int(np.argmin(costs))
+        if costs[winner] < best_cost:
+            best_cost = float(costs[winner])
+            best_subset = tuple(int(c) for c in subset_rows[winner])
     assert best_subset is not None
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
         expected_cost=float(best_cost),
         objective="unassigned",
         guaranteed_factor=None,
-        metadata={"algorithm": "brute-force-unassigned", "candidate_count": int(candidates.shape[0])},
+        metadata={
+            "algorithm": "brute-force-unassigned",
+            "candidate_count": int(candidates.shape[0]),
+            **k_metadata,
+        },
     )

@@ -1,13 +1,30 @@
-"""Expected-cost engines: exact O(N log N), enumeration, Monte-Carlo."""
+"""Expected-cost engines: exact O(N log N), batch/incremental, enumeration, Monte-Carlo.
 
-from .enumeration import enumerate_expected_cost_assigned, enumerate_expected_cost_unassigned
+The exact engine handles zero-probability support entries correctly (they
+contribute no mass; see :mod:`repro.cost.expected` for the semantics) and
+offers three evaluation shapes: scalar (:func:`expected_max_of_independent`),
+batched over assignments or value rows (:func:`expected_max_batch`,
+:func:`expected_max_batch_values`) and incremental single-point moves
+(:class:`AssignedCostEvaluator`).
+"""
+
+from .enumeration import (
+    enumerate_expected_cost_assigned,
+    enumerate_expected_cost_unassigned,
+    enumerate_expected_max,
+)
 from .expected import (
+    AssignedCostEvaluator,
+    RestProfile,
+    assigned_cost_evaluator,
     distance_supports_for_assignment,
     distance_supports_for_centers,
     expected_cost_assigned,
     expected_cost_unassigned,
     expected_distance,
     expected_distance_matrix,
+    expected_max_batch,
+    expected_max_batch_values,
     expected_max_of_independent,
     expected_one_center_cost,
 )
@@ -15,6 +32,11 @@ from .montecarlo import MonteCarloEstimate, monte_carlo_cost_assigned, monte_car
 
 __all__ = [
     "expected_max_of_independent",
+    "expected_max_batch",
+    "expected_max_batch_values",
+    "AssignedCostEvaluator",
+    "RestProfile",
+    "assigned_cost_evaluator",
     "expected_cost_assigned",
     "expected_cost_unassigned",
     "expected_distance",
@@ -24,6 +46,7 @@ __all__ = [
     "distance_supports_for_centers",
     "enumerate_expected_cost_assigned",
     "enumerate_expected_cost_unassigned",
+    "enumerate_expected_max",
     "MonteCarloEstimate",
     "monte_carlo_cost_assigned",
     "monte_carlo_cost_unassigned",

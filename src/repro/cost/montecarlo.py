@@ -27,9 +27,14 @@ class MonteCarloEstimate:
 
     @property
     def confidence_interval(self) -> tuple[float, float]:
-        """Normal-approximation 95% confidence interval."""
+        """Normal-approximation 95% confidence interval.
+
+        The k-center cost objectives are non-negative (they are expectations
+        of distances), so the lower endpoint is clamped at 0 rather than
+        reporting an impossible negative cost.
+        """
         half_width = 1.96 * self.standard_error
-        return self.value - half_width, self.value + half_width
+        return max(0.0, self.value - half_width), self.value + half_width
 
     def within(self, other: float, *, sigmas: float = 4.0) -> bool:
         """Whether ``other`` lies within ``sigmas`` standard errors."""

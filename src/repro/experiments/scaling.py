@@ -19,6 +19,7 @@ import numpy as np
 
 from ..algorithms.one_center import expected_point_one_center
 from ..algorithms.restricted import solve_restricted_assigned
+from ..cost.expected import assigned_cost_evaluator
 from ..workloads.synthetic import gaussian_clusters
 from .records import ExperimentRecord, ExperimentRow
 
@@ -97,6 +98,25 @@ def run_scaling(settings: ScalingSettings | None = None) -> ExperimentRecord:
         rows.append(ExperimentRow(configuration=f"sweep=k k={k}", measured={"seconds": elapsed}))
     k_exponent = fit_exponent(settings.k_values, k_times)
 
+    # Cost engine: batch kernel vs per-assignment scalar evaluation on the
+    # exact E[max] engine (the hot path of local search and brute force).
+    dataset, _ = gaussian_clusters(n=settings.base_n, z=settings.base_z, dimension=2, seed=settings.seed)
+    rng = np.random.default_rng(settings.seed)
+    centers = dataset.expected_points()[: settings.base_k]
+    assignments = rng.integers(0, centers.shape[0], size=(64, dataset.size))
+    evaluator = assigned_cost_evaluator(dataset, centers)
+    batch_seconds = _time_call(lambda: evaluator.costs(assignments), settings.repeats)
+    scalar_seconds = _time_call(
+        lambda: [evaluator.cost(row) for row in assignments], settings.repeats
+    )
+    batch_speedup = float(scalar_seconds / max(batch_seconds, 1e-9))
+    rows.append(
+        ExperimentRow(
+            configuration=f"sweep=cost-engine batch=64 n={settings.base_n}",
+            measured={"seconds": batch_seconds, "scalar_seconds": scalar_seconds},
+        )
+    )
+
     return ExperimentRecord(
         experiment_id="E11",
         paper_artifact="Table 1 running-time column",
@@ -106,6 +126,7 @@ def run_scaling(settings: ScalingSettings | None = None) -> ExperimentRecord:
             "n_exponent": n_exponent,
             "z_exponent": z_exponent,
             "k_exponent": k_exponent,
+            "batch_engine_speedup": batch_speedup,
             "n_shape_ok": n_exponent <= 1.5,
             "z_shape_ok": z_exponent <= 1.5,
             "k_shape_sublinear": k_exponent <= 1.0,

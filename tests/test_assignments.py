@@ -90,6 +90,45 @@ class TestNearestLocationAssignment:
         np.testing.assert_array_equal(labels, [0, 1])
 
 
+def _legacy_optimal_assignment(dataset, centers, max_rounds=20):
+    """Pre-evaluator local search: full exact recomputation per candidate move
+    through the historical pure-Python engine, identical acceptance semantics.
+
+    This is the "before" implementation for the evaluator-swap property test:
+    :class:`OptimalAssignment` must walk the same improvement path now that
+    moves are scored incrementally against the cached rest-sweep.
+    """
+    from repro.cost.expected import _expected_max_reference, distance_supports_for_assignment
+
+    def cost_of(assignment):
+        values, probabilities = distance_supports_for_assignment(dataset, centers, assignment)
+        return _expected_max_reference(values, probabilities)
+
+    assignment = ExpectedDistanceAssignment().assign(dataset, centers)
+    k = centers.shape[0]
+    if k == 1:
+        return assignment
+    best_cost = cost_of(assignment)
+    for _ in range(max_rounds):
+        improved = False
+        for point_index in range(dataset.size):
+            current = int(assignment[point_index])
+            costs = []
+            for center_index in range(k):
+                trial = assignment.copy()
+                trial[point_index] = center_index
+                costs.append(cost_of(trial))
+            best_center = int(np.argmin(costs))
+            tolerance = 1e-12 * max(1.0, abs(best_cost))
+            if best_center != current and costs[best_center] < best_cost - tolerance:
+                assignment[point_index] = best_center
+                best_cost = costs[best_center]
+                improved = True
+        if not improved:
+            break
+    return assignment
+
+
 class TestOptimalAssignment:
     def test_never_worse_than_expected_distance(self, instance):
         dataset, centers = instance
@@ -112,6 +151,20 @@ class TestOptimalAssignment:
             for assignment in product(range(2), repeat=4)
         )
         assert local_cost == pytest.approx(best, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_identical_to_pre_evaluator_implementation(self, seed):
+        """Property: the incremental-evaluator swap must not change the
+        assignments the local search returns."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 14))
+        z = int(rng.integers(2, 5))
+        k = int(rng.integers(2, 4))
+        dataset = make_uncertain_dataset(n=n, z=z, dimension=2, seed=seed + 500)
+        centers = rng.normal(scale=3.0, size=(k, 2))
+        incremental = OptimalAssignment()(dataset, centers)
+        legacy = _legacy_optimal_assignment(dataset, centers)
+        np.testing.assert_array_equal(incremental, legacy)
 
 
 class TestPolicyRegistry:

@@ -30,6 +30,38 @@ class TestDefaultCandidates:
         assert candidates.shape[0] == graph_dataset.metric.size
 
 
+class TestEffectiveKMetadata:
+    """The silent ``k = min(k, candidate_count)`` clamp is now recorded."""
+
+    def test_restricted_records_clamped_k(self):
+        dataset = make_uncertain_dataset(n=3, z=2, dimension=2, seed=4)
+        candidates = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = brute_force_restricted_assigned(dataset, 5, candidates=candidates)
+        assert result.metadata["requested_k"] == 5
+        assert result.metadata["effective_k"] == 2
+        assert result.centers.shape[0] == 2
+
+    def test_unrestricted_records_clamped_k(self):
+        dataset = make_uncertain_dataset(n=3, z=2, dimension=2, seed=4)
+        candidates = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        result = brute_force_unrestricted_assigned(dataset, 7, candidates=candidates)
+        assert result.metadata["requested_k"] == 7
+        assert result.metadata["effective_k"] == 3
+
+    def test_unassigned_records_clamped_k(self):
+        dataset = make_uncertain_dataset(n=3, z=2, dimension=2, seed=4)
+        candidates = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = brute_force_unassigned(dataset, 4, candidates=candidates)
+        assert result.metadata["requested_k"] == 4
+        assert result.metadata["effective_k"] == 2
+
+    def test_feasible_k_is_not_clamped(self):
+        dataset = make_uncertain_dataset(n=3, z=2, dimension=2, seed=4)
+        result = brute_force_unassigned(dataset, 2)
+        assert result.metadata["requested_k"] == 2
+        assert result.metadata["effective_k"] == 2
+
+
 class TestBruteForce:
     def test_restricted_is_best_over_candidates(self):
         dataset = make_uncertain_dataset(n=4, z=2, dimension=2, seed=1)

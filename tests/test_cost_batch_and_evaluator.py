@@ -1,0 +1,200 @@
+"""Tests for the batch E[max] kernel and the incremental assigned-cost evaluator.
+
+Covers: batch/scalar/enumeration agreement (including explicit
+zero-probability entries), the incremental single-point-move path against
+ground truth, validation errors, and a smoke test that the vectorized kernel
+handles 10k-support instances in a bounded number of NumPy kernel calls (no
+Python-loop fallback over entries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    AssignedCostEvaluator,
+    assigned_cost_evaluator,
+    enumerate_expected_max,
+    expected_max_batch,
+    expected_max_batch_values,
+    expected_max_of_independent,
+)
+from repro.exceptions import ValidationError
+from repro.workloads import gaussian_clusters
+
+
+def _random_supports(rng, n=None, m=None):
+    """Random (z_i, m) candidate supports with zeros and repeats mixed in."""
+    n = n or int(rng.integers(1, 5))
+    m = m or int(rng.integers(1, 5))
+    supports = []
+    probabilities = []
+    for _ in range(n):
+        z = int(rng.integers(1, 5))
+        matrix = rng.uniform(0, 10, size=(z, m))
+        if z > 1 and rng.random() < 0.4:
+            matrix[int(rng.integers(1, z))] = matrix[0]  # repeated support rows
+        weight = rng.dirichlet(np.ones(z))
+        if z > 1 and rng.random() < 0.6:
+            weight[int(rng.integers(0, z))] = 0.0
+            weight = weight / weight.sum()
+        supports.append(matrix)
+        probabilities.append(weight)
+    return supports, probabilities, n, m
+
+
+class TestExpectedMaxBatch:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_scalar_and_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        supports, probabilities, n, m = _random_supports(rng)
+        column_sets = rng.integers(0, m, size=(7, n))
+        batch = expected_max_batch(supports, probabilities, column_sets)
+        assert batch.shape == (7,)
+        for row, columns in enumerate(column_sets):
+            selected = [supports[i][:, columns[i]] for i in range(n)]
+            scalar = expected_max_of_independent(selected, probabilities)
+            enumerated = enumerate_expected_max(selected, probabilities)
+            assert batch[row] == pytest.approx(scalar, rel=1e-9, abs=1e-9)
+            assert batch[row] == pytest.approx(enumerated, rel=1e-9, abs=1e-9)
+
+    def test_zero_probability_rows_exact(self):
+        supports = [np.array([[1.0], [5.0]]), np.array([[2.0]])]
+        probabilities = [np.array([0.0, 1.0]), np.array([1.0])]
+        costs = expected_max_batch(supports, probabilities, np.array([[0, 0]]))
+        assert costs[0] == pytest.approx(5.0)
+
+    def test_column_count_mismatch_rejected(self):
+        supports = [np.array([[1.0, 2.0]]), np.array([[3.0]])]
+        probabilities = [np.array([1.0]), np.array([1.0])]
+        with pytest.raises(ValidationError):
+            expected_max_batch(supports, probabilities, np.array([[0, 0]]))
+
+    def test_out_of_range_column_rejected(self):
+        supports = [np.array([[1.0, 2.0]])]
+        probabilities = [np.array([1.0])]
+        with pytest.raises(ValidationError):
+            expected_max_batch(supports, probabilities, np.array([[2]]))
+
+
+class TestExpectedMaxBatchValues:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        n = int(rng.integers(1, 5))
+        batch = 5
+        rows = []
+        probabilities = []
+        for _ in range(n):
+            z = int(rng.integers(1, 5))
+            rows.append(rng.uniform(0, 10, size=(batch, z)))
+            weight = rng.dirichlet(np.ones(z))
+            if z > 1 and rng.random() < 0.5:
+                weight[int(rng.integers(0, z))] = 0.0
+                weight = weight / weight.sum()
+            probabilities.append(weight)
+        costs = expected_max_batch_values(rows, probabilities)
+        for b in range(batch):
+            scalar = expected_max_of_independent([rows[i][b] for i in range(n)], probabilities)
+            assert costs[b] == pytest.approx(scalar, rel=1e-9, abs=1e-9)
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            expected_max_batch_values(
+                [np.ones((2, 1)), np.ones((3, 1))], [np.array([1.0]), np.array([1.0])]
+            )
+
+
+class TestAssignedCostEvaluator:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_move_costs_match_full_recomputation(self, seed):
+        rng = np.random.default_rng(seed + 200)
+        supports, probabilities, n, m = _random_supports(rng)
+        evaluator = AssignedCostEvaluator(supports, probabilities)
+        columns = rng.integers(0, m, size=n)
+        for point in range(n):
+            profile = evaluator.rest_profile(columns, point)
+            move = evaluator.move_costs(profile, np.arange(m))
+            for column in range(m):
+                trial = columns.copy()
+                trial[point] = column
+                selected = [supports[i][:, trial[i]] for i in range(n)]
+                expected = expected_max_of_independent(selected, probabilities)
+                assert move[column] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_cost_and_costs_agree(self):
+        rng = np.random.default_rng(7)
+        supports, probabilities, n, m = _random_supports(rng, n=3, m=4)
+        evaluator = AssignedCostEvaluator(supports, probabilities)
+        column_sets = rng.integers(0, m, size=(9, n))
+        batch = evaluator.costs(column_sets)
+        for row, columns in enumerate(column_sets):
+            assert batch[row] == pytest.approx(evaluator.cost(columns), rel=1e-12)
+
+    def test_single_variable_instance(self):
+        supports = [np.array([[1.0, 3.0], [2.0, 9.0]])]
+        probabilities = [np.array([0.25, 0.75])]
+        evaluator = AssignedCostEvaluator(supports, probabilities)
+        profile = evaluator.rest_profile(np.array([0]), 0)
+        move = evaluator.move_costs(profile, np.array([0, 1]))
+        assert move[0] == pytest.approx(0.25 * 1.0 + 0.75 * 2.0)
+        assert move[1] == pytest.approx(0.25 * 3.0 + 0.75 * 9.0)
+
+    def test_dataset_factory_matches_assigned_cost(self):
+        dataset, _ = gaussian_clusters(n=6, z=3, dimension=2, k_true=2, seed=11)
+        centers = dataset.expected_points()[:2]
+        evaluator = assigned_cost_evaluator(dataset, centers)
+        from repro.cost import expected_cost_assigned
+
+        assignment = np.array([0, 1, 0, 1, 0, 1])
+        assert evaluator.cost(assignment) == pytest.approx(
+            expected_cost_assigned(dataset, centers, assignment), rel=1e-12
+        )
+
+    def test_mismatched_column_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            AssignedCostEvaluator(
+                [np.ones((2, 2)), np.ones((2, 3))], [np.full(2, 0.5), np.full(2, 0.5)]
+            )
+
+
+class TestVectorizedKernelSmoke:
+    def test_10k_supports_bounded_kernel_calls(self, monkeypatch):
+        """The scalar kernel must handle a 10k-entry union with a bounded
+        number of NumPy sort/cumsum calls — i.e. no Python-loop fallback over
+        support entries."""
+        rng = np.random.default_rng(0)
+        n, z = 1250, 8  # N = 10_000 total support entries
+        values = [rng.uniform(0, 100, size=z) for _ in range(n)]
+        probabilities = [rng.dirichlet(np.ones(z)) for _ in range(n)]
+
+        calls = {"argsort": 0, "lexsort": 0, "cumsum": 0}
+        real_argsort, real_lexsort, real_cumsum = np.argsort, np.lexsort, np.cumsum
+        monkeypatch.setattr(
+            np, "argsort", lambda *a, **k: calls.__setitem__("argsort", calls["argsort"] + 1) or real_argsort(*a, **k)
+        )
+        monkeypatch.setattr(
+            np, "lexsort", lambda *a, **k: calls.__setitem__("lexsort", calls["lexsort"] + 1) or real_lexsort(*a, **k)
+        )
+        monkeypatch.setattr(
+            np, "cumsum", lambda *a, **k: calls.__setitem__("cumsum", calls["cumsum"] + 1) or real_cumsum(*a, **k)
+        )
+        result = expected_max_of_independent(values, probabilities)
+        total_kernel_calls = calls["argsort"] + calls["lexsort"] + calls["cumsum"]
+        assert total_kernel_calls <= 8, calls
+        maxima = np.array([v.max() for v in values])
+        assert 0.0 < result <= maxima.max() + 1e-9
+
+    def test_10k_supports_batch_rows(self):
+        """The batch kernel evaluates several 10k-entry rows in one shot."""
+        rng = np.random.default_rng(1)
+        n, z, m = 1000, 10, 3
+        supports = [rng.uniform(0, 100, size=(z, m)) for _ in range(n)]
+        probabilities = [rng.dirichlet(np.ones(z)) for _ in range(n)]
+        column_sets = rng.integers(0, m, size=(4, n))
+        costs = expected_max_batch(supports, probabilities, column_sets)
+        assert costs.shape == (4,)
+        assert np.all(costs > 0)
+        spot = [supports[i][:, column_sets[0, i]] for i in range(n)]
+        assert costs[0] == pytest.approx(expected_max_of_independent(spot, probabilities), rel=1e-9)

@@ -86,6 +86,16 @@ class TestMonteCarlo:
         low, high = estimate.confidence_interval
         assert low <= estimate.value <= high
 
+    def test_confidence_interval_clamped_at_zero(self):
+        from repro.cost import MonteCarloEstimate
+
+        # A noisy estimate near zero must not report a negative lower bound:
+        # the cost objectives are expectations of distances.
+        estimate = MonteCarloEstimate(value=0.01, standard_error=0.5, samples=10)
+        low, high = estimate.confidence_interval
+        assert low == 0.0
+        assert high == pytest.approx(0.01 + 1.96 * 0.5)
+
     def test_assignment_length_validated(self, small_instance):
         dataset, centers, _ = small_instance
         with pytest.raises(ValidationError):

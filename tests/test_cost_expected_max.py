@@ -13,7 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cost import expected_max_of_independent
+from repro.cost import enumerate_expected_max, expected_max_of_independent
+from repro.cost.expected import _expected_max_reference
 from repro.exceptions import ValidationError
 
 
@@ -64,6 +65,70 @@ class TestHandComputedCases:
         values = [np.array([1.0, 100.0])]
         probabilities = [np.array([1.0, 0.0])]
         assert expected_max_of_independent(values, probabilities) == pytest.approx(1.0)
+
+
+class TestZeroProbabilityRegression:
+    """A zero-probability entry at a variable's smallest value must not count
+    toward that variable's CDF becoming positive (historical silent-wrong-answer
+    bug: this instance returned 2.0)."""
+
+    def test_zero_mass_smallest_entry(self):
+        values = [[1.0, 5.0], [2.0]]
+        probabilities = [[0.0, 1.0], [1.0]]
+        assert expected_max_of_independent(values, probabilities) == pytest.approx(5.0)
+        assert _expected_max_reference(values, probabilities) == pytest.approx(5.0)
+        assert enumerate_expected_max(values, probabilities) == pytest.approx(5.0)
+
+    def test_zero_mass_prefix_multiple_entries(self):
+        values = [[0.5, 1.0, 7.0], [2.0, 3.0]]
+        probabilities = [[0.0, 0.0, 1.0], [0.4, 0.6]]
+        expected = enumerate_expected_max(values, probabilities)
+        assert expected == pytest.approx(7.0)
+        assert expected_max_of_independent(values, probabilities) == pytest.approx(expected)
+
+    def test_zero_mass_entry_between_positive_entries(self):
+        values = [[1.0, 4.0, 9.0], [2.0]]
+        probabilities = [[0.5, 0.0, 0.5], [1.0]]
+        expected = enumerate_expected_max(values, probabilities)
+        assert expected_max_of_independent(values, probabilities) == pytest.approx(expected)
+        assert _expected_max_reference(values, probabilities) == pytest.approx(expected)
+
+    def test_all_variables_lead_with_zero_mass(self):
+        values = [[0.0, 3.0], [0.0, 2.0]]
+        probabilities = [[0.0, 1.0], [0.0, 1.0]]
+        assert expected_max_of_independent(values, probabilities) == pytest.approx(3.0)
+
+
+def _random_instance_with_zeros(rng):
+    """Random ragged instance with explicit zeros and repeated values."""
+    n = int(rng.integers(1, 6))
+    values = []
+    probabilities = []
+    for _ in range(n):
+        z = int(rng.integers(1, 5))
+        support = rng.uniform(0, 10, size=z)
+        if z > 1 and rng.random() < 0.5:
+            support[int(rng.integers(1, z))] = support[0]  # repeated value
+        weight = rng.dirichlet(np.ones(z))
+        if z > 1 and rng.random() < 0.6:
+            weight[int(rng.integers(0, z))] = 0.0  # explicit zero mass
+            weight = weight / weight.sum()
+        order = rng.permutation(z)
+        values.append(support[order])
+        probabilities.append(weight[order])
+    return values, probabilities
+
+
+class TestDifferentialKernelVsReferenceVsEnumeration:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_three_way_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        values, probabilities = _random_instance_with_zeros(rng)
+        vectorized = expected_max_of_independent(values, probabilities)
+        reference = _expected_max_reference(values, probabilities)
+        enumerated = enumerate_expected_max(values, probabilities)
+        assert vectorized == pytest.approx(enumerated, rel=1e-9, abs=1e-9)
+        assert vectorized == pytest.approx(reference, rel=1e-9, abs=1e-9)
 
 
 class TestValidation:
