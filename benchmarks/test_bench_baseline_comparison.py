@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
+
+from repro.baselines.guha_munagala import guha_munagala_baseline
+from repro.cost import expected_cost_assigned
 from repro.experiments.table1 import run_e10_baseline_comparison
+from repro.workloads import gaussian_clusters, heavy_tailed
 
 
 def test_bench_e10_baseline_comparison(benchmark, table1_settings):
@@ -10,3 +16,28 @@ def test_bench_e10_baseline_comparison(benchmark, table1_settings):
     # The paper's algorithms should beat or match the baselines on a clear
     # majority of workloads (they win all of them in practice).
     assert record.summary["win_fraction"] >= 0.5, record.summary
+
+
+@pytest.mark.timeout(120)
+def test_bench_threshold_greedy_baseline(benchmark):
+    """The threshold-greedy (Guha–Munagala-style) baseline on a heavy-tailed
+    workload: the binary search sweeps tight thresholds where the opener's
+    best expected distance exceeds 3T — the exact regime that used to hang."""
+    dataset, _ = heavy_tailed(n=40, z=5, dimension=2, outlier_probability=0.2, seed=3)
+    result = benchmark(guha_munagala_baseline, dataset, 3)
+    assert result.centers.shape[0] <= 3
+    assert np.isfinite(result.expected_cost)
+    assert result.expected_cost == pytest.approx(
+        expected_cost_assigned(dataset, result.centers, result.assignment),
+        rel=1e-9,
+    )
+
+
+@pytest.mark.timeout(120)
+def test_bench_threshold_greedy_single_spread_point(benchmark):
+    """Degenerate tight-threshold instance (single point, far-apart support):
+    every candidate threshold is below best/3 until the search widens."""
+    dataset, _ = gaussian_clusters(n=1, z=6, dimension=2, k_true=1, seed=11)
+    result = benchmark(guha_munagala_baseline, dataset, 1)
+    assert result.centers.shape[0] == 1
+    assert np.isfinite(result.expected_cost)

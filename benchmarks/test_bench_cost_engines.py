@@ -112,3 +112,50 @@ def test_local_search_speedup_over_reference_engine():
 
     speedup = reference_seconds / max(incremental_seconds, 1e-9)
     assert speedup >= 5.0, f"incremental path only {speedup:.1f}x faster than reference engine"
+
+
+def test_local_search_sweep_amortization_speedup():
+    """ISSUE 2 guard: the round-amortized LocalSearchSweep must be >= 3x
+    faster than per-point ``rest_profile`` re-sorts on the local-search
+    polish sweep at n=200, z=8 (one full round of single-point moves)."""
+    dataset, _ = gaussian_clusters(n=200, z=8, dimension=2, k_true=8, seed=7)
+    centers = dataset.expected_points()[:8]
+    assignment = ExpectedDistanceAssignment()(dataset, centers)
+    evaluator = assigned_cost_evaluator(dataset, centers)
+    all_columns = np.arange(centers.shape[0])
+
+    def per_point_round() -> np.ndarray:
+        costs = np.empty((dataset.size, centers.shape[0]))
+        for point in range(dataset.size):
+            profile = evaluator.rest_profile(assignment, point)
+            costs[point] = evaluator.move_costs(profile, all_columns)
+        return costs
+
+    sweep = evaluator.local_search_sweep(assignment)
+
+    def amortized_round() -> np.ndarray:
+        costs = np.empty((dataset.size, centers.shape[0]))
+        for point in range(dataset.size):
+            profile = sweep.rest_profile(point)
+            costs[point] = evaluator.move_costs(profile, all_columns)
+        return costs
+
+    # Warm up once (also checks the two paths agree), then take the best of
+    # three timed repeats of each to damp scheduler noise.
+    np.testing.assert_allclose(amortized_round(), per_point_round(), rtol=1e-9, atol=1e-12)
+    per_point_seconds = min(
+        _timed(per_point_round) for _ in range(3)
+    )
+    amortized_seconds = min(
+        _timed(amortized_round) for _ in range(3)
+    )
+    speedup = per_point_seconds / max(amortized_seconds, 1e-9)
+    assert speedup >= 3.0, (
+        f"round-amortized sweep only {speedup:.1f}x faster than per-point rest_profile"
+    )
+
+
+def _timed(function) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start

@@ -1,0 +1,97 @@
+"""Repo-wide pytest configuration: per-test default timeouts.
+
+Solver hangs (like the historical threshold-greedy infinite loop in the
+Guha–Munagala baseline) must fail fast instead of stalling the whole suite.
+When the ``pytest-timeout`` plugin is installed (the ``test`` extra in
+``setup.py``) it enforces the default below; otherwise a SIGALRM-based
+fallback provides the same behaviour on POSIX.  Individual tests override
+the default with ``@pytest.mark.timeout(seconds)``.  Living at the repo root
+this applies to ``tests/`` and ``benchmarks/`` alike.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+#: Default per-test budget; generous next to the slowest benchmark test but
+#: far below "the suite is hanging".
+DEFAULT_TEST_TIMEOUT_SECONDS = 300.0
+
+try:  # pragma: no cover - exercised only where the plugin is installed
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "timeout(seconds): override the per-test timeout default"
+    )
+    if _HAVE_PYTEST_TIMEOUT and getattr(config.option, "timeout", None) is None:
+        config.option.timeout = DEFAULT_TEST_TIMEOUT_SECONDS
+
+
+def _timeout_seconds(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is None:
+        return DEFAULT_TEST_TIMEOUT_SECONDS
+    if marker.args:
+        return float(marker.args[0])
+    # pytest-timeout's keyword is ``timeout=``; accept ``seconds=`` too.
+    value = marker.kwargs.get("timeout", marker.kwargs.get("seconds"))
+    return float(value) if value is not None else DEFAULT_TEST_TIMEOUT_SECONDS
+
+
+def _alarm_fallback_active() -> bool:
+    return (
+        not _HAVE_PYTEST_TIMEOUT
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _guarded(item, phase: str):
+    """SIGALRM fallback for one test phase when pytest-timeout is unavailable.
+
+    Hangs can occur in fixture setup/teardown as easily as in the test body
+    (a solver hang inside a dataset fixture, say), so every phase of the
+    runtest protocol gets its own alarm budget.
+    """
+    if not _alarm_fallback_active():
+        yield
+        return
+    seconds = _timeout_seconds(item)
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {seconds:.0f}s {phase} timeout "
+            "(fallback guard; install pytest-timeout for richer reporting)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_setup(item):
+    yield from _guarded(item, "fixture-setup")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    yield from _guarded(item, "test")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_teardown(item):
+    yield from _guarded(item, "fixture-teardown")

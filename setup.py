@@ -1,3 +1,14 @@
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # Per-test default timeouts (tests/conftest.py) are enforced by
+        # pytest-timeout when available; a SIGALRM fallback covers
+        # environments that only have the base toolchain.
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-timeout>=2.1",
+        ],
+    }
+)

@@ -66,8 +66,11 @@ from .baselines import (
 from .bounds import assigned_cost_lower_bound, per_point_lower_bound
 from .cost import (
     AssignedCostEvaluator,
+    CostContext,
+    LocalSearchSweep,
     MonteCarloEstimate,
     assigned_cost_evaluator,
+    cost_context,
     enumerate_expected_cost_assigned,
     enumerate_expected_cost_unassigned,
     enumerate_expected_max,
@@ -179,7 +182,10 @@ __all__ = [
     "expected_max_batch",
     "expected_max_batch_values",
     "AssignedCostEvaluator",
+    "CostContext",
+    "LocalSearchSweep",
     "assigned_cost_evaluator",
+    "cost_context",
     "enumerate_expected_max",
     "expected_cost_assigned",
     "expected_cost_unassigned",

@@ -21,7 +21,7 @@ from __future__ import annotations
 from .._validation import check_positive_int
 from ..assignments.base import AssignmentPolicy
 from ..assignments.policies import ExpectedDistanceAssignment, ExpectedPointAssignment, OptimalAssignment
-from ..cost.expected import expected_cost_assigned
+from ..cost.context import CostContext
 from ..exceptions import NotSupportedError, ValidationError
 from ..uncertain.dataset import UncertainDataset
 from ..uncertain.reduction import expected_point_reduction
@@ -72,12 +72,20 @@ def solve_unrestricted_assigned(
     deterministic = solve(representatives, k, dataset.metric)
     centers = deterministic.centers
     labels = policy(dataset, centers)
-    cost = expected_cost_assigned(dataset, centers, labels)
+    # One shared cost context serves the guaranteed solution's score, the
+    # local-search polish, and the polished score — the polished labels are
+    # no longer re-scored from scratch.  When polishing, pin the supports up
+    # front so the initial score, the polish rounds and the re-score all ride
+    # one metric pass; without polish the lazy single-score path stays O(nz).
+    context = CostContext(dataset, centers)
+    if polish_assignment:
+        _ = context.supports  # pin now so every stage below shares one metric pass
+    cost = context.assigned_cost(labels)
 
     polished = False
     if polish_assignment:
-        better_labels = OptimalAssignment()(dataset, centers)
-        better_cost = expected_cost_assigned(dataset, centers, better_labels)
+        better_labels = OptimalAssignment(context=context)(dataset, centers)
+        better_cost = context.assigned_cost(better_labels)
         if better_cost < cost:
             labels, cost, polished = better_labels, better_cost, True
 

@@ -31,6 +31,20 @@ class AssignmentPolicy(abc.ABC):
     def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
         """Return ``assignment[i]`` = index of the center for point ``i``."""
 
+    def candidate_scores(self, dataset: UncertainDataset, candidates: np.ndarray) -> np.ndarray | None:
+        """``(n, m)`` score matrix when the rule is "argmin of a score".
+
+        Every restricted rule of the paper (ED, EP, OC) and the naive
+        nearest-mode comparator assign each point to the candidate minimising
+        a per-(point, candidate) score; exposing the matrix lets batch
+        enumerators (brute force over candidate subsets, the shared
+        :class:`~repro.cost.context.CostContext`) compute the rule's
+        assignment for *every* subset with one argmin instead of calling
+        :meth:`assign` per subset.  Rules that are not of this shape (e.g.
+        local-search optimal assignment) return ``None``.
+        """
+        return None
+
     def __call__(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
         centers = as_point_array(centers, name="centers")
         assignment = np.asarray(self.assign(dataset, centers), dtype=int).reshape(-1)

@@ -21,11 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cost.expected import (
-    assigned_cost_evaluator,
-    expected_distance_matrix,
-)
-from ..exceptions import NotSupportedError
+from ..cost.context import CostContext
+from ..cost.expected import expected_distance_matrix
+from ..exceptions import NotSupportedError, ValidationError
 from ..uncertain.dataset import UncertainDataset
 from ..uncertain.reduction import one_center_reduction
 from .base import AssignmentPolicy
@@ -40,6 +38,9 @@ class ExpectedDistanceAssignment(AssignmentPolicy):
         matrix = expected_distance_matrix(dataset, centers)
         return matrix.argmin(axis=1)
 
+    def candidate_scores(self, dataset: UncertainDataset, candidates: np.ndarray) -> np.ndarray:
+        return expected_distance_matrix(dataset, candidates)
+
 
 class ExpectedPointAssignment(AssignmentPolicy):
     """Assign each uncertain point to the center nearest its expected point."""
@@ -47,13 +48,15 @@ class ExpectedPointAssignment(AssignmentPolicy):
     name = "expected-point"
 
     def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        return self.candidate_scores(dataset, centers).argmin(axis=1)
+
+    def candidate_scores(self, dataset: UncertainDataset, candidates: np.ndarray) -> np.ndarray:
         if not dataset.metric.supports_expected_point:
             raise NotSupportedError(
                 "the expected-point assignment needs a normed vector space metric"
             )
         expected_points = dataset.expected_points()
-        matrix = dataset.metric.pairwise(expected_points, centers)
-        return matrix.argmin(axis=1)
+        return dataset.metric.pairwise(expected_points, candidates)
 
 
 class OneCenterAssignment(AssignmentPolicy):
@@ -65,9 +68,11 @@ class OneCenterAssignment(AssignmentPolicy):
         self._candidates = candidates
 
     def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        return self.candidate_scores(dataset, centers).argmin(axis=1)
+
+    def candidate_scores(self, dataset: UncertainDataset, candidates: np.ndarray) -> np.ndarray:
         representatives = one_center_reduction(dataset, candidates=self._candidates)
-        matrix = dataset.metric.pairwise(representatives, centers)
-        return matrix.argmin(axis=1)
+        return dataset.metric.pairwise(representatives, candidates)
 
 
 class NearestLocationAssignment(AssignmentPolicy):
@@ -76,11 +81,13 @@ class NearestLocationAssignment(AssignmentPolicy):
     name = "nearest-mode-location"
 
     def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
+        return self.candidate_scores(dataset, centers).argmin(axis=1)
+
+    def candidate_scores(self, dataset: UncertainDataset, candidates: np.ndarray) -> np.ndarray:
         modes = np.vstack(
             [point.locations[int(np.argmax(point.probabilities))] for point in dataset.points]
         )
-        matrix = dataset.metric.pairwise(modes, centers)
-        return matrix.argmin(axis=1)
+        return dataset.metric.pairwise(modes, candidates)
 
 
 class OptimalAssignment(AssignmentPolicy):
@@ -99,25 +106,42 @@ class OptimalAssignment(AssignmentPolicy):
 
     name = "optimal-local"
 
-    def __init__(self, max_rounds: int = 20):
+    def __init__(self, max_rounds: int = 20, context: CostContext | None = None):
         self.max_rounds = max_rounds
+        self._context = context
 
     def assign(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
-        assignment = ExpectedDistanceAssignment().assign(dataset, centers)
         k = centers.shape[0]
+        context = self._context
+        if context is not None:
+            if context.dataset is not dataset or not np.array_equal(context.candidates, centers):
+                raise ValidationError(
+                    "OptimalAssignment needs a CostContext built for exactly this "
+                    "dataset and these centers (dataset or candidate set mismatch)"
+                )
+            # `expected` pins the supports it derives from, so the evaluator
+            # below reuses the same metric pass — one pass for the whole
+            # polish, with the ED seed assignment coming from the cache.
+            assignment = context.expected.argmin(axis=1)
+        else:
+            assignment = ExpectedDistanceAssignment().assign(dataset, centers)
         if k == 1:
             return assignment
-        # Incremental exact evaluation: per candidate move, only the moved
-        # point's distribution is integrated against the cached sweep of the
-        # others — the union of supports is never re-sorted per move.
-        evaluator = assigned_cost_evaluator(dataset, centers)
+        # Incremental exact evaluation through the shared service: the sorted
+        # union sweep is built once per round state (LocalSearchSweep) and
+        # each point's rest profile is divided out of it, so neither the
+        # union nor any candidate column is re-sorted per move.
+        if context is None:
+            context = CostContext(dataset, centers)
+        evaluator = context.evaluator
+        sweep = evaluator.local_search_sweep(assignment)
         all_centers = np.arange(k)
-        best_cost = evaluator.cost(assignment)
+        best_cost = sweep.cost()
         for _ in range(self.max_rounds):
             improved = False
             for point_index in range(dataset.size):
                 current = int(assignment[point_index])
-                profile = evaluator.rest_profile(assignment, point_index)
+                profile = sweep.rest_profile(point_index)
                 costs = evaluator.move_costs(profile, all_centers)
                 best_center = int(np.argmin(costs))
                 # The tolerance is relative: when the maximum is dominated by
@@ -127,6 +151,7 @@ class OptimalAssignment(AssignmentPolicy):
                 tolerance = 1e-12 * max(1.0, abs(best_cost))
                 if best_center != current and costs[best_center] < best_cost - tolerance:
                     assignment[point_index] = best_center
+                    sweep.apply_move(point_index, best_center)
                     best_cost = float(costs[best_center])
                     improved = True
             if not improved:

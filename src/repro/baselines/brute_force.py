@@ -14,11 +14,16 @@ enumerated exhaustively).
   unassigned objective.
 
 All of them enumerate ``C(m, k)`` candidate subsets, so they are exponential
-in ``k``; a safety cap protects against accidental misuse.  Distance supports
-are precomputed once per call into an :class:`AssignedCostEvaluator`, and the
-enumerated subsets/assignments are scored through its *batch* kernel in
-chunks, so the per-subset work is a slice of one vectorized exact ``E[max]``
-sweep rather than a Python-level loop.
+in ``k``; a safety cap protects against accidental misuse.  All exact scoring
+goes through one shared :class:`~repro.cost.context.CostContext` per call:
+assigned costs through its cached per-candidate sorted CDF columns (batch
+kernel), unassigned costs through its rank-keyed batched evaluator, and
+every "argmin of a score" assignment rule (ED, EP, OC, nearest-mode) through
+:meth:`~repro.assignments.base.AssignmentPolicy.candidate_scores`, which
+turns the per-subset policy evaluation into one vectorized argmin — only
+genuinely black-box rules (local-search optimal assignment) fall back to a
+per-subset policy call, and even those are scored through the shared
+evaluator rather than a scratch engine invocation.
 
 When ``k`` exceeds the number of available candidates the solvers run with
 the largest feasible ``k`` and record both ``requested_k`` and
@@ -37,12 +42,7 @@ from .._validation import as_point_array, check_positive_int
 from ..algorithms.result import UncertainKCenterResult
 from ..assignments.base import AssignmentPolicy
 from ..assignments.policies import ExpectedDistanceAssignment
-from ..cost.expected import (
-    AssignedCostEvaluator,
-    expected_cost_assigned,
-    expected_max_batch_values,
-    expected_max_of_independent,
-)
+from ..cost.context import DEFAULT_CHUNK_ROWS, CostContext
 from ..exceptions import ValidationError
 from ..uncertain.dataset import UncertainDataset
 
@@ -50,8 +50,6 @@ from ..uncertain.dataset import UncertainDataset
 MAX_CENTER_SUBSETS = 300_000
 #: Cap on exhaustive assignment enumeration work (subsets * k ** n).
 MAX_ASSIGNMENT_ENUMERATION = 250_000
-#: Rows per chunk pushed through the batch E[max] kernel.
-BATCH_CHUNK_ROWS = 2048
 
 
 def default_candidates(dataset: UncertainDataset) -> np.ndarray:
@@ -68,70 +66,6 @@ def _effective_k(k: int, candidate_count: int) -> tuple[int, dict[str, int]]:
     return effective, metadata
 
 
-class _PrecomputedInstance:
-    """Distance supports and expected distances for a fixed candidate set.
-
-    ``supports[i]`` is the ``(z_i, m)`` matrix of distances from point ``i``'s
-    locations to every candidate; ``expected`` is the ``(n, m)`` matrix of
-    expected distances.  The supports are loaded into an
-    :class:`AssignedCostEvaluator` once, so evaluating the exact expected
-    cost of any (subset, assignment) pair — or a whole batch of them — needs
-    no further metric calls and no per-call re-sorting of candidate columns.
-    """
-
-    def __init__(self, dataset: UncertainDataset, candidates: np.ndarray):
-        metric = dataset.metric
-        self.dataset = dataset
-        self.candidates = candidates
-        self.supports = [metric.pairwise(point.locations, candidates) for point in dataset.points]
-        self.probabilities = [point.probabilities for point in dataset.points]
-        self.expected = np.vstack(
-            [point.probabilities @ support for point, support in zip(dataset.points, self.supports)]
-        )
-        self._evaluator: AssignedCostEvaluator | None = None
-
-    @property
-    def evaluator(self) -> AssignedCostEvaluator:
-        """Lazily built so policy paths that never score assignments in batch
-        (e.g. the non-ED restricted search) skip the per-column sorts."""
-        if self._evaluator is None:
-            self._evaluator = AssignedCostEvaluator(self.supports, self.probabilities)
-        return self._evaluator
-
-    def assigned_cost(self, candidate_indices: np.ndarray) -> float:
-        """Exact assigned cost when point ``i`` goes to ``candidate_indices[i]``."""
-        return self.evaluator.cost(np.asarray(candidate_indices, dtype=int))
-
-    def assigned_costs(self, candidate_index_rows: np.ndarray) -> np.ndarray:
-        """Exact assigned costs for a ``(B, n)`` batch of assignments."""
-        return self.evaluator.costs(candidate_index_rows, chunk_rows=BATCH_CHUNK_ROWS)
-
-    def unassigned_cost(self, subset: tuple[int, ...]) -> float:
-        """Exact unassigned cost of the candidate subset."""
-        columns = list(subset)
-        values = [support[:, columns].min(axis=1) for support in self.supports]
-        return expected_max_of_independent(values, self.probabilities)
-
-    def unassigned_costs(self, subset_rows: np.ndarray) -> np.ndarray:
-        """Exact unassigned costs for a ``(B, kk)`` batch of subsets."""
-        value_rows = [
-            support[:, subset_rows].min(axis=2).T  # (z_i, B, kk) -> (B, z_i)
-            for support in self.supports
-        ]
-        return expected_max_batch_values(value_rows, self.probabilities)
-
-    def ed_assignment(self, subset: tuple[int, ...]) -> np.ndarray:
-        """Expected-distance assignment restricted to the subset's candidates."""
-        columns = np.asarray(subset, dtype=int)
-        local = self.expected[:, columns].argmin(axis=1)
-        return columns[local]
-
-    def ed_assignments(self, subset_rows: np.ndarray) -> np.ndarray:
-        """Expected-distance assignments for a ``(B, kk)`` batch of subsets."""
-        local = self.expected[:, subset_rows].argmin(axis=2)  # (n, B)
-        return np.take_along_axis(subset_rows, local.T, axis=1)  # (B, n)
-
-
 def _iter_center_subsets(candidate_count: int, k: int):
     if comb(candidate_count, k) > MAX_CENTER_SUBSETS:
         raise ValidationError(
@@ -141,7 +75,7 @@ def _iter_center_subsets(candidate_count: int, k: int):
     yield from combinations(range(candidate_count), k)
 
 
-def _iter_index_chunks(iterator, chunk_rows: int = BATCH_CHUNK_ROWS):
+def _iter_index_chunks(iterator, chunk_rows: int = DEFAULT_CHUNK_ROWS):
     """Chunk an iterator of index tuples into ``(B, n)`` int arrays."""
     while True:
         chunk = list(islice(iterator, chunk_rows))
@@ -150,7 +84,7 @@ def _iter_index_chunks(iterator, chunk_rows: int = BATCH_CHUNK_ROWS):
         yield np.asarray(chunk, dtype=int)
 
 
-def _iter_subset_chunks(candidate_count: int, k: int, chunk_rows: int = BATCH_CHUNK_ROWS):
+def _iter_subset_chunks(candidate_count: int, k: int, chunk_rows: int = DEFAULT_CHUNK_ROWS):
     """Yield ``(B, k)`` arrays of candidate subsets, ``B <= chunk_rows``."""
     yield from _iter_index_chunks(_iter_center_subsets(candidate_count, k), chunk_rows)
 
@@ -174,17 +108,20 @@ def brute_force_restricted_assigned(
     candidates = as_point_array(candidates, name="candidates")
     k, k_metadata = _effective_k(k, candidates.shape[0])
 
-    instance = _PrecomputedInstance(dataset, candidates)
-    use_ed_shortcut = isinstance(policy, ExpectedDistanceAssignment)
+    context = CostContext(dataset, candidates)
+    if isinstance(policy, ExpectedDistanceAssignment):
+        scores = context.expected  # cached; bit-identical to the policy's matrix
+    else:
+        scores = policy.candidate_scores(dataset, candidates)
 
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     best_assignment: np.ndarray | None = None
-    if use_ed_shortcut:
+    if scores is not None:
         best_candidate_indices: np.ndarray | None = None
         for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
-            candidate_index_rows = instance.ed_assignments(subset_rows)
-            costs = instance.assigned_costs(candidate_index_rows)
+            candidate_index_rows = context.score_assignments(scores, subset_rows)
+            costs = context.assigned_costs(candidate_index_rows)
             winner = int(np.argmin(costs))
             if costs[winner] < best_cost:
                 best_cost = float(costs[winner])
@@ -193,12 +130,18 @@ def brute_force_restricted_assigned(
         assert best_subset is not None and best_candidate_indices is not None
         best_assignment = np.searchsorted(np.asarray(best_subset), best_candidate_indices)
     else:
+        # Black-box assignment rule: one policy call per subset, but the
+        # exact cost still comes from the shared evaluator's cached columns
+        # (built once up front — without this, every subset would fall back
+        # to the context's lazy single-score path and re-derive distances).
+        evaluator = context.evaluator
         for subset in _iter_center_subsets(candidates.shape[0], k):
-            centers = candidates[list(subset)]
-            labels = policy(dataset, centers)
-            cost = expected_cost_assigned(dataset, centers, labels)
+            columns = np.asarray(subset, dtype=int)
+            centers = candidates[columns]
+            labels = np.asarray(policy(dataset, centers), dtype=int)
+            cost = evaluator.cost(columns[labels])
             if cost < best_cost:
-                best_cost, best_subset, best_assignment = cost, subset, np.asarray(labels, dtype=int)
+                best_cost, best_subset, best_assignment = cost, subset, labels
     assert best_subset is not None and best_assignment is not None
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
@@ -215,7 +158,7 @@ def brute_force_restricted_assigned(
     )
 
 
-def _iter_assignment_chunks(columns: np.ndarray, n: int, chunk_rows: int = BATCH_CHUNK_ROWS):
+def _iter_assignment_chunks(columns: np.ndarray, n: int, chunk_rows: int = DEFAULT_CHUNK_ROWS):
     """Yield ``(B, n)`` chunks of all ``kk ** n`` assignments over ``columns``."""
     iterator = product(range(columns.shape[0]), repeat=n)
     for choices in _iter_index_chunks(iterator, chunk_rows):
@@ -238,7 +181,7 @@ def brute_force_unrestricted_assigned(
     exhaustive assignment enumeration (exact for those subsets; enabled
     automatically when ``polish_top * k ** n`` is small, or forced with
     ``exhaustive_assignment=True``) or by single-move local search through
-    the incremental evaluator.
+    the round-amortized sweep.
 
     For an exact optimum over the candidate set pass
     ``polish_top >= C(m, k)`` together with ``exhaustive_assignment=True``
@@ -251,11 +194,11 @@ def brute_force_unrestricted_assigned(
     k, k_metadata = _effective_k(k, candidates.shape[0])
     n = dataset.size
 
-    instance = _PrecomputedInstance(dataset, candidates)
+    context = CostContext(dataset, candidates)
     scored: list[tuple[float, tuple[int, ...], np.ndarray]] = []
     for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
-        candidate_index_rows = instance.ed_assignments(subset_rows)
-        costs = instance.assigned_costs(candidate_index_rows)
+        candidate_index_rows = context.ed_assignments(subset_rows)
+        costs = context.assigned_costs(candidate_index_rows)
         scored.extend(
             (float(cost), tuple(int(c) for c in subset), candidate_indices)
             for cost, subset, candidate_indices in zip(costs, subset_rows, candidate_index_rows)
@@ -271,15 +214,15 @@ def brute_force_unrestricted_assigned(
         columns = np.asarray(subset, dtype=int)
         if exhaustive_assignment:
             for assignment_rows in _iter_assignment_chunks(columns, n):
-                costs = instance.assigned_costs(assignment_rows)
+                costs = context.assigned_costs(assignment_rows)
                 winner = int(np.argmin(costs))
                 if costs[winner] < best_cost:
                     best_cost = float(costs[winner])
                     best_subset, best_candidate_indices = subset, assignment_rows[winner]
         else:
-            candidate_indices = instance.ed_assignment(subset)
-            candidate_indices = _single_move_polish(instance, columns, candidate_indices)
-            candidate_cost = instance.assigned_cost(candidate_indices)
+            candidate_indices = context.ed_assignment(subset)
+            candidate_indices = _single_move_polish(context, columns, candidate_indices)
+            candidate_cost = context.assigned_cost(candidate_indices)
             if candidate_cost < best_cost:
                 best_cost, best_subset, best_candidate_indices = candidate_cost, subset, candidate_indices
 
@@ -303,7 +246,7 @@ def brute_force_unrestricted_assigned(
 
 
 def _single_move_polish(
-    instance: _PrecomputedInstance,
+    context: CostContext,
     columns: np.ndarray,
     candidate_indices: np.ndarray,
     *,
@@ -311,29 +254,30 @@ def _single_move_polish(
 ) -> np.ndarray:
     """Single-point reassignment local search on the exact assigned cost.
 
-    Each point's candidate moves are scored through the incremental
-    evaluator: the other points' sorted sweep is cached once per point and
-    every column of ``columns`` is integrated against it.
+    One :class:`~repro.cost.expected.LocalSearchSweep` carries the whole
+    search: each point's rest profile is divided out of the cached union
+    sweep (not re-sorted per point) and accepted moves are spliced in
+    incrementally.
     """
-    current = candidate_indices.copy()
-    evaluator = instance.evaluator
-    best_cost = evaluator.cost(current)
-    n = current.shape[0]
+    evaluator = context.evaluator
+    sweep = evaluator.local_search_sweep(candidate_indices)
+    best_cost = sweep.cost()
+    n = candidate_indices.shape[0]
     for _ in range(max_rounds):
         improved = False
         for point_index in range(n):
-            original = int(current[point_index])
-            profile = evaluator.rest_profile(current, point_index)
+            original = sweep.column_of(point_index)
+            profile = sweep.rest_profile(point_index)
             costs = evaluator.move_costs(profile, columns)
             winner = int(np.argmin(costs))
             tolerance = 1e-12 * max(1.0, abs(best_cost))
             if int(columns[winner]) != original and costs[winner] < best_cost - tolerance:
-                current[point_index] = int(columns[winner])
+                sweep.apply_move(point_index, int(columns[winner]))
                 best_cost = float(costs[winner])
                 improved = True
         if not improved:
             break
-    return current
+    return sweep.columns
 
 
 def brute_force_unassigned(
@@ -349,11 +293,11 @@ def brute_force_unassigned(
     candidates = as_point_array(candidates, name="candidates")
     k, k_metadata = _effective_k(k, candidates.shape[0])
 
-    instance = _PrecomputedInstance(dataset, candidates)
+    context = CostContext(dataset, candidates)
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
-        costs = instance.unassigned_costs(subset_rows)
+        costs = context.unassigned_costs(subset_rows)
         winner = int(np.argmin(costs))
         if costs[winner] < best_cost:
             best_cost = float(costs[winner])

@@ -19,7 +19,7 @@ import numpy as np
 from .._validation import check_positive_int
 from ..algorithms.result import UncertainKCenterResult
 from ..assignments.policies import ExpectedDistanceAssignment
-from ..cost.expected import expected_cost_assigned, expected_cost_unassigned
+from ..cost.context import CostContext
 from ..deterministic.gonzalez import gonzalez_kcenter
 from ..uncertain.dataset import UncertainDataset
 
@@ -45,10 +45,14 @@ def cormode_mcgregor_baseline(
     deterministic = gonzalez_kcenter(pooled, budget, dataset.metric)
     centers = deterministic.centers
 
+    # Both objectives are scored off one shared context: the assigned cost
+    # through the cached per-candidate CDF columns, the unassigned cost
+    # through the rank-keyed batched evaluator.
+    context = CostContext(dataset, centers)
+    labels = context.expected.argmin(axis=1)
+    assigned_cost = context.assigned_cost(labels)
+    unassigned_cost = context.unassigned_cost(np.arange(centers.shape[0]))
     policy = ExpectedDistanceAssignment()
-    labels = policy(dataset, centers)
-    assigned_cost = expected_cost_assigned(dataset, centers, labels)
-    unassigned_cost = expected_cost_unassigned(dataset, centers)
     return UncertainKCenterResult(
         centers=centers,
         expected_cost=assigned_cost,

@@ -14,9 +14,17 @@ the same spirit, which is the standard practical rendition of
    per-point best expected distances), process uncertain points greedily:
    an *uncovered* point opens its own best candidate center (the one
    minimising its expected distance) and every point whose expected distance
-   to that center is at most ``3T`` joins it;
-3. the smallest ``T`` for which at most ``k`` centers open wins; points are
-   finally assigned by expected distance.
+   to that center is at most ``3T`` joins it — including the opener itself,
+   which is served by its own center even when its best expected distance
+   exceeds ``3T`` (otherwise a tight threshold would re-open the same
+   candidate forever);
+3. the smallest ``T`` for which at most ``k`` *distinct* centers open wins;
+   points are finally assigned by expected distance.
+
+All expected distances and the final exact assigned cost are served by one
+shared :class:`~repro.cost.context.CostContext` over the candidate set — the
+matrix is computed once and the chosen configuration is scored through the
+cached per-candidate CDF columns.
 
 The baseline preserves ``k``, is an O(1)-approximation in the same regime the
 paper targets, and gives the experiments a faithful stand-in comparator.
@@ -30,20 +38,53 @@ import numpy as np
 from .._validation import as_point_array, check_positive_int
 from ..algorithms.result import UncertainKCenterResult
 from ..assignments.policies import ExpectedDistanceAssignment
-from ..cost.expected import expected_cost_assigned, expected_distance_matrix
+from ..cost.context import CostContext
 from ..uncertain.dataset import UncertainDataset
 
 
 def _greedy_open_centers(expected: np.ndarray, best_candidate: np.ndarray, threshold: float) -> list[int]:
-    """Open centers greedily for threshold ``T``; return opened candidate ids."""
+    """Open centers greedily for threshold ``T``; return distinct opened ids.
+
+    The opener is always force-covered by the candidate it opens: when its
+    best expected distance exceeds ``3T`` the ``<= 3T`` rule would leave it
+    uncovered and the loop would re-open the same candidate forever (the
+    historical hang, reproduced by ``expected=[[10, 12]]`` with ``T = 1``).
+    Repeated candidate ids are deduplicated so the opened count compared
+    against ``k`` is the number of distinct centers.
+    """
     n = expected.shape[0]
     uncovered = np.ones(n, dtype=bool)
     opened: list[int] = []
     while uncovered.any():
         point = int(np.flatnonzero(uncovered)[0])
         candidate = int(best_candidate[point])
-        opened.append(candidate)
+        if candidate not in opened:
+            opened.append(candidate)
         uncovered &= expected[:, candidate] > 3.0 * threshold + 1e-12
+        uncovered[point] = False
+    return opened
+
+
+def _top_up_centers(
+    chosen: list[int],
+    best_candidate: np.ndarray,
+    best_values: np.ndarray,
+    budget: int,
+) -> list[int]:
+    """Spend leftover budget on unopened candidates ranked by uncovered demand.
+
+    Demand is measured by the points' best expected distances: the points
+    that are hardest to serve (largest ``best_values``) nominate their own
+    best candidates first.  Already-open candidate ids are skipped, so the
+    result stays deduplicated and never exceeds ``budget``.
+    """
+    opened = list(chosen)
+    for point_index in np.argsort(-best_values):
+        if len(opened) >= budget:
+            break
+        candidate = int(best_candidate[point_index])
+        if candidate not in opened:
+            opened.append(candidate)
     return opened
 
 
@@ -62,7 +103,10 @@ def guha_munagala_baseline(
             candidates = dataset.metric.candidate_centers(dataset.all_locations())
     candidates = as_point_array(candidates, name="candidates")
 
-    expected = expected_distance_matrix(dataset, candidates)  # (n, m)
+    # Expected-matrix-only consumer over m = sum_i z_i candidates: streaming
+    # keeps the context at O(n m) instead of pinning (z_i, m) supports.
+    context = CostContext(dataset, candidates, pin_supports=False)
+    expected = context.expected  # (n, m)
     best_candidate = expected.argmin(axis=1)
     best_values = expected[np.arange(dataset.size), best_candidate]
 
@@ -84,33 +128,21 @@ def guha_munagala_baseline(
         # everything at T = max expected distance), but guard anyway.
         chosen = [int(best_candidate[0])]
 
-    centers = candidates[sorted(set(chosen))]
-    if centers.shape[0] < min(k, candidates.shape[0]):
-        # Use any remaining budget on the candidates with the largest
-        # per-point expected distances (cheap improvement, still <= k).
-        remaining = [c for c in np.argsort(-best_values) if candidates.shape[0] > 0]
-        extra = []
-        have = {tuple(np.round(c, 12)) for c in centers}
-        for point_index in remaining:
-            candidate = candidates[int(best_candidate[point_index])]
-            key = tuple(np.round(candidate, 12))
-            if key not in have:
-                extra.append(candidate)
-                have.add(key)
-            if centers.shape[0] + len(extra) >= k:
-                break
-        if extra:
-            centers = np.vstack([centers, np.asarray(extra)])
+    budget = min(k, candidates.shape[0])
+    if len(chosen) < budget:
+        chosen = _top_up_centers(chosen, best_candidate, best_values, budget)
 
-    policy = ExpectedDistanceAssignment()
-    labels = policy(dataset, centers)
-    cost = expected_cost_assigned(dataset, centers, labels)
+    subset = np.asarray(sorted(set(chosen)), dtype=int)
+    centers = candidates[subset]
+    candidate_indices = context.ed_assignment(subset)
+    labels = np.searchsorted(subset, candidate_indices)
+    cost = context.assigned_cost(candidate_indices)
     return UncertainKCenterResult(
         centers=centers,
         expected_cost=cost,
         objective="unrestricted-assigned",
         assignment=labels,
-        assignment_policy=policy.name,
+        assignment_policy=ExpectedDistanceAssignment.name,
         guaranteed_factor=None,
         metadata={"algorithm": "guha-munagala-style-threshold-greedy", "candidate_count": int(candidates.shape[0])},
     )

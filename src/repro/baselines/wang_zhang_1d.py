@@ -32,16 +32,39 @@ import numpy as np
 from .._validation import check_positive_int
 from ..algorithms.result import UncertainKCenterResult
 from ..assignments.policies import ExpectedDistanceAssignment
-from ..cost.expected import expected_cost_assigned
+from ..cost.context import CostContext
 from ..deterministic.one_dimensional import one_dimensional_kcenter
 from ..exceptions import ValidationError
 from ..uncertain.dataset import UncertainDataset
 
 
 def _ed_cost(dataset: UncertainDataset, centers: np.ndarray) -> tuple[float, np.ndarray]:
-    policy = ExpectedDistanceAssignment()
-    labels = policy(dataset, centers)
-    return expected_cost_assigned(dataset, centers, labels), labels
+    context = CostContext(dataset, centers)
+    labels = context.expected.argmin(axis=1)
+    return context.assigned_cost(labels), labels
+
+
+def _coordinate_sweep_costs(
+    dataset: UncertainDataset, centers: np.ndarray, index: int, grid: np.ndarray
+) -> np.ndarray:
+    """ED-assigned cost of replacing ``centers[index]`` by each grid value.
+
+    One :class:`CostContext` is built over ``centers + grid`` and the whole
+    grid is scored through its batch kernel: per grid value the allowed
+    columns are the static centers with column ``index`` swapped for that
+    grid position, the ED assignment is an argmin over the cached expected
+    matrix, and the exact costs come out of one chunked sweep — instead of
+    one scratch ``expected_cost_assigned`` call per grid value.
+    """
+    k = centers.shape[0]
+    candidates = np.vstack([centers, grid.reshape(-1, 1)])
+    context = CostContext(dataset, candidates)
+    batch = grid.shape[0]
+    allowed = np.tile(np.arange(k), (batch, 1))
+    allowed[:, index] = k + np.arange(batch)
+    local = context.expected[:, allowed].argmin(axis=2)  # (n, B)
+    candidate_index_rows = np.take_along_axis(allowed, local.T, axis=1)  # (B, n)
+    return context.assigned_costs(candidate_index_rows)
 
 
 def _coordinate_descent(dataset: UncertainDataset, centers: np.ndarray, *, rounds: int = 30) -> tuple[np.ndarray, float]:
@@ -57,14 +80,13 @@ def _coordinate_descent(dataset: UncertainDataset, centers: np.ndarray, *, round
             # fine grid around the current position.
             coarse = np.linspace(all_values[0], all_values[-1], 33)
             fine = centers[index, 0] + np.linspace(-0.05, 0.05, 21) * max(span, 1e-9)
-            for value in np.concatenate([coarse, fine]):
-                candidate = centers.copy()
-                candidate[index, 0] = value
-                cost, _ = _ed_cost(dataset, candidate)
-                if cost < best_cost - 1e-15:
-                    best_cost = cost
-                    centers = candidate
-                    improved = True
+            grid = np.concatenate([coarse, fine])
+            costs = _coordinate_sweep_costs(dataset, centers, index, grid)
+            winner = int(np.argmin(costs))
+            if costs[winner] < best_cost - 1e-15:
+                best_cost = float(costs[winner])
+                centers[index, 0] = grid[winner]
+                improved = True
         if not improved:
             break
     return centers, best_cost

@@ -1,13 +1,39 @@
-"""Expected-cost engines: exact O(N log N), batch/incremental, enumeration, Monte-Carlo.
+"""Expected-cost engines and the shared cost-evaluation service.
 
-The exact engine handles zero-probability support entries correctly (they
-contribute no mass; see :mod:`repro.cost.expected` for the semantics) and
-offers three evaluation shapes: scalar (:func:`expected_max_of_independent`),
-batched over assignments or value rows (:func:`expected_max_batch`,
-:func:`expected_max_batch_values`) and incremental single-point moves
-(:class:`AssignedCostEvaluator`).
+Exact kernel (:mod:`repro.cost.expected`)
+    ``E[max]`` of independent discrete distances in ``O(N log N)`` with
+    correct zero-probability semantics, in three evaluation shapes: scalar
+    (:func:`expected_max_of_independent`), batched over assignments or value
+    rows (:func:`expected_max_batch`, :func:`expected_max_batch_values`) and
+    incremental single-point moves (:class:`AssignedCostEvaluator` +
+    :class:`LocalSearchSweep`).
+
+Shared service (:mod:`repro.cost.context`)
+    :class:`CostContext` — built **once per (dataset, candidate-centers)
+    pair** — caches what every solver layer re-derives otherwise:
+
+    * per-point ``(z_i, m)`` distance supports (one metric call per point);
+    * the ``(n, m)`` expected-distance matrix (ED-style argmin rules);
+    * per-candidate sorted CDF columns inside a lazily built
+      :class:`AssignedCostEvaluator` for batch/incremental *assigned* costs;
+    * per-point global value-rank tables for the batched *unassigned*
+      evaluator, which recovers each subset's min-reduced support in value
+      order from integer ranks instead of re-sorting the float values per
+      chunk.
+
+    Rebuild the context when the dataset or candidate set changes; new
+    assignments, subsets or local-search rounds over the same candidates
+    reuse the cached structure.  Consumers: ``OptimalAssignment``, the
+    ``polish_assignment`` path of the unrestricted solver, all four
+    baselines, and the ablation/sensitivity experiment loops.
+
+Reference engines
+    Full realization enumeration (:mod:`repro.cost.enumeration`) and
+    Monte-Carlo estimation (:mod:`repro.cost.montecarlo`) validate the exact
+    kernel in the test suite.
 """
 
+from .context import CostContext, cost_context
 from .enumeration import (
     enumerate_expected_cost_assigned,
     enumerate_expected_cost_unassigned,
@@ -15,6 +41,7 @@ from .enumeration import (
 )
 from .expected import (
     AssignedCostEvaluator,
+    LocalSearchSweep,
     RestProfile,
     assigned_cost_evaluator,
     distance_supports_for_assignment,
@@ -35,7 +62,10 @@ __all__ = [
     "expected_max_batch",
     "expected_max_batch_values",
     "AssignedCostEvaluator",
+    "LocalSearchSweep",
     "RestProfile",
+    "CostContext",
+    "cost_context",
     "assigned_cost_evaluator",
     "expected_cost_assigned",
     "expected_cost_unassigned",

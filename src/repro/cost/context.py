@@ -1,0 +1,290 @@
+"""Shared incremental cost-evaluation service for one (dataset, candidates) pair.
+
+Every solver layer that scores more than one candidate configuration —
+local-search assignment polish, threshold-greedy baselines, coordinate
+descent, brute-force subset enumeration, the experiment sweeps — needs the
+same ingredients: per-point distance supports to a fixed candidate set,
+expected distances, and the exact ``E[max]`` kernel's per-candidate sorted
+CDF columns.  Before this module each layer rebuilt (and often re-sorted)
+those from scratch per candidate configuration via
+:func:`repro.cost.expected.expected_cost_assigned`.
+
+:class:`CostContext` is built **once per (dataset, candidate-centers) pair**
+and caches:
+
+* ``supports[i]`` — the ``(z_i, m)`` distance matrix from point ``i``'s
+  locations to every candidate (pinned lazily on first batch use, then one
+  metric call per point, ever);
+* ``expected`` — the ``(n, m)`` expected-distance matrix (the ED assignment
+  rule and the threshold-greedy baseline both argmin over it);
+* the lazily built :class:`~repro.cost.expected.AssignedCostEvaluator` with
+  its per-candidate sorted CDF columns (batch + incremental assigned costs);
+* per-point *global value-rank tables* for the batched unassigned evaluator:
+  every support entry's position in the point's value-sorted ``(z_i * m)``
+  entry list, computed once.  A subset's min-reduced support is then
+  recovered in sorted order from per-location rank minima, keyed on the
+  precomputed per-candidate value order — the min-reduced float values
+  themselves are never comparison-sorted per chunk (an integer rank sort of
+  the same shape replaces it; the union sweep dominates either way).
+
+Consumers: :class:`repro.assignments.policies.OptimalAssignment`, the
+``polish_assignment`` path of :mod:`repro.algorithms.unrestricted`, all four
+baselines (:mod:`repro.baselines.brute_force`,
+:mod:`repro.baselines.guha_munagala`, :mod:`repro.baselines.wang_zhang_1d`,
+:mod:`repro.baselines.cormode_mcgregor`) and the ablation/sensitivity
+experiment loops.  Rebuild the context whenever the dataset *or* the
+candidate set changes; assignments and subsets over a fixed candidate set
+never require a rebuild.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_point_array
+from ..exceptions import ValidationError
+from ..uncertain.dataset import UncertainDataset
+from .expected import (
+    AssignedCostEvaluator,
+    LocalSearchSweep,
+    _log_zero_deltas,
+    _sweep_rows,
+    expected_max_of_independent,
+)
+
+#: Rows per chunk pushed through the batched sweep kernels.
+DEFAULT_CHUNK_ROWS = 2048
+
+
+class CostContext:
+    """Incremental exact-cost service for a fixed (dataset, candidates) pair."""
+
+    def __init__(
+        self,
+        dataset: UncertainDataset,
+        candidates: np.ndarray,
+        *,
+        pin_supports: bool = True,
+    ):
+        """``pin_supports=False`` keeps ``expected`` reads from caching the
+        ``(z_i, m)`` support matrices — for expected-matrix-only consumers
+        over huge candidate sets (the threshold-greedy baseline's
+        ``m = sum_i z_i``), where pinning would cost ``O((sum_i z_i)^2)``
+        memory.  Batch scoring still pins on first use either way."""
+        candidates = as_point_array(candidates, name="candidates")
+        self.dataset = dataset
+        self.candidates = candidates
+        self.probabilities = [point.probabilities for point in dataset.points]
+        self._pin_supports = pin_supports
+        self._supports: list[np.ndarray] | None = None
+        self._evaluator: AssignedCostEvaluator | None = None
+        self._expected: np.ndarray | None = None
+        self._rank_tables: list[tuple[np.ndarray, np.ndarray]] | None = None
+
+    # -- cached structure ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of uncertain points."""
+        return self.dataset.size
+
+    @property
+    def candidate_count(self) -> int:
+        return self.candidates.shape[0]
+
+    @property
+    def supports(self) -> list[np.ndarray]:
+        """Per-point ``(z_i, m)`` distance matrices; pinned on first use.
+
+        Consumers that never batch over assignments or subsets (e.g. the
+        threshold-greedy baseline, which only needs ``expected`` plus one
+        final score) never pay the ``O(sum_i z_i * m)`` memory.
+        """
+        if self._supports is None:
+            metric = self.dataset.metric
+            self._supports = [
+                metric.pairwise(point.locations, self.candidates) for point in self.dataset.points
+            ]
+        return self._supports
+
+    @property
+    def evaluator(self) -> AssignedCostEvaluator:
+        """Per-candidate sorted CDF columns; built lazily, sorted once."""
+        if self._evaluator is None:
+            self._evaluator = AssignedCostEvaluator(self.supports, self.probabilities)
+        return self._evaluator
+
+    @property
+    def expected(self) -> np.ndarray:
+        """``(n, m)`` matrix of ``E[d(P_i, candidates[c])]``.
+
+        Derived from the pinned supports (pinning them on first access, so a
+        later batch scorer reuses the same metric pass) unless the context
+        was built with ``pin_supports=False``, in which case it is streamed
+        one point at a time and keeps ``O(n m)`` memory.
+        """
+        if self._expected is None:
+            if self._pin_supports or self._supports is not None:
+                self._expected = np.vstack(
+                    [
+                        probabilities @ support
+                        for probabilities, support in zip(self.probabilities, self.supports)
+                    ]
+                )
+            else:
+                metric = self.dataset.metric
+                self._expected = np.vstack(
+                    [
+                        point.probabilities @ metric.pairwise(point.locations, self.candidates)
+                        for point in self.dataset.points
+                    ]
+                )
+        return self._expected
+
+    def _ranks(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per point: ``(ranks, values_by_rank)`` over all ``z_i * m`` entries.
+
+        ``ranks[j, c]`` is the position of entry ``(location j, candidate c)``
+        in the point's value-sorted flat entry list, and
+        ``values_by_rank[r]`` the value at position ``r`` — the key that lets
+        subset min-reductions come out presorted.
+        """
+        if self._rank_tables is None:
+            tables = []
+            for support in self.supports:
+                flat = support.ravel()
+                order = np.argsort(flat, kind="stable")
+                ranks = np.empty(flat.shape[0], dtype=np.int64)
+                ranks[order] = np.arange(flat.shape[0])
+                tables.append((ranks.reshape(support.shape), flat[order]))
+            self._rank_tables = tables
+        return self._rank_tables
+
+    # -- assigned objective -------------------------------------------------
+
+    def assigned_cost(self, candidate_indices: np.ndarray) -> float:
+        """Exact assigned cost when point ``i`` goes to ``candidate_indices[i]``.
+
+        Scoring a single assignment never *forces* the evaluator build: when
+        the per-candidate sorted columns are not pinned yet, the ``k``
+        assigned columns are scored directly (distances to the assigned
+        candidates only), which keeps one-shot consumers at ``O(n z)`` work.
+        """
+        candidate_indices = np.asarray(candidate_indices, dtype=int).reshape(-1)
+        if self._evaluator is not None:
+            return self._evaluator.cost(candidate_indices)
+        if candidate_indices.shape[0] != self.size:
+            raise ValidationError("assignment must have one entry per uncertain point")
+        if candidate_indices.size and (
+            candidate_indices.min() < 0 or candidate_indices.max() >= self.candidate_count
+        ):
+            raise ValidationError("candidate index out of range")
+        if self._supports is not None:
+            values = [
+                support[:, column]
+                for support, column in zip(self._supports, candidate_indices)
+            ]
+        else:
+            metric = self.dataset.metric
+            values = [
+                metric.pairwise(point.locations, self.candidates[column : column + 1]).reshape(-1)
+                for point, column in zip(self.dataset.points, candidate_indices)
+            ]
+        return expected_max_of_independent(values, self.probabilities)
+
+    def assigned_costs(
+        self, candidate_index_rows: np.ndarray, *, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> np.ndarray:
+        """Exact assigned costs for a ``(B, n)`` batch of assignments."""
+        return self.evaluator.costs(candidate_index_rows, chunk_rows=chunk_rows)
+
+    def local_search_sweep(self, candidate_indices: np.ndarray) -> LocalSearchSweep:
+        """Round-amortized single-point-move machinery over this context."""
+        return self.evaluator.local_search_sweep(candidate_indices)
+
+    # -- restricted assignment rules over candidate subsets -----------------
+
+    def ed_assignment(self, subset: tuple[int, ...] | np.ndarray) -> np.ndarray:
+        """Expected-distance assignment restricted to the subset's candidates."""
+        columns = np.asarray(subset, dtype=int)
+        local = self.expected[:, columns].argmin(axis=1)
+        return columns[local]
+
+    def ed_assignments(self, subset_rows: np.ndarray) -> np.ndarray:
+        """Expected-distance assignments for a ``(B, kk)`` batch of subsets."""
+        return self.score_assignments(self.expected, subset_rows)
+
+    def score_assignments(self, scores: np.ndarray, subset_rows: np.ndarray) -> np.ndarray:
+        """Per-subset argmin assignments for any ``(n, m)`` score matrix.
+
+        This is the batched form of every "assign to the candidate minimising
+        a per-(point, candidate) score" rule (ED, EP, OC, nearest-mode);
+        policies expose their matrix via
+        :meth:`repro.assignments.base.AssignmentPolicy.candidate_scores`.
+        """
+        subset_rows = np.atleast_2d(np.asarray(subset_rows, dtype=int))
+        if scores.shape != (self.size, self.candidate_count):
+            raise ValidationError(
+                f"score matrix must be (n, m) = ({self.size}, {self.candidate_count})"
+            )
+        local = scores[:, subset_rows].argmin(axis=2)  # (n, B)
+        return np.take_along_axis(subset_rows, local.T, axis=1)  # (B, n)
+
+    # -- unassigned objective ------------------------------------------------
+
+    def unassigned_cost(self, subset: tuple[int, ...] | np.ndarray) -> float:
+        """Exact unassigned cost of one candidate subset."""
+        return float(self.unassigned_costs(np.atleast_2d(np.asarray(subset, dtype=int)))[0])
+
+    def unassigned_costs(
+        self, subset_rows: np.ndarray, *, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> np.ndarray:
+        """Exact unassigned costs for a ``(B, kk)`` batch of candidate subsets.
+
+        Keyed on the precomputed per-candidate value ranks: for each point the
+        min-reduced support of a subset is the per-location *rank minimum*,
+        and sorting those integer ranks yields the support in value order, so
+        the min-reduced float values themselves are never re-sorted per chunk
+        (the rank sort has the same shape; total cost is dominated by the
+        shared union sweep, which both paths pay identically).
+        """
+        subset_rows = np.atleast_2d(np.asarray(subset_rows, dtype=int))
+        if subset_rows.size and (
+            subset_rows.min() < 0 or subset_rows.max() >= self.candidate_count
+        ):
+            raise ValidationError("candidate index out of range")
+        if subset_rows.shape[1] == 0:
+            raise ValidationError("subsets must contain at least one candidate")
+        batch = subset_rows.shape[0]
+        tables = self._ranks()
+        out = np.empty(batch)
+        for start in range(0, batch, chunk_rows):
+            rows = subset_rows[start : start + chunk_rows]
+            value_blocks = []
+            log_blocks = []
+            zero_blocks = []
+            for (ranks, values_by_rank), weight in zip(tables, self.probabilities):
+                min_rank = ranks[:, rows].min(axis=2).T  # (B, z_i)
+                order = np.argsort(min_rank, axis=1, kind="stable")
+                sorted_values = values_by_rank[np.take_along_axis(min_rank, order, axis=1)]
+                sorted_probabilities = weight[order]
+                cdf_after = np.cumsum(sorted_probabilities, axis=1)
+                cdf_before = np.concatenate(
+                    [np.zeros((rows.shape[0], 1)), cdf_after[:, :-1]], axis=1
+                )
+                log_delta, zero_delta = _log_zero_deltas(cdf_after, cdf_before)
+                value_blocks.append(sorted_values)
+                log_blocks.append(log_delta)
+                zero_blocks.append(zero_delta)
+            out[start : start + rows.shape[0]] = _sweep_rows(
+                np.concatenate(value_blocks, axis=1),
+                np.concatenate(log_blocks, axis=1),
+                np.concatenate(zero_blocks, axis=1),
+                len(tables),
+            )
+        return out
+
+
+def cost_context(dataset: UncertainDataset, candidates: np.ndarray) -> CostContext:
+    """Build the shared :class:`CostContext` for ``(dataset, candidates)``."""
+    return CostContext(dataset, candidates)

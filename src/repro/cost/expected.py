@@ -50,6 +50,18 @@ Batch and incremental APIs
   single-point move *without re-sorting the full union* (the unchanged
   points' sorted sweep is cached and the moved point's distribution is
   integrated against it).
+* :class:`LocalSearchSweep` — amortizes :meth:`AssignedCostEvaluator.rest_profile`
+  across a whole local-search round: the sorted union of *all* variables'
+  entries is maintained once per assignment, each point's rest profile is
+  derived in ``O(N)`` by dividing that point's contribution out of the cached
+  cumulative products, and an accepted move splices the moved variable's
+  entries into the union by ``searchsorted`` instead of re-sorting.
+
+Higher layers should not consume these primitives directly when they score
+many candidate configurations — :class:`repro.cost.context.CostContext`
+bundles them (plus the batched unassigned evaluator) into the shared
+per-(dataset, candidate-centers) service the solvers, baselines and
+experiments are built on.
 
 This engine is the workhorse every solver, baseline and experiment uses to
 report costs, and it is validated against full realization enumeration in the
@@ -471,9 +483,13 @@ class AssignedCostEvaluator:
         """Exact assigned cost for each candidate column of the profiled point.
 
         Uses ``E[max] = v_max - integral F(v) dv`` with
-        ``F = F_rest * F_point``: the rest product is piecewise constant on
-        the cached sorted union, and the moved point's step CDF integrates in
-        closed form on each piece, so no union re-sort happens per move.
+        ``F = F_rest * F_point``: the cumulative integral ``G`` of the
+        piecewise-constant rest product is built once per profile in ``O(N)``,
+        and because the moved point's step CDF is constant between its support
+        knots the integral reduces to ``sum_j F_point(s_j) (G(s_{j+1}) -
+        G(s_j))`` — only ``z + 1`` evaluations of ``G`` per candidate column,
+        located for all columns with one ``searchsorted`` over the shared rest
+        values.  No union re-sort happens per move.
         """
         candidate_columns = np.asarray(candidate_columns, dtype=int).reshape(-1)
         if candidate_columns.size and (
@@ -483,29 +499,141 @@ class AssignedCostEvaluator:
         point = profile.point
         rest_values = profile.values
         rest_products = profile.products
-        out = np.empty(candidate_columns.shape[0])
-        point_values = self._values[point]
-        point_cdfs = self._cdfs[point]
-        for slot, column in enumerate(candidate_columns):
-            support = point_values[:, column]
-            cdf = point_cdfs[:, column]
-            # Integral of the point's step CDF from below its support to x:
-            # piecewise linear with knot values ``knot_integrals``.
-            knot_integrals = np.concatenate(([0.0], np.cumsum(cdf[:-1] * np.diff(support))))
-            if rest_values.size == 0:
-                out[slot] = float(support[-1]) - float(knot_integrals[-1])
-                continue
-            v_max = max(float(support[-1]), float(rest_values[-1]))
-            bounds = np.concatenate((rest_values, [v_max]))
-            positions = np.searchsorted(support, bounds, side="right") - 1
-            clipped = np.maximum(positions, 0)
-            integral_at_bounds = np.where(
-                positions >= 0,
-                knot_integrals[clipped] + cdf[clipped] * (bounds - support[clipped]),
-                0.0,
-            )
-            out[slot] = v_max - float(np.dot(rest_products, np.diff(integral_at_bounds)))
-        return out
+        support = self._values[point][:, candidate_columns]  # (z, C)
+        cdf = self._cdfs[point][:, candidate_columns]  # (z, C)
+        z, width = support.shape
+        if width == 0:
+            return np.empty(0)
+        if rest_values.size == 0:
+            # Single-variable instance: E[V] = v_z - sum_j F(s_j) (s_{j+1} - s_j).
+            return support[-1] - np.sum(cdf[:-1] * np.diff(support, axis=0), axis=0)
+        # ``G(v) = integral of F_rest up to v`` is piecewise linear with slope
+        # ``rest_products[t]`` on ``[rest_values[t], rest_values[t+1])`` (and
+        # slope ``rest_products[-1] ~= 1`` beyond the last rest value).  It is
+        # built once per profile in O(N); each candidate column then needs
+        # only its z + 1 step knots evaluated against G, because the point's
+        # step CDF is constant between consecutive support values:
+        # ``integral F_rest F_point = sum_j F_point(s_j) (G(s_{j+1}) - G(s_j))``.
+        g_knots = np.concatenate(([0.0], np.cumsum(rest_products[:-1] * np.diff(rest_values))))
+        v_max = np.maximum(support[-1], rest_values[-1])  # (C,)
+        queries = np.vstack([support, v_max[None, :]])  # (z + 1, C)
+        index = np.searchsorted(rest_values, queries.ravel(), side="right").reshape(z + 1, width) - 1
+        clipped = np.clip(index, 0, rest_values.shape[0] - 1)
+        g_at_queries = np.where(
+            index >= 0,
+            g_knots[clipped] + rest_products[clipped] * (queries - rest_values[clipped]),
+            0.0,
+        )
+        return v_max - np.einsum("jc,jc->c", cdf, np.diff(g_at_queries, axis=0))
+
+    def local_search_sweep(self, columns: np.ndarray) -> "LocalSearchSweep":
+        """A :class:`LocalSearchSweep` over the current assignment ``columns``."""
+        return LocalSearchSweep(self, columns)
+
+
+class LocalSearchSweep:
+    """Round-amortized rest profiles for single-point local search.
+
+    :meth:`AssignedCostEvaluator.rest_profile` re-concatenates and re-sorts
+    the other ``n - 1`` variables' columns for *every* profiled point, even
+    though the ``n`` profiles of one local-search round share all but one
+    variable.  This class maintains the sorted union sweep of **all**
+    variables under the current assignment (values, per-entry log/zero
+    deltas, owners, and their cumulative sums) and derives any point's rest
+    profile in ``O(N)`` by subtracting that point's own cumulative
+    contribution in log space — with the same explicit zero-mass counter the
+    kernel uses, so zero-probability supports stay correct.
+
+    The profile keeps the moved point's entry positions in the sorted union;
+    they only add breakpoints on which the rest product is constant, which
+    the :meth:`AssignedCostEvaluator.move_costs` integral ignores (zero-width
+    or equal-product intervals), so the move costs match the per-point
+    profiles to floating-point associativity.
+
+    Accepting a move splices the moved variable's presorted column into the
+    union via ``searchsorted`` + ``insert`` — the union is never re-sorted
+    from scratch during a round.
+    """
+
+    def __init__(self, evaluator: AssignedCostEvaluator, columns: np.ndarray):
+        self._evaluator = evaluator
+        columns = evaluator._check_columns(np.asarray(columns, dtype=int).reshape(-1))
+        self._columns = columns.copy()
+        n = evaluator.n
+        values = np.concatenate([evaluator._values[i][:, columns[i]] for i in range(n)])
+        log_delta = np.concatenate([evaluator._log_deltas[i][:, columns[i]] for i in range(n)])
+        zero_delta = np.concatenate([evaluator._zero_deltas[i][:, columns[i]] for i in range(n)])
+        owner = np.concatenate(
+            [np.full(evaluator._values[i].shape[0], i) for i in range(n)]
+        )
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._log_delta = log_delta[order]
+        self._zero_delta = zero_delta[order]
+        self._owner = owner[order]
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._cum_log = np.cumsum(self._log_delta)
+        self._cum_zero = np.cumsum(self._zero_delta)
+
+    @property
+    def columns(self) -> np.ndarray:
+        """The current assignment (candidate column per variable)."""
+        return self._columns.copy()
+
+    def column_of(self, point: int) -> int:
+        return int(self._columns[point])
+
+    def cost(self) -> float:
+        """Exact ``E[max]`` of the current assignment from the cached sweep."""
+        zero_count = float(self._evaluator.n) + self._cum_zero
+        cdf_of_max = np.where(zero_count < 0.5, np.exp(np.minimum(self._cum_log, 0.0)), 0.0)
+        increments = np.diff(cdf_of_max, prepend=0.0)
+        expected = float(np.dot(self._values, increments))
+        expected += float(self._values[-1]) * float(max(0.0, 1.0 - cdf_of_max[-1]))
+        return expected
+
+    def rest_profile(self, point: int) -> RestProfile:
+        """Sorted sweep of every variable except ``point`` — no re-sort."""
+        n = self._evaluator.n
+        if not 0 <= point < n:
+            raise ValidationError(f"point {point} out of range [0, {n})")
+        if n == 1:
+            return RestProfile(point=point, values=np.empty(0), products=np.empty(0))
+        mine = self._owner == point
+        own_log = np.cumsum(np.where(mine, self._log_delta, 0.0))
+        own_zero = np.cumsum(np.where(mine, self._zero_delta, 0.0))
+        rest_log = self._cum_log - own_log
+        rest_zero_count = float(n - 1) + (self._cum_zero - own_zero)
+        products = np.where(rest_zero_count < 0.5, np.exp(np.minimum(rest_log, 0.0)), 0.0)
+        return RestProfile(point=point, values=self._values, products=products)
+
+    def apply_move(self, point: int, column: int) -> None:
+        """Reassign ``point`` to ``column`` and splice the union in place."""
+        evaluator = self._evaluator
+        n = evaluator.n
+        if not 0 <= point < n:
+            raise ValidationError(f"point {point} out of range [0, {n})")
+        column = int(column)
+        if not 0 <= column < evaluator.columns:
+            raise ValidationError("column index out of range")
+        if column == int(self._columns[point]):
+            return
+        keep = self._owner != point
+        values = self._values[keep]
+        new_values = evaluator._values[point][:, column]
+        positions = np.searchsorted(values, new_values, side="left")
+        self._values = np.insert(values, positions, new_values)
+        self._log_delta = np.insert(
+            self._log_delta[keep], positions, evaluator._log_deltas[point][:, column]
+        )
+        self._zero_delta = np.insert(
+            self._zero_delta[keep], positions, evaluator._zero_deltas[point][:, column]
+        )
+        self._owner = np.insert(self._owner[keep], positions, point)
+        self._columns[point] = column
+        self._refresh()
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,7 @@ from ..assignments.policies import (
     NearestLocationAssignment,
     OneCenterAssignment,
 )
-from ..cost.expected import expected_cost_assigned
+from ..cost.context import CostContext
 from ..deterministic.gonzalez import gonzalez_kcenter
 from ..uncertain.reduction import reduce_dataset
 from ..workloads.synthetic import gaussian_clusters, heavy_tailed
@@ -52,16 +52,28 @@ def run_representative_ablation(settings: AblationSettings | None = None) -> Exp
     settings = settings or AblationSettings()
     rows = []
     aggregates: dict[str, list[float]] = {"expected-point": [], "one-center": [], "medoid": []}
+    kinds = ("expected-point", "one-center", "medoid")
     for trial in range(settings.trials):
         for maker, name in ((gaussian_clusters, "gaussian"), (heavy_tailed, "heavy-tailed")):
             dataset, spec = maker(n=settings.n, z=settings.z, dimension=2, seed=settings.seed + trial)
-            policy = ExpectedDistanceAssignment()
-            costs = {}
-            for kind in ("expected-point", "one-center", "medoid"):
+            # One shared context over the union of all representatives'
+            # center sets scores every configuration in a single batched
+            # call, instead of one scratch engine invocation per kind.
+            center_sets = []
+            for kind in kinds:
                 representatives = reduce_dataset(dataset, kind)
-                centers = gonzalez_kcenter(representatives, settings.k, dataset.metric).centers
-                labels = policy(dataset, centers)
-                costs[kind] = expected_cost_assigned(dataset, centers, labels)
+                center_sets.append(gonzalez_kcenter(representatives, settings.k, dataset.metric).centers)
+            context = CostContext(dataset, np.vstack(center_sets))
+            offsets = np.cumsum([0] + [centers.shape[0] for centers in center_sets])
+            candidate_index_rows = np.vstack(
+                [
+                    context.ed_assignment(np.arange(offsets[j], offsets[j + 1]))
+                    for j in range(len(kinds))
+                ]
+            )
+            batched_costs = context.assigned_costs(candidate_index_rows)
+            costs = {kind: float(cost) for kind, cost in zip(kinds, batched_costs)}
+            for kind in kinds:
                 aggregates[kind].append(costs[kind])
             rows.append(
                 ExperimentRow(
@@ -95,12 +107,15 @@ def run_assignment_ablation(settings: AblationSettings | None = None) -> Experim
             dataset, spec = maker(n=settings.n, z=settings.z, dimension=2, seed=settings.seed + 50 + trial)
             representatives = reduce_dataset(dataset, "expected-point")
             centers = gonzalez_kcenter(representatives, settings.k, dataset.metric).centers
+            # Fixed centers, four assignment rules: one context, one batched
+            # exact scoring of all four label vectors.
+            context = CostContext(dataset, centers)
+            label_rows = np.vstack([policy(dataset, centers) for policy in policies])
+            batched_costs = context.assigned_costs(label_rows)
             measured = {}
-            for policy in policies:
-                labels = policy(dataset, centers)
-                cost = expected_cost_assigned(dataset, centers, labels)
-                measured[f"cost_{policy.name.replace('-', '_')}"] = cost
-                aggregates[policy.name].append(cost)
+            for policy, cost in zip(policies, batched_costs):
+                measured[f"cost_{policy.name.replace('-', '_')}"] = float(cost)
+                aggregates[policy.name].append(float(cost))
             rows.append(ExperimentRow(configuration=f"{spec.describe()}", measured=measured))
     means = {name: float(np.mean(values)) for name, values in aggregates.items()}
     return ExperimentRecord(

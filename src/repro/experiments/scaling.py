@@ -117,6 +117,33 @@ def run_scaling(settings: ScalingSettings | None = None) -> ExperimentRecord:
         )
     )
 
+    # Local-search round: the round-amortized sweep (rest profiles divided
+    # out of one cached union) vs per-point rest_profile re-sorts.
+    assignment = rng.integers(0, centers.shape[0], size=dataset.size)
+    all_columns = np.arange(centers.shape[0])
+
+    def _per_point_round() -> None:
+        for point in range(dataset.size):
+            profile = evaluator.rest_profile(assignment, point)
+            evaluator.move_costs(profile, all_columns)
+
+    sweep = evaluator.local_search_sweep(assignment)
+
+    def _amortized_round() -> None:
+        for point in range(dataset.size):
+            profile = sweep.rest_profile(point)
+            evaluator.move_costs(profile, all_columns)
+
+    per_point_seconds = _time_call(_per_point_round, settings.repeats)
+    amortized_seconds = _time_call(_amortized_round, settings.repeats)
+    sweep_speedup = float(per_point_seconds / max(amortized_seconds, 1e-9))
+    rows.append(
+        ExperimentRow(
+            configuration=f"sweep=local-search-round n={settings.base_n}",
+            measured={"seconds": amortized_seconds, "per_point_seconds": per_point_seconds},
+        )
+    )
+
     return ExperimentRecord(
         experiment_id="E11",
         paper_artifact="Table 1 running-time column",
@@ -127,6 +154,7 @@ def run_scaling(settings: ScalingSettings | None = None) -> ExperimentRecord:
             "z_exponent": z_exponent,
             "k_exponent": k_exponent,
             "batch_engine_speedup": batch_speedup,
+            "local_search_sweep_speedup": sweep_speedup,
             "n_shape_ok": n_exponent <= 1.5,
             "z_shape_ok": z_exponent <= 1.5,
             "k_shape_sublinear": k_exponent <= 1.0,

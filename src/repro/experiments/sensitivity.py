@@ -21,7 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..algorithms.unrestricted import solve_unrestricted_assigned
+from ..assignments.policies import ExpectedPointAssignment
 from ..bounds.lower_bounds import assigned_cost_lower_bound
+from ..cost.context import CostContext
 from ..workloads.synthetic import gaussian_clusters, heavy_tailed
 from .records import ExperimentRecord, ExperimentRow
 
@@ -51,6 +53,7 @@ def run_outlier_sensitivity(settings: SensitivitySettings | None = None) -> Expe
     for probability in settings.outlier_probabilities:
         costs = []
         bound_ratios = []
+        assignment_gaps = []
         for trial in range(settings.trials):
             dataset, spec = heavy_tailed(
                 n=settings.n,
@@ -64,13 +67,28 @@ def run_outlier_sensitivity(settings: SensitivitySettings | None = None) -> Expe
             costs.append(result.expected_cost)
             if lower_bound > 0:
                 bound_ratios.append(result.expected_cost / lower_bound)
+            # How much the EP assignment buys over ED on the solved centers,
+            # both scored in one batched call against the shared context.
+            context = CostContext(dataset, result.centers)
+            label_rows = np.vstack(
+                [
+                    context.expected.argmin(axis=1),
+                    ExpectedPointAssignment()(dataset, result.centers),
+                ]
+            )
+            ed_cost, ep_cost = context.assigned_costs(label_rows)
+            assignment_gaps.append(float(ed_cost - ep_cost))
         mean_cost = float(np.mean(costs))
         mean_ratio = float(np.mean(bound_ratios)) if bound_ratios else float("nan")
         ratios.extend(bound_ratios)
         rows.append(
             ExperimentRow(
                 configuration=f"outlier_probability={probability:g}",
-                measured={"mean_cost": mean_cost, "mean_ratio_vs_lower_bound": mean_ratio},
+                measured={
+                    "mean_cost": mean_cost,
+                    "mean_ratio_vs_lower_bound": mean_ratio,
+                    "mean_ed_minus_ep_cost": float(np.mean(assignment_gaps)),
+                },
             )
         )
     worst_ratio = max(ratios) if ratios else float("nan")
@@ -103,10 +121,25 @@ def run_support_size_sensitivity(settings: SensitivitySettings | None = None) ->
         elapsed = time.perf_counter() - start
         times.append(elapsed)
         costs.append(result.expected_cost)
+        # Outside the timed region: batched ED-vs-EP gap on the solved
+        # centers through the shared context, tracking how the assignment
+        # rules drift apart as the support grows.
+        context = CostContext(dataset, result.centers)
+        label_rows = np.vstack(
+            [
+                context.expected.argmin(axis=1),
+                ExpectedPointAssignment()(dataset, result.centers),
+            ]
+        )
+        ed_cost, ep_cost = context.assigned_costs(label_rows)
         rows.append(
             ExperimentRow(
                 configuration=f"z={z}",
-                measured={"cost": result.expected_cost, "seconds": elapsed},
+                measured={
+                    "cost": result.expected_cost,
+                    "seconds": elapsed,
+                    "ed_minus_ep_cost": float(ed_cost - ep_cost),
+                },
             )
         )
     cost_spread = float(max(costs) / max(min(costs), 1e-12))

@@ -1,4 +1,10 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Per-test default timeouts (so baseline hangs fail fast instead of stalling
+the suite) are enforced by the repo-root ``conftest.py``, which prefers the
+``pytest-timeout`` plugin from the ``test`` extra in ``setup.py`` and falls
+back to SIGALRM; override per test with ``@pytest.mark.timeout(seconds)``.
+"""
 
 from __future__ import annotations
 

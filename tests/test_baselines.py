@@ -15,8 +15,10 @@ from repro.baselines import (
     guha_munagala_baseline,
     wang_zhang_1d,
 )
+from repro.baselines.guha_munagala import _greedy_open_centers
 from repro.cost import expected_cost_assigned, expected_cost_unassigned
 from repro.exceptions import ValidationError
+from repro.uncertain import UncertainDataset, UncertainPoint
 from tests.conftest import make_graph_dataset, make_uncertain_dataset
 
 
@@ -116,6 +118,75 @@ class TestBruteForce:
         dataset = make_graph_dataset(n=4, z=2, nodes=10, seed=8)
         result = brute_force_unrestricted_assigned(dataset, 2)
         assert result.centers.shape == (2, 1)
+
+
+class TestThresholdGreedyRegression:
+    """The greedy opener must cover itself — the historical infinite loop."""
+
+    @pytest.mark.timeout(30)
+    def test_tight_threshold_terminates(self):
+        # T = 1.0 < best_values[0] / 3: the opener's own best expected
+        # distance exceeds 3T, so pre-fix the loop re-opened candidate 0
+        # forever.  Post-fix the opener is force-covered and the greedy
+        # pass returns the single opened candidate.
+        expected = np.array([[10.0, 12.0]])
+        opened = _greedy_open_centers(expected, expected.argmin(axis=1), 1.0)
+        assert opened == [0]
+
+    @pytest.mark.timeout(30)
+    def test_shared_best_candidate_is_deduplicated(self):
+        # Two far-apart points whose best candidate is the same column and
+        # whose expected distances both exceed 3T: each opens candidate 0,
+        # which must be recorded once (distinct-center count vs k).
+        expected = np.array([[9.0, 30.0], [10.0, 30.0]])
+        best = np.zeros(2, dtype=int)
+        opened = _greedy_open_centers(expected, best, 0.5)
+        assert opened == [0]
+
+    @pytest.mark.timeout(60)
+    def test_full_baseline_terminates_on_spread_single_point(self):
+        # A single uncertain point with far-apart locations drives the
+        # binary search through tight thresholds; pre-fix this hung.
+        point = UncertainPoint(
+            locations=np.array([[0.0, 0.0], [100.0, 0.0]]),
+            probabilities=np.array([0.5, 0.5]),
+        )
+        dataset = UncertainDataset(points=(point,))
+        result = guha_munagala_baseline(dataset, 1)
+        assert result.centers.shape[0] == 1
+        assert result.expected_cost == pytest.approx(
+            expected_cost_assigned(dataset, result.centers, result.assignment)
+        )
+
+    def test_top_up_fills_budget_with_distinct_candidates(self):
+        dataset = make_uncertain_dataset(n=6, z=3, dimension=2, seed=13)
+        for k in (2, 3, 4):
+            result = guha_munagala_baseline(dataset, k)
+            centers = result.centers
+            assert centers.shape[0] <= k
+            # Top-up may only add *distinct* candidate ids, so no two
+            # returned centers coincide.
+            assert len({tuple(np.round(c, 12)) for c in centers}) == centers.shape[0]
+
+    def test_duplicate_coordinate_candidates_never_double_open(self):
+        # Candidates with identical coordinates have identical expected
+        # columns, so argmin always nominates the first id — neither the
+        # greedy pass nor the top-up can open a coordinate duplicate.
+        dataset = make_uncertain_dataset(n=5, z=2, dimension=2, seed=15)
+        base = dataset.all_locations()
+        candidates = np.vstack([base, base])  # every coordinate twice
+        for k in (2, 3):
+            result = guha_munagala_baseline(dataset, k, candidates=candidates)
+            keys = {tuple(np.round(c, 12)) for c in result.centers}
+            assert len(keys) == result.centers.shape[0]
+
+    def test_top_up_capped_by_candidate_count(self):
+        dataset = make_uncertain_dataset(n=3, z=2, dimension=2, seed=14)
+        candidates = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = guha_munagala_baseline(dataset, 5, candidates=candidates)
+        # Budget is min(k, candidate_count); the old comparison against k
+        # could loop the whole point list without ever reaching it.
+        assert result.centers.shape[0] <= 2
 
 
 class TestPriorWorkBaselines:
