@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Standalone entry point for the machine-readable benchmark runner.
+
+Equivalent to ``python -m repro bench``; see :mod:`repro.runtime.bench` for
+the case registry.  Writes ``BENCH_PR3.json`` (override with ``--output``)
+so every PR leaves a comparable perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/bench.json --case wang_zhang_column_splice
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_PR3.json", help="JSON document to write")
+    parser.add_argument(
+        "--case", action="append", default=None, help="run only this case (repeatable)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.runtime.bench import run_bench
+
+    document = run_bench(args.output, cases=args.case)
+    print(json.dumps(document, indent=2))
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

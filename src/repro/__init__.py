@@ -116,6 +116,7 @@ from .metrics import (
     Metric,
     MinkowskiMetric,
 )
+from .runtime import ContextStore, available_workers, parallel_map
 from .uncertain import (
     UncertainDataset,
     UncertainPoint,
@@ -196,6 +197,10 @@ __all__ = [
     "MonteCarloEstimate",
     "monte_carlo_cost_assigned",
     "monte_carlo_cost_unassigned",
+    # execution runtime
+    "ContextStore",
+    "parallel_map",
+    "available_workers",
     # assignments
     "AssignmentPolicy",
     "ExpectedDistanceAssignment",

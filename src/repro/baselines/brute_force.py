@@ -15,15 +15,28 @@ enumerated exhaustively).
 
 All of them enumerate ``C(m, k)`` candidate subsets, so they are exponential
 in ``k``; a safety cap protects against accidental misuse.  All exact scoring
-goes through one shared :class:`~repro.cost.context.CostContext` per call:
-assigned costs through its cached per-candidate sorted CDF columns (batch
-kernel), unassigned costs through its rank-keyed batched evaluator, and
-every "argmin of a score" assignment rule (ED, EP, OC, nearest-mode) through
-:meth:`~repro.assignments.base.AssignmentPolicy.candidate_scores`, which
-turns the per-subset policy evaluation into one vectorized argmin — only
-genuinely black-box rules (local-search optimal assignment) fall back to a
-per-subset policy call, and even those are scored through the shared
+goes through one shared :class:`~repro.cost.context.CostContext` per call
+(memoized across calls when a :class:`~repro.runtime.store.ContextStore` is
+passed): assigned costs through its cached per-candidate sorted CDF columns
+(batch kernel), unassigned costs through its rank-keyed batched evaluator,
+and every "argmin of a score" assignment rule (ED, EP, OC, nearest-mode)
+through :meth:`~repro.assignments.base.AssignmentPolicy.candidate_scores`,
+which turns the per-subset policy evaluation into one vectorized argmin —
+only genuinely black-box rules (local-search optimal assignment) fall back to
+a per-subset policy call, and even those are scored through the shared
 evaluator rather than a scratch engine invocation.
+
+Process parallelism
+-------------------
+Every enumeration is chunked into ``(B, .)`` batches of at most
+``chunk_rows`` rows (default :data:`~repro.cost.context.DEFAULT_CHUNK_ROWS`,
+which also bounds per-worker batch memory) and the chunks are mapped over
+:func:`repro.runtime.parallel.parallel_map`.  ``workers=1`` — the default —
+runs the identical chunk loop in-process.  The fully built context (pinned
+supports, sorted CDF columns, rank tables where needed) ships to each worker
+once via the pool payload; chunks reduce in submission order with the same
+first-strict-minimum rule serial execution applies, so results are
+bit-identical for every worker count.
 
 When ``k`` exceeds the number of available candidates the solvers run with
 the largest feasible ``k`` and record both ``requested_k`` and
@@ -33,8 +46,9 @@ different problem.
 
 from __future__ import annotations
 
-from itertools import combinations, islice, product
+from itertools import combinations, islice
 from math import comb
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,7 +58,11 @@ from ..assignments.base import AssignmentPolicy
 from ..assignments.policies import ExpectedDistanceAssignment
 from ..cost.context import DEFAULT_CHUNK_ROWS, CostContext
 from ..exceptions import ValidationError
+from ..runtime.parallel import iter_chunk_bounds, parallel_map, resolve_workers
 from ..uncertain.dataset import UncertainDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.store import ContextStore
 
 #: Safety cap on the number of candidate subsets a brute-force call may try.
 MAX_CENTER_SUBSETS = 300_000
@@ -66,17 +84,24 @@ def _effective_k(k: int, candidate_count: int) -> tuple[int, dict[str, int]]:
     return effective, metadata
 
 
-def _iter_center_subsets(candidate_count: int, k: int):
-    if comb(candidate_count, k) > MAX_CENTER_SUBSETS:
+def _checked_subset_count(candidate_count: int, k: int) -> int:
+    total = comb(candidate_count, k)
+    if total > MAX_CENTER_SUBSETS:
         raise ValidationError(
             f"brute force would enumerate C({candidate_count}, {k}) center subsets; "
             f"cap is {MAX_CENTER_SUBSETS}"
         )
+    return total
+
+
+def _iter_center_subsets(candidate_count: int, k: int):
+    _checked_subset_count(candidate_count, k)
     yield from combinations(range(candidate_count), k)
 
 
 def _iter_index_chunks(iterator, chunk_rows: int = DEFAULT_CHUNK_ROWS):
     """Chunk an iterator of index tuples into ``(B, n)`` int arrays."""
+    chunk_rows = max(1, int(chunk_rows))
     while True:
         chunk = list(islice(iterator, chunk_rows))
         if not chunk:
@@ -89,17 +114,114 @@ def _iter_subset_chunks(candidate_count: int, k: int, chunk_rows: int = DEFAULT_
     yield from _iter_index_chunks(_iter_center_subsets(candidate_count, k), chunk_rows)
 
 
+def _build_context(
+    dataset: UncertainDataset,
+    candidates: np.ndarray,
+    store: "ContextStore | None",
+) -> CostContext:
+    if store is not None:
+        return store.get(dataset, candidates)
+    return CostContext(dataset, candidates)
+
+
+# ---------------------------------------------------------------------------
+# Chunk tasks (module level so pool workers resolve them by reference)
+# ---------------------------------------------------------------------------
+
+
+def _chunk_best(costs: np.ndarray) -> tuple[int, float]:
+    winner = int(np.argmin(costs))
+    return winner, float(costs[winner])
+
+
+def _restricted_chunk_task(payload, subset_rows: np.ndarray):
+    """Score one chunk of subsets under a score-matrix assignment rule."""
+    context, scores, chunk_rows = payload
+    candidate_index_rows = context.score_assignments(scores, subset_rows)
+    costs = context.assigned_costs(candidate_index_rows, chunk_rows=chunk_rows)
+    winner, cost = _chunk_best(costs)
+    return cost, subset_rows[winner], candidate_index_rows[winner]
+
+
+def _blackbox_chunk_task(payload, subset_rows: np.ndarray):
+    """Score one chunk of subsets under a black-box assignment policy."""
+    context, policy = payload
+    evaluator = context.evaluator
+    best: tuple[float, np.ndarray, np.ndarray] | None = None
+    for columns in subset_rows:
+        centers = context.candidates[columns]
+        labels = np.asarray(policy(context.dataset, centers), dtype=int)
+        cost = evaluator.cost(columns[labels])
+        if best is None or cost < best[0]:
+            best = (float(cost), columns, labels)
+    assert best is not None
+    return best
+
+
+def _ed_scored_chunk_task(payload, subset_rows: np.ndarray):
+    """ED-score one chunk of subsets, returning every row (stage 1 of the
+    unrestricted search keeps the full ranking, not just the chunk winner)."""
+    context, chunk_rows = payload
+    candidate_index_rows = context.ed_assignments(subset_rows)
+    costs = context.assigned_costs(candidate_index_rows, chunk_rows=chunk_rows)
+    return costs, candidate_index_rows
+
+
+def _assignment_rows_slice(columns: np.ndarray, n: int, start: int, stop: int) -> np.ndarray:
+    """Rows ``[start, stop)`` of the ``kk ** n`` assignment enumeration.
+
+    Decodes the enumeration indices in base ``kk`` (most-significant digit
+    first), which reproduces ``itertools.product(range(kk), repeat=n)`` order
+    without iterating from the beginning of the stream — what lets shards
+    start mid-enumeration in O(chunk) instead of O(stream prefix).
+    """
+    kk = columns.shape[0]
+    indices = np.arange(start, stop, dtype=np.int64)[:, None]
+    powers = kk ** np.arange(n - 1, -1, -1, dtype=np.int64)
+    return columns[(indices // powers) % kk]
+
+
+def _exhaustive_chunk_task(payload, item):
+    """Best assignment within one shard of one subset's ``kk ** n`` space."""
+    context, n, chunk_rows = payload
+    columns, start, stop = item
+    assignment_rows = _assignment_rows_slice(columns, n, start, stop)
+    costs = context.assigned_costs(assignment_rows, chunk_rows=chunk_rows)
+    winner, cost = _chunk_best(costs)
+    return cost, assignment_rows[winner]
+
+
+def _unassigned_chunk_task(payload, subset_rows: np.ndarray):
+    """Score one chunk of subsets on the unassigned objective."""
+    context, chunk_rows = payload
+    costs = context.unassigned_costs(subset_rows, chunk_rows=chunk_rows)
+    winner, cost = _chunk_best(costs)
+    return cost, subset_rows[winner]
+
+
+# ---------------------------------------------------------------------------
+# Public solvers
+# ---------------------------------------------------------------------------
+
+
 def brute_force_restricted_assigned(
     dataset: UncertainDataset,
     k: int,
     *,
     assignment: AssignmentPolicy | None = None,
     candidates: np.ndarray | None = None,
+    workers: int = 1,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    store: "ContextStore | None" = None,
 ) -> UncertainKCenterResult:
     """Best candidate centers under a fixed restricted assignment rule.
 
     This is exact (over the candidate set) because the assignment rule is a
-    deterministic function of the centers.
+    deterministic function of the centers.  ``workers`` shards the subset
+    chunks across processes (``1`` = serial, bit-identical either way);
+    ``chunk_rows`` bounds both the shard granularity and per-worker batch
+    memory; ``store`` memoizes the cost context across repeated calls on the
+    same (dataset, candidates) pair.
     """
     k = check_positive_int(k, name="k")
     policy = assignment or ExpectedDistanceAssignment()
@@ -107,8 +229,9 @@ def brute_force_restricted_assigned(
         candidates = default_candidates(dataset)
     candidates = as_point_array(candidates, name="candidates")
     k, k_metadata = _effective_k(k, candidates.shape[0])
+    workers = resolve_workers(workers)
 
-    context = CostContext(dataset, candidates)
+    context = _build_context(dataset, candidates, store)
     if isinstance(policy, ExpectedDistanceAssignment):
         scores = context.expected  # cached; bit-identical to the policy's matrix
     else:
@@ -117,31 +240,39 @@ def brute_force_restricted_assigned(
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     best_assignment: np.ndarray | None = None
+    chunks = _iter_subset_chunks(candidates.shape[0], k, chunk_rows)
     if scores is not None:
+        if workers > 1:
+            context.evaluator  # build sorted columns once, ship to workers
+        results = parallel_map(
+            _restricted_chunk_task,
+            chunks,
+            payload=(context, scores, chunk_rows),
+            workers=workers,
+        )
         best_candidate_indices: np.ndarray | None = None
-        for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
-            candidate_index_rows = context.score_assignments(scores, subset_rows)
-            costs = context.assigned_costs(candidate_index_rows)
-            winner = int(np.argmin(costs))
-            if costs[winner] < best_cost:
-                best_cost = float(costs[winner])
-                best_subset = tuple(int(c) for c in subset_rows[winner])
-                best_candidate_indices = candidate_index_rows[winner]
+        for cost, subset_row, candidate_indices in results:
+            if cost < best_cost:
+                best_cost = float(cost)
+                best_subset = tuple(int(c) for c in subset_row)
+                best_candidate_indices = candidate_indices
         assert best_subset is not None and best_candidate_indices is not None
         best_assignment = np.searchsorted(np.asarray(best_subset), best_candidate_indices)
     else:
         # Black-box assignment rule: one policy call per subset, but the
         # exact cost still comes from the shared evaluator's cached columns
-        # (built once up front — without this, every subset would fall back
-        # to the context's lazy single-score path and re-derive distances).
-        evaluator = context.evaluator
-        for subset in _iter_center_subsets(candidates.shape[0], k):
-            columns = np.asarray(subset, dtype=int)
-            centers = candidates[columns]
-            labels = np.asarray(policy(dataset, centers), dtype=int)
-            cost = evaluator.cost(columns[labels])
+        # (built once up front and shipped to every worker — without this,
+        # every subset would fall back to the context's lazy single-score
+        # path and re-derive distances).
+        context.evaluator
+        results = parallel_map(
+            _blackbox_chunk_task, chunks, payload=(context, policy), workers=workers
+        )
+        for cost, columns, labels in results:
             if cost < best_cost:
-                best_cost, best_subset, best_assignment = cost, subset, labels
+                best_cost = float(cost)
+                best_subset = tuple(int(c) for c in columns)
+                best_assignment = labels
     assert best_subset is not None and best_assignment is not None
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
@@ -153,16 +284,10 @@ def brute_force_restricted_assigned(
         metadata={
             "algorithm": "brute-force-restricted",
             "candidate_count": int(candidates.shape[0]),
+            "workers": int(workers),
             **k_metadata,
         },
     )
-
-
-def _iter_assignment_chunks(columns: np.ndarray, n: int, chunk_rows: int = DEFAULT_CHUNK_ROWS):
-    """Yield ``(B, n)`` chunks of all ``kk ** n`` assignments over ``columns``."""
-    iterator = product(range(columns.shape[0]), repeat=n)
-    for choices in _iter_index_chunks(iterator, chunk_rows):
-        yield columns[choices]
 
 
 def brute_force_unrestricted_assigned(
@@ -172,6 +297,9 @@ def brute_force_unrestricted_assigned(
     candidates: np.ndarray | None = None,
     exhaustive_assignment: bool | None = None,
     polish_top: int = 8,
+    workers: int = 1,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    store: "ContextStore | None" = None,
 ) -> UncertainKCenterResult:
     """Best-known candidate centers together with the best assignment.
 
@@ -181,7 +309,8 @@ def brute_force_unrestricted_assigned(
     exhaustive assignment enumeration (exact for those subsets; enabled
     automatically when ``polish_top * k ** n`` is small, or forced with
     ``exhaustive_assignment=True``) or by single-move local search through
-    the round-amortized sweep.
+    the round-amortized sweep.  Both enumeration stages shard their chunks
+    across ``workers`` processes with serial-identical reductions.
 
     For an exact optimum over the candidate set pass
     ``polish_top >= C(m, k)`` together with ``exhaustive_assignment=True``
@@ -193,12 +322,21 @@ def brute_force_unrestricted_assigned(
     candidates = as_point_array(candidates, name="candidates")
     k, k_metadata = _effective_k(k, candidates.shape[0])
     n = dataset.size
+    workers = resolve_workers(workers)
 
-    context = CostContext(dataset, candidates)
+    context = _build_context(dataset, candidates, store)
+    if workers > 1:
+        context.expected  # pin before shipping: workers share, never rebuild
+        context.evaluator
     scored: list[tuple[float, tuple[int, ...], np.ndarray]] = []
-    for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
-        candidate_index_rows = context.ed_assignments(subset_rows)
-        costs = context.assigned_costs(candidate_index_rows)
+    subset_chunks = list(_iter_subset_chunks(candidates.shape[0], k, chunk_rows))
+    chunk_results = parallel_map(
+        _ed_scored_chunk_task,
+        subset_chunks,
+        payload=(context, chunk_rows),
+        workers=workers,
+    )
+    for subset_rows, (costs, candidate_index_rows) in zip(subset_chunks, chunk_results):
         scored.extend(
             (float(cost), tuple(int(c) for c in subset), candidate_indices)
             for cost, subset, candidate_indices in zip(costs, subset_rows, candidate_index_rows)
@@ -210,16 +348,26 @@ def brute_force_unrestricted_assigned(
         exhaustive_assignment = polish_top * (k**n) <= MAX_ASSIGNMENT_ENUMERATION
 
     best_cost, best_subset, best_candidate_indices = scored[0]
-    for cost, subset, _ in scored[:polish_top]:
-        columns = np.asarray(subset, dtype=int)
-        if exhaustive_assignment:
-            for assignment_rows in _iter_assignment_chunks(columns, n):
-                costs = context.assigned_costs(assignment_rows)
-                winner = int(np.argmin(costs))
-                if costs[winner] < best_cost:
-                    best_cost = float(costs[winner])
-                    best_subset, best_candidate_indices = subset, assignment_rows[winner]
-        else:
+    if exhaustive_assignment:
+        items = [
+            (np.asarray(subset, dtype=int), start, stop)
+            for _, subset, _ in scored[:polish_top]
+            for start, stop in iter_chunk_bounds(k**n, chunk_rows)
+        ]
+        results = parallel_map(
+            _exhaustive_chunk_task,
+            items,
+            payload=(context, n, chunk_rows),
+            workers=workers,
+        )
+        for (columns, _, _), (cost, assignment_row) in zip(items, results):
+            if cost < best_cost:
+                best_cost = float(cost)
+                best_subset = tuple(int(c) for c in columns)
+                best_candidate_indices = assignment_row
+    else:
+        for cost, subset, _ in scored[:polish_top]:
+            columns = np.asarray(subset, dtype=int)
             candidate_indices = context.ed_assignment(subset)
             candidate_indices = _single_move_polish(context, columns, candidate_indices)
             candidate_cost = context.assigned_cost(candidate_indices)
@@ -240,6 +388,7 @@ def brute_force_unrestricted_assigned(
             "candidate_count": int(candidates.shape[0]),
             "exhaustive_assignment": bool(exhaustive_assignment),
             "polished_subsets": polish_top,
+            "workers": int(workers),
             **k_metadata,
         },
     )
@@ -285,6 +434,9 @@ def brute_force_unassigned(
     k: int,
     *,
     candidates: np.ndarray | None = None,
+    workers: int = 1,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    store: "ContextStore | None" = None,
 ) -> UncertainKCenterResult:
     """Best candidate centers for the unassigned expected cost (exact over the set)."""
     k = check_positive_int(k, name="k")
@@ -292,16 +444,23 @@ def brute_force_unassigned(
         candidates = default_candidates(dataset)
     candidates = as_point_array(candidates, name="candidates")
     k, k_metadata = _effective_k(k, candidates.shape[0])
+    workers = resolve_workers(workers)
 
-    context = CostContext(dataset, candidates)
+    context = _build_context(dataset, candidates, store)
+    if workers > 1:
+        context._ranks()  # rank tables built once, inherited by every worker
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
-    for subset_rows in _iter_subset_chunks(candidates.shape[0], k):
-        costs = context.unassigned_costs(subset_rows)
-        winner = int(np.argmin(costs))
-        if costs[winner] < best_cost:
-            best_cost = float(costs[winner])
-            best_subset = tuple(int(c) for c in subset_rows[winner])
+    results = parallel_map(
+        _unassigned_chunk_task,
+        _iter_subset_chunks(candidates.shape[0], k, chunk_rows),
+        payload=(context, chunk_rows),
+        workers=workers,
+    )
+    for cost, subset_row in results:
+        if cost < best_cost:
+            best_cost = float(cost)
+            best_subset = tuple(int(c) for c in subset_row)
     assert best_subset is not None
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
@@ -311,6 +470,7 @@ def brute_force_unassigned(
         metadata={
             "algorithm": "brute-force-unassigned",
             "candidate_count": int(candidates.shape[0]),
+            "workers": int(workers),
             **k_metadata,
         },
     )

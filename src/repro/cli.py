@@ -10,12 +10,27 @@ Sub-commands
     Run the running-time scaling experiment (E11).
 ``ablation``
     Run the representative/assignment ablations (E12).
+``sensitivity``
+    Run the outlier / support-size sensitivity sweeps (E13a/E13b).
+``bench``
+    Execute the machine-readable benchmark suite and write its JSON document
+    (``BENCH_PR3.json`` by default) — the perf trajectory future PRs compare
+    against.
 ``solve``
     Solve an uncertain k-center instance stored in a JSON file (the format
     written by :meth:`repro.UncertainDataset.save_json`).
 ``demo``
     Generate a synthetic workload and solve it end to end, printing the
     solution summary (a smoke test that exercises the whole pipeline).
+
+Parallelism
+-----------
+``table1``, ``all``, ``ablation`` and ``sensitivity`` accept ``--workers N``
+to shard their independent trial cases across ``N`` processes
+(:mod:`repro.runtime.parallel`).  The default is ``1`` — fully serial — and
+results are **identical at every worker count**; workers only change wall
+clock.  The scaling experiment and the timed E13b support-size sweep always
+run serially because they measure wall clock itself.
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from .algorithms.metric_space import solve_metric_unrestricted
@@ -32,9 +48,26 @@ from .experiments.ablation import AblationSettings, run_assignment_ablation, run
 from .experiments.harness import render_full_report, run_everything, run_quick
 from .experiments.report import render_record, render_records
 from .experiments.scaling import ScalingSettings, run_scaling
+from .experiments.sensitivity import (
+    SensitivitySettings,
+    run_outlier_sensitivity,
+    run_support_size_sensitivity,
+)
 from .experiments.table1 import Table1Settings, run_all_table1
 from .uncertain.dataset import UncertainDataset
 from .workloads.synthetic import gaussian_clusters
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "processes to shard independent trial cases across "
+            "(default 1 = serial; any value produces identical results)"
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,16 +80,43 @@ def _build_parser() -> argparse.ArgumentParser:
     table1 = subparsers.add_parser("table1", help="reproduce the paper's Table 1")
     table1.add_argument("--quick", action="store_true", help="use the lightweight experiment preset")
     table1.add_argument("--output", type=Path, default=None, help="also write the report to this file")
+    _add_workers_argument(table1)
 
-    everything = subparsers.add_parser("all", help="run every experiment (Table 1, scaling, ablations)")
+    everything = subparsers.add_parser(
+        "all", help="run every experiment (Table 1, scaling, ablations, sensitivity)"
+    )
     everything.add_argument("--quick", action="store_true", help="use the lightweight experiment preset")
     everything.add_argument("--output", type=Path, default=None, help="also write the report to this file")
+    _add_workers_argument(everything)
 
     scaling = subparsers.add_parser("scaling", help="running-time scaling experiment (E11)")
     scaling.add_argument("--quick", action="store_true")
 
     ablation = subparsers.add_parser("ablation", help="representative / assignment ablations (E12)")
     ablation.add_argument("--quick", action="store_true")
+    _add_workers_argument(ablation)
+
+    sensitivity = subparsers.add_parser(
+        "sensitivity", help="outlier / support-size sensitivity sweeps (E13)"
+    )
+    sensitivity.add_argument("--quick", action="store_true")
+    _add_workers_argument(sensitivity)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the benchmark suite, write machine-readable timings"
+    )
+    bench.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_PR3.json"),
+        help="JSON document to write (default: BENCH_PR3.json)",
+    )
+    bench.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        help="run only this case (repeatable); default: every case",
+    )
 
     solve = subparsers.add_parser("solve", help="solve an instance from a JSON dataset file")
     solve.add_argument("dataset", type=Path, help="JSON file written by UncertainDataset.save_json")
@@ -86,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     settings = Table1Settings.quick() if args.quick else Table1Settings()
+    settings = replace(settings, workers=args.workers)
     report = render_records(run_all_table1(settings))
     print(report)
     if args.output is not None:
@@ -94,7 +155,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    records = run_quick() if args.quick else run_everything()
+    if args.quick:
+        records = run_quick(workers=args.workers)
+    else:
+        records = run_everything(workers=args.workers)
     report = render_full_report(records)
     print(report)
     if args.output is not None:
@@ -110,9 +174,28 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
     settings = AblationSettings.quick() if args.quick else AblationSettings()
+    settings = replace(settings, workers=args.workers)
     print(render_record(run_representative_ablation(settings)))
     print()
     print(render_record(run_assignment_ablation(settings)))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    settings = SensitivitySettings.quick() if args.quick else SensitivitySettings()
+    settings = replace(settings, workers=args.workers)
+    print(render_record(run_outlier_sensitivity(settings)))
+    print()
+    print(render_record(run_support_size_sensitivity(settings)))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .runtime.bench import run_bench
+
+    document = run_bench(args.output, cases=args.case)
+    print(json.dumps(document, indent=2))
+    print(f"\nwrote {args.output}", file=sys.stderr)
     return 0
 
 
@@ -163,6 +246,8 @@ _COMMANDS = {
     "all": _cmd_all,
     "scaling": _cmd_scaling,
     "ablation": _cmd_ablation,
+    "sensitivity": _cmd_sensitivity,
+    "bench": _cmd_bench,
     "solve": _cmd_solve,
     "demo": _cmd_demo,
 }

@@ -34,7 +34,22 @@ baselines (:mod:`repro.baselines.brute_force`,
 :mod:`repro.baselines.cormode_mcgregor`) and the ablation/sensitivity
 experiment loops.  Rebuild the context whenever the dataset *or* the
 candidate set changes; assignments and subsets over a fixed candidate set
-never require a rebuild.
+never require a rebuild.  Two cheaper-than-rebuild paths exist for the
+"candidates changed" case:
+
+* when only *some* candidate rows changed,
+  :meth:`CostContext.replace_candidate_columns` (in place) or
+  :meth:`CostContext.with_candidates` (copy-on-write) splice the affected
+  columns — one metric pass over the replacements and a re-sort of just
+  those CDF columns (``wang_zhang_1d``'s coordinate descent runs on this);
+* when the *same* pair recurs across calls,
+  :class:`repro.runtime.store.ContextStore` memoizes whole contexts by
+  content fingerprint (LRU-bounded; a changed dataset or candidate byte is
+  a miss and rebuilds).
+
+Contexts with their lazy caches materialized pickle cleanly, which is how
+:mod:`repro.runtime.parallel` ships one fully built context to every worker
+of a sharded brute-force enumeration.
 """
 
 from __future__ import annotations
@@ -159,6 +174,95 @@ class CostContext:
                 tables.append((ranks.reshape(support.shape), flat[order]))
             self._rank_tables = tables
         return self._rank_tables
+
+    # -- incremental candidate updates --------------------------------------
+
+    def _new_support_blocks(self, new_candidates: np.ndarray) -> list[np.ndarray]:
+        """Per-point ``(z_i, C)`` distance blocks to the replacement candidates.
+
+        One metric call over the stacked locations instead of one per point.
+        """
+        metric = self.dataset.metric
+        stacked = metric.pairwise(self.dataset.all_locations(), new_candidates)
+        blocks = []
+        offset = 0
+        for point in self.dataset.points:
+            blocks.append(stacked[offset : offset + point.support_size])
+            offset += point.support_size
+        return blocks
+
+    def replace_candidate_columns(self, columns: np.ndarray, new_candidates: np.ndarray) -> None:
+        """Swap ``candidates[columns]`` for ``new_candidates``, splicing caches.
+
+        Everything already materialized is updated incrementally instead of
+        rebuilt: the pinned support matrices get new columns from one metric
+        pass, the expected matrix new dot products for those columns only,
+        and the evaluator re-sorts just the replaced CDF columns
+        (:meth:`AssignedCostEvaluator.replace_candidate_columns`).  The
+        unassigned rank tables are global per point, so they are invalidated
+        and rebuilt lazily on the next unassigned query.
+
+        This is what lets ``wang_zhang_1d``'s coordinate descent keep one
+        context per start and splice the moving grid/center columns per sweep
+        instead of constructing a fresh context every sweep.
+        """
+        columns = np.asarray(columns, dtype=int).reshape(-1)
+        new_candidates = as_point_array(new_candidates, name="new_candidates")
+        if columns.size == 0:
+            return
+        if columns.min() < 0 or columns.max() >= self.candidate_count:
+            raise ValidationError("candidate column index out of range")
+        if np.unique(columns).shape[0] != columns.shape[0]:
+            raise ValidationError("replacement column indices must be distinct")
+        if new_candidates.shape != (columns.shape[0], self.candidates.shape[1]):
+            raise ValidationError(
+                f"new_candidates must have shape ({columns.shape[0]}, {self.candidates.shape[1]})"
+            )
+        self.candidates = self.candidates.copy()
+        self.candidates[columns] = new_candidates
+        needs_supports = (
+            self._supports is not None or self._evaluator is not None or self._expected is not None
+        )
+        if not needs_supports:
+            return
+        blocks = self._new_support_blocks(new_candidates)
+        if self._supports is not None:
+            for support, block in zip(self._supports, blocks):
+                support[:, columns] = block
+        if self._expected is not None:
+            for row, (probabilities, block) in enumerate(zip(self.probabilities, blocks)):
+                self._expected[row, columns] = probabilities @ block
+        if self._evaluator is not None:
+            self._evaluator.replace_candidate_columns(columns, blocks)
+        self._rank_tables = None
+
+    def with_candidates(self, new_candidates: np.ndarray) -> "CostContext":
+        """A context over ``new_candidates`` reusing every unchanged column.
+
+        When the new set has the same shape as the current one, the cached
+        structure is cloned and only the differing columns are spliced via
+        :meth:`replace_candidate_columns`; a changed shape falls back to a
+        fresh build.  Returns ``self`` unchanged when nothing differs.
+        """
+        new_candidates = as_point_array(new_candidates, name="new_candidates")
+        if new_candidates.shape != self.candidates.shape:
+            return CostContext(self.dataset, new_candidates, pin_supports=self._pin_supports)
+        changed = np.flatnonzero(np.any(new_candidates != self.candidates, axis=1))
+        if changed.shape[0] == 0:
+            return self
+        twin = CostContext.__new__(CostContext)
+        twin.dataset = self.dataset
+        twin.candidates = self.candidates
+        twin.probabilities = self.probabilities
+        twin._pin_supports = self._pin_supports
+        twin._supports = (
+            None if self._supports is None else [support.copy() for support in self._supports]
+        )
+        twin._evaluator = None if self._evaluator is None else self._evaluator.clone()
+        twin._expected = None if self._expected is None else self._expected.copy()
+        twin._rank_tables = None
+        twin.replace_candidate_columns(changed, new_candidates[changed])
+        return twin
 
     # -- assigned objective -------------------------------------------------
 

@@ -356,6 +356,25 @@ def expected_max_batch_values(
 # ---------------------------------------------------------------------------
 
 
+def _sorted_column_structure(
+    support: np.ndarray, weight: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-column sorted values, partial CDFs and log/zero deltas.
+
+    The single place both the full evaluator build and the incremental
+    column-replacement path derive a column's sweep structure, so a spliced
+    column is bit-identical to the same column in a from-scratch build (all
+    operations are per-column: sort, cumulative sum, elementwise deltas).
+    """
+    order = np.argsort(support, axis=0, kind="stable")
+    sorted_values = np.take_along_axis(support, order, axis=0)
+    sorted_probabilities = weight[order]
+    cdf_after = np.cumsum(sorted_probabilities, axis=0)
+    cdf_before = np.vstack([np.zeros((1, support.shape[1])), cdf_after[:-1]])
+    log_delta, zero_delta = _log_zero_deltas(cdf_after, cdf_before)
+    return sorted_values, cdf_after, log_delta, zero_delta
+
+
 @dataclass(frozen=True)
 class RestProfile:
     """Cached sorted sweep of every variable except one.
@@ -401,6 +420,7 @@ class AssignedCostEvaluator:
         self._cdfs: list[np.ndarray] = []
         self._log_deltas: list[np.ndarray] = []
         self._zero_deltas: list[np.ndarray] = []
+        self._probabilities: list[np.ndarray] = []
         self.columns: int | None = None
         for index in range(self.n):
             support = np.asarray(supports[index], dtype=float)
@@ -413,16 +433,12 @@ class AssignedCostEvaluator:
                 self.columns = support.shape[1]
             elif support.shape[1] != self.columns:
                 raise ValidationError("every variable must offer the same number of candidate columns")
-            order = np.argsort(support, axis=0, kind="stable")
-            sorted_values = np.take_along_axis(support, order, axis=0)
-            sorted_probabilities = weight[order]
-            cdf_after = np.cumsum(sorted_probabilities, axis=0)
-            cdf_before = np.vstack([np.zeros((1, support.shape[1])), cdf_after[:-1]])
-            log_delta, zero_delta = _log_zero_deltas(cdf_after, cdf_before)
-            self._values.append(sorted_values)
+            values, cdf_after, log_delta, zero_delta = _sorted_column_structure(support, weight)
+            self._values.append(values)
             self._cdfs.append(cdf_after)
             self._log_deltas.append(log_delta)
             self._zero_deltas.append(zero_delta)
+            self._probabilities.append(weight)
 
     # -- batch path ---------------------------------------------------------
 
@@ -529,6 +545,89 @@ class AssignedCostEvaluator:
     def local_search_sweep(self, columns: np.ndarray) -> "LocalSearchSweep":
         """A :class:`LocalSearchSweep` over the current assignment ``columns``."""
         return LocalSearchSweep(self, columns)
+
+    # -- incremental candidate-column updates -------------------------------
+
+    def replace_candidate_columns(
+        self, columns: np.ndarray, supports: Sequence[np.ndarray]
+    ) -> None:
+        """Splice new candidate columns into the cached sorted structure.
+
+        ``supports[i]`` is the ``(z_i, C)`` block of variable ``i``'s
+        distances to the ``C`` replacement candidates; column ``c`` of each
+        block replaces cached column ``columns[c]``.  Only the replaced
+        columns are re-sorted — ``O(n z C log z)`` against the
+        ``O(n z m log z)`` full rebuild — and the spliced columns are
+        bit-identical to a from-scratch build (same per-column kernels).
+
+        In-place: previously derived :class:`RestProfile` /
+        :class:`LocalSearchSweep` objects hold copies of the old columns and
+        must be rebuilt if they referenced a replaced column.
+        """
+        columns = np.asarray(columns, dtype=int).reshape(-1)
+        if columns.size == 0:
+            return
+        if columns.min() < 0 or columns.max() >= self.columns:
+            raise ValidationError("column index out of range")
+        if np.unique(columns).shape[0] != columns.shape[0]:
+            raise ValidationError("replacement column indices must be distinct")
+        if len(supports) != self.n:
+            raise ValidationError(f"expected one support block per variable ({self.n})")
+        blocks = []
+        for index in range(self.n):
+            block = np.asarray(supports[index], dtype=float)
+            expected_shape = (self._values[index].shape[0], columns.shape[0])
+            if block.shape != expected_shape:
+                raise ValidationError(
+                    f"variable {index}: replacement block must have shape {expected_shape}"
+                )
+            blocks.append(block)
+        # Group variables by support size: each group's sort / cumulative-sum /
+        # delta pass runs as one 3-D kernel call instead of one per variable
+        # (the per-column results are identical — every operation is
+        # independent along the variable and column axes).
+        by_size: dict[int, list[int]] = {}
+        for index, block in enumerate(blocks):
+            by_size.setdefault(block.shape[0], []).append(index)
+        for indices in by_size.values():
+            stacked = np.stack([blocks[i] for i in indices])  # (g, z, C)
+            weights = np.stack([self._probabilities[i] for i in indices])  # (g, z)
+            order = np.argsort(stacked, axis=1, kind="stable")
+            sorted_values = np.take_along_axis(stacked, order, axis=1)
+            sorted_probabilities = np.take_along_axis(
+                np.broadcast_to(weights[:, :, None], stacked.shape), order, axis=1
+            )
+            cdf_after = np.cumsum(sorted_probabilities, axis=1)
+            cdf_before = np.concatenate(
+                [np.zeros((len(indices), 1, columns.shape[0])), cdf_after[:, :-1]], axis=1
+            )
+            log_delta, zero_delta = _log_zero_deltas(cdf_after, cdf_before)
+            for position, index in enumerate(indices):
+                self._values[index][:, columns] = sorted_values[position]
+                self._cdfs[index][:, columns] = cdf_after[position]
+                self._log_deltas[index][:, columns] = log_delta[position]
+                self._zero_deltas[index][:, columns] = zero_delta[position]
+
+    def replace_candidate_column(self, column: int, supports: Sequence[np.ndarray]) -> None:
+        """Single-column form of :meth:`replace_candidate_columns`.
+
+        ``supports[i]`` is variable ``i``'s ``(z_i,)`` distance vector to the
+        replacement candidate.
+        """
+        blocks = [np.asarray(values, dtype=float).reshape(-1, 1) for values in supports]
+        self.replace_candidate_columns(np.asarray([column], dtype=int), blocks)
+
+    def clone(self) -> "AssignedCostEvaluator":
+        """A deep copy whose columns can be replaced without mutating this one."""
+        twin = AssignedCostEvaluator.__new__(AssignedCostEvaluator)
+        twin.n = self.n
+        twin.columns = self.columns
+        twin._values = [values.copy() for values in self._values]
+        twin._cdfs = [cdf.copy() for cdf in self._cdfs]
+        twin._log_deltas = [delta.copy() for delta in self._log_deltas]
+        twin._zero_deltas = [delta.copy() for delta in self._zero_deltas]
+        twin._probabilities = list(self._probabilities)
+        return twin
 
 
 class LocalSearchSweep:

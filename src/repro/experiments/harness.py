@@ -2,18 +2,28 @@
 
 ``python -m repro table1`` (or the installed ``uncertain-kcenter`` script)
 drives this module.  ``run_everything`` executes all experiments from
-DESIGN.md's index and returns the records; ``render_full_report`` turns them
-into the text EXPERIMENTS.md embeds.
+DESIGN.md's index — the Table-1 rows (E1..E10), the scaling study (E11), the
+ablations (E12) and the sensitivity sweeps (E13a/E13b) — and returns the
+records; ``render_full_report`` turns them into the text EXPERIMENTS.md
+embeds.  Pass ``workers`` (the CLI's ``--workers``) to shard each
+experiment's trial cases across processes; records are identical at every
+worker count.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from .ablation import AblationSettings, run_assignment_ablation, run_representative_ablation
 from .records import ExperimentRecord
 from .report import render_records
 from .scaling import ScalingSettings, run_scaling
+from .sensitivity import (
+    SensitivitySettings,
+    run_outlier_sensitivity,
+    run_support_size_sensitivity,
+)
 from .table1 import Table1Settings, run_all_table1
 
 
@@ -22,25 +32,46 @@ def run_everything(
     table1_settings: Table1Settings | None = None,
     scaling_settings: ScalingSettings | None = None,
     ablation_settings: AblationSettings | None = None,
+    sensitivity_settings: SensitivitySettings | None = None,
     include_scaling: bool = True,
     include_ablation: bool = True,
+    include_sensitivity: bool = True,
+    workers: int | None = None,
 ) -> Sequence[ExperimentRecord]:
-    """Run every experiment in DESIGN.md's index (E1..E12)."""
+    """Run every experiment in DESIGN.md's index (E1..E13).
+
+    ``workers`` overrides the ``workers`` field of every settings object at
+    once (the scaling experiment and the timed E13b sweep always run
+    serially — they measure wall clock, and contended workers would skew
+    the fitted exponents / growth verdicts).
+    """
+    table1_settings = table1_settings or Table1Settings()
+    ablation_settings = ablation_settings or AblationSettings()
+    sensitivity_settings = sensitivity_settings or SensitivitySettings()
+    if workers is not None:
+        table1_settings = replace(table1_settings, workers=workers)
+        ablation_settings = replace(ablation_settings, workers=workers)
+        sensitivity_settings = replace(sensitivity_settings, workers=workers)
     records = list(run_all_table1(table1_settings))
     if include_scaling:
         records.append(run_scaling(scaling_settings))
     if include_ablation:
         records.append(run_representative_ablation(ablation_settings))
         records.append(run_assignment_ablation(ablation_settings))
+    if include_sensitivity:
+        records.append(run_outlier_sensitivity(sensitivity_settings))
+        records.append(run_support_size_sensitivity(sensitivity_settings))
     return tuple(records)
 
 
-def run_quick() -> Sequence[ExperimentRecord]:
+def run_quick(*, workers: int | None = None) -> Sequence[ExperimentRecord]:
     """Lightweight run used by the CLI's ``--quick`` flag and smoke tests."""
     return run_everything(
         table1_settings=Table1Settings.quick(),
         scaling_settings=ScalingSettings.quick(),
         ablation_settings=AblationSettings.quick(),
+        sensitivity_settings=SensitivitySettings.quick(),
+        workers=workers,
     )
 
 

@@ -11,6 +11,15 @@ figure-like series a practitioner would want next to Table 1:
   powers of two; verifies the cost converges (more locations per point do not
   blow up the objective once the distribution is fixed in scale) and that the
   running time stays near-linear in ``z``.
+
+Independent (noise level, trial) cases of the E13a sweep map over
+:func:`repro.runtime.parallel.parallel_map`; ``SensitivitySettings.workers``
+shards them across processes, and every field of the record is identical at
+any worker count.  The E13b sweep *always runs serially* regardless of
+``workers`` — its ``seconds`` measurements feed the ``time_growth`` /
+``time_subquadratic_in_z`` verdict, and concurrently contended cases would
+skew exactly the quantity the experiment reports (the same reason the E11
+scaling experiment is never sharded).
 """
 
 from __future__ import annotations
@@ -24,13 +33,17 @@ from ..algorithms.unrestricted import solve_unrestricted_assigned
 from ..assignments.policies import ExpectedPointAssignment
 from ..bounds.lower_bounds import assigned_cost_lower_bound
 from ..cost.context import CostContext
+from ..runtime.parallel import parallel_map
 from ..workloads.synthetic import gaussian_clusters, heavy_tailed
 from .records import ExperimentRecord, ExperimentRow
 
 
 @dataclass(frozen=True)
 class SensitivitySettings:
-    """Knobs for the sensitivity sweeps."""
+    """Knobs for the sensitivity sweeps.
+
+    ``workers`` shards the sweep cases across processes (1 = serial).
+    """
 
     n: int = 40
     k: int = 3
@@ -38,6 +51,7 @@ class SensitivitySettings:
     outlier_probabilities: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
     support_sizes: tuple[int, ...] = (2, 4, 8, 16)
     seed: int = 0
+    workers: int = 1
 
     @classmethod
     def quick(cls) -> "SensitivitySettings":
@@ -45,39 +59,49 @@ class SensitivitySettings:
         return cls(n=25, trials=1, outlier_probabilities=(0.0, 0.1, 0.3), support_sizes=(2, 4, 8))
 
 
+def _outlier_case(settings: SensitivitySettings, item) -> tuple[float, float | None, float]:
+    """One (outlier probability, trial) case: cost, bound ratio, ED-EP gap."""
+    probability, trial = item
+    dataset, spec = heavy_tailed(
+        n=settings.n,
+        z=5,
+        dimension=2,
+        outlier_probability=max(probability, 1e-9),
+        seed=settings.seed + trial,
+    )
+    result = solve_unrestricted_assigned(dataset, settings.k, solver="epsilon")
+    lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+    bound_ratio = result.expected_cost / lower_bound if lower_bound > 0 else None
+    # How much the EP assignment buys over ED on the solved centers, both
+    # scored in one batched call against the shared context.
+    context = CostContext(dataset, result.centers)
+    label_rows = np.vstack(
+        [
+            context.expected.argmin(axis=1),
+            ExpectedPointAssignment()(dataset, result.centers),
+        ]
+    )
+    ed_cost, ep_cost = context.assigned_costs(label_rows)
+    return result.expected_cost, bound_ratio, float(ed_cost - ep_cost)
+
+
 def run_outlier_sensitivity(settings: SensitivitySettings | None = None) -> ExperimentRecord:
     """E13a — expected cost and ratio-to-lower-bound vs outlier probability."""
     settings = settings or SensitivitySettings()
+    items = [
+        (probability, trial)
+        for probability in settings.outlier_probabilities
+        for trial in range(settings.trials)
+    ]
+    cases = parallel_map(_outlier_case, items, payload=settings, workers=settings.workers)
     rows = []
     ratios: list[float] = []
-    for probability in settings.outlier_probabilities:
-        costs = []
-        bound_ratios = []
-        assignment_gaps = []
-        for trial in range(settings.trials):
-            dataset, spec = heavy_tailed(
-                n=settings.n,
-                z=5,
-                dimension=2,
-                outlier_probability=max(probability, 1e-9),
-                seed=settings.seed + trial,
-            )
-            result = solve_unrestricted_assigned(dataset, settings.k, solver="epsilon")
-            lower_bound = assigned_cost_lower_bound(dataset, settings.k)
-            costs.append(result.expected_cost)
-            if lower_bound > 0:
-                bound_ratios.append(result.expected_cost / lower_bound)
-            # How much the EP assignment buys over ED on the solved centers,
-            # both scored in one batched call against the shared context.
-            context = CostContext(dataset, result.centers)
-            label_rows = np.vstack(
-                [
-                    context.expected.argmin(axis=1),
-                    ExpectedPointAssignment()(dataset, result.centers),
-                ]
-            )
-            ed_cost, ep_cost = context.assigned_costs(label_rows)
-            assignment_gaps.append(float(ed_cost - ep_cost))
+    for start in range(0, len(items), settings.trials):
+        probability = items[start][0]
+        block = cases[start : start + settings.trials]
+        costs = [cost for cost, _, _ in block]
+        bound_ratios = [ratio for _, ratio, _ in block if ratio is not None]
+        assignment_gaps = [gap for _, _, gap in block]
         mean_cost = float(np.mean(costs))
         mean_ratio = float(np.mean(bound_ratios)) if bound_ratios else float("nan")
         ratios.extend(bound_ratios)
@@ -106,40 +130,52 @@ def run_outlier_sensitivity(settings: SensitivitySettings | None = None) -> Expe
     )
 
 
+def _support_size_case(settings: SensitivitySettings, z: int) -> tuple[float, float, float]:
+    """One support-size case: solver cost, elapsed seconds, ED-EP gap."""
+    dataset, spec = gaussian_clusters(
+        n=settings.n, z=z, dimension=2, k_true=settings.k, seed=settings.seed
+    )
+    start = time.perf_counter()
+    result = solve_unrestricted_assigned(dataset, settings.k, solver="gonzalez")
+    elapsed = time.perf_counter() - start
+    # Outside the timed region: batched ED-vs-EP gap on the solved centers
+    # through the shared context, tracking how the assignment rules drift
+    # apart as the support grows.
+    context = CostContext(dataset, result.centers)
+    label_rows = np.vstack(
+        [
+            context.expected.argmin(axis=1),
+            ExpectedPointAssignment()(dataset, result.centers),
+        ]
+    )
+    ed_cost, ep_cost = context.assigned_costs(label_rows)
+    return result.expected_cost, float(elapsed), float(ed_cost - ep_cost)
+
+
 def run_support_size_sensitivity(settings: SensitivitySettings | None = None) -> ExperimentRecord:
-    """E13b — cost stability and runtime growth as ``z`` increases."""
+    """E13b — cost stability and runtime growth as ``z`` increases.
+
+    Always serial (``settings.workers`` is ignored): the per-case wall
+    clocks feed the ``time_growth`` verdict, which concurrent execution
+    would skew.
+    """
     settings = settings or SensitivitySettings()
+    cases = parallel_map(
+        _support_size_case,
+        list(settings.support_sizes),
+        payload=settings,
+        workers=1,
+    )
     rows = []
     times = []
     costs = []
-    for z in settings.support_sizes:
-        dataset, spec = gaussian_clusters(
-            n=settings.n, z=z, dimension=2, k_true=settings.k, seed=settings.seed
-        )
-        start = time.perf_counter()
-        result = solve_unrestricted_assigned(dataset, settings.k, solver="gonzalez")
-        elapsed = time.perf_counter() - start
+    for z, (cost, elapsed, gap) in zip(settings.support_sizes, cases):
         times.append(elapsed)
-        costs.append(result.expected_cost)
-        # Outside the timed region: batched ED-vs-EP gap on the solved
-        # centers through the shared context, tracking how the assignment
-        # rules drift apart as the support grows.
-        context = CostContext(dataset, result.centers)
-        label_rows = np.vstack(
-            [
-                context.expected.argmin(axis=1),
-                ExpectedPointAssignment()(dataset, result.centers),
-            ]
-        )
-        ed_cost, ep_cost = context.assigned_costs(label_rows)
+        costs.append(cost)
         rows.append(
             ExperimentRow(
                 configuration=f"z={z}",
-                measured={
-                    "cost": result.expected_cost,
-                    "seconds": elapsed,
-                    "ed_minus_ep_cost": float(ed_cost - ep_cost),
-                },
+                measured={"cost": cost, "seconds": elapsed, "ed_minus_ep_cost": gap},
             )
         )
     cost_spread = float(max(costs) / max(min(costs), 1e-12))

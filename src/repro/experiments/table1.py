@@ -13,6 +13,13 @@ a workload) empirically:
 
 A measured ratio at or below the guarantee reproduces the row; ratios are
 typically far below it because the guarantees are worst-case.
+
+Each experiment's independent trial cases are module-level functions mapped
+over :func:`repro.runtime.parallel.parallel_map`; ``Table1Settings.workers``
+(the CLI's ``--workers``) shards them across processes.  ``workers=1`` (the
+default) runs the same cases in the same order in-process, so records are
+bit-identical for every worker count — cases regenerate their workloads from
+fixed seeds and never share state.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from ..baselines.guha_munagala import guha_munagala_baseline
 from ..baselines.wang_zhang_1d import wang_zhang_1d
 from ..bounds.lower_bounds import assigned_cost_lower_bound
 from ..assignments.policies import ExpectedDistanceAssignment, ExpectedPointAssignment
+from ..runtime.parallel import parallel_map
 from ..workloads.graphs import graph_uncertain_workload
 from ..workloads.synthetic import gaussian_clusters, heavy_tailed, line_workload, uniform_cloud
 from .records import ExperimentRecord, ExperimentRow
@@ -47,7 +55,8 @@ class Table1Settings:
 
     ``quick`` presets are used by the pytest-benchmark targets so a full
     benchmark run stays in the minutes range; the defaults are what
-    EXPERIMENTS.md reports.
+    EXPERIMENTS.md reports.  ``workers`` shards each experiment's trial
+    cases across processes (1 = serial; results are identical either way).
     """
 
     trials: int = 3
@@ -57,6 +66,7 @@ class Table1Settings:
     k: int = 3
     epsilon: float = 0.1
     seed: int = 0
+    workers: int = 1
 
     @classmethod
     def quick(cls) -> "Table1Settings":
@@ -82,34 +92,36 @@ def _euclidean_micro_workloads(settings: Table1Settings):
         )
 
 
+def _e1_case(settings: Table1Settings, item: tuple[int, int]) -> tuple[ExperimentRow, float]:
+    dimension, trial = item
+    dataset, spec = gaussian_clusters(
+        n=settings.n_medium,
+        z=settings.z,
+        dimension=dimension,
+        k_true=1,
+        seed=settings.seed + trial,
+    )
+    theorem = expected_point_one_center(dataset)
+    reference = refined_uncertain_one_center(dataset)
+    ratio = theorem.expected_cost / max(reference.expected_cost, 1e-12)
+    row = ExperimentRow(
+        configuration=f"{spec.describe()} trial={trial}",
+        measured={
+            "theorem_2_1_cost": theorem.expected_cost,
+            "reference_cost": reference.expected_cost,
+            "ratio": ratio,
+        },
+    )
+    return row, ratio
+
+
 def run_e1_one_center(settings: Table1Settings | None = None) -> ExperimentRecord:
     """E1 — Table 1 row 1: 1-center, Euclidean, factor 2, O(z) time."""
     settings = settings or Table1Settings()
-    rows = []
-    worst_ratio = 0.0
-    for dimension in (1, 2, 3, 8):
-        for trial in range(settings.trials):
-            dataset, spec = gaussian_clusters(
-                n=settings.n_medium,
-                z=settings.z,
-                dimension=dimension,
-                k_true=1,
-                seed=settings.seed + trial,
-            )
-            theorem = expected_point_one_center(dataset)
-            reference = refined_uncertain_one_center(dataset)
-            ratio = theorem.expected_cost / max(reference.expected_cost, 1e-12)
-            worst_ratio = max(worst_ratio, ratio)
-            rows.append(
-                ExperimentRow(
-                    configuration=f"{spec.describe()} trial={trial}",
-                    measured={
-                        "theorem_2_1_cost": theorem.expected_cost,
-                        "reference_cost": reference.expected_cost,
-                        "ratio": ratio,
-                    },
-                )
-            )
+    items = [(dimension, trial) for dimension in (1, 2, 3, 8) for trial in range(settings.trials)]
+    cases = parallel_map(_e1_case, items, payload=settings, workers=settings.workers)
+    rows = [row for row, _ in cases]
+    worst_ratio = max((ratio for _, ratio in cases), default=0.0)
     return ExperimentRecord(
         experiment_id="E1",
         paper_artifact="Table 1 row 1 (1-center, Euclidean)",
@@ -119,33 +131,49 @@ def run_e1_one_center(settings: Table1Settings | None = None) -> ExperimentRecor
     )
 
 
+def _restricted_case(payload, item) -> tuple[list[ExperimentRow], dict[str, float]]:
+    settings, assignment, policy_cls = payload
+    dataset, spec = item
+    reference = brute_force_restricted_assigned(dataset, settings.k, assignment=policy_cls())
+    lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+    denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+    rows = []
+    worst = {"gonzalez": 0.0, "epsilon": 0.0}
+    for solver in ("gonzalez", "epsilon"):
+        result = solve_restricted_assigned(
+            dataset, settings.k, assignment=assignment, solver=solver, epsilon=settings.epsilon
+        )
+        ratio = result.expected_cost / denominator
+        worst[solver] = max(worst[solver], ratio)
+        rows.append(
+            ExperimentRow(
+                configuration=f"{spec.describe()} solver={solver}",
+                measured={
+                    "cost": result.expected_cost,
+                    "reference_cost": reference.expected_cost,
+                    "lower_bound": lower_bound,
+                    "ratio_vs_reference": ratio,
+                    "guaranteed_factor": result.guaranteed_factor or float("nan"),
+                },
+            )
+        )
+    return rows, worst
+
+
 def _run_restricted(settings: Table1Settings, assignment: str, policy_cls) -> ExperimentRecord:
     gonzalez_bound = 4.0 + 2.0 if assignment == "expected-distance" else 2.0 + 2.0
     eps_bound = 4.0 + 1.0 + settings.epsilon if assignment == "expected-distance" else 2.0 + 1.0 + settings.epsilon
-    rows = []
+    cases = parallel_map(
+        _restricted_case,
+        list(_euclidean_micro_workloads(settings)),
+        payload=(settings, assignment, policy_cls),
+        workers=settings.workers,
+    )
+    rows = [row for case_rows, _ in cases for row in case_rows]
     worst = {"gonzalez": 0.0, "epsilon": 0.0}
-    for dataset, spec in _euclidean_micro_workloads(settings):
-        reference = brute_force_restricted_assigned(dataset, settings.k, assignment=policy_cls())
-        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
-        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
-        for solver in ("gonzalez", "epsilon"):
-            result = solve_restricted_assigned(
-                dataset, settings.k, assignment=assignment, solver=solver, epsilon=settings.epsilon
-            )
-            ratio = result.expected_cost / denominator
+    for _, case_worst in cases:
+        for solver, ratio in case_worst.items():
             worst[solver] = max(worst[solver], ratio)
-            rows.append(
-                ExperimentRow(
-                    configuration=f"{spec.describe()} solver={solver}",
-                    measured={
-                        "cost": result.expected_cost,
-                        "reference_cost": reference.expected_cost,
-                        "lower_bound": lower_bound,
-                        "ratio_vs_reference": ratio,
-                        "guaranteed_factor": result.guaranteed_factor or float("nan"),
-                    },
-                )
-            )
     experiment_id = "E2/E3" if assignment == "expected-distance" else "E4/E5"
     artifact = (
         "Table 1 rows 2-3 (restricted assigned, expected distance)"
@@ -177,33 +205,48 @@ def run_e4_e5_restricted_expected_point(settings: Table1Settings | None = None) 
     return _run_restricted(settings or Table1Settings(), "expected-point", ExpectedPointAssignment)
 
 
+def _unrestricted_case(settings: Table1Settings, item) -> tuple[list[ExperimentRow], dict[str, float]]:
+    dataset, spec = item
+    reference = brute_force_unrestricted_assigned(dataset, settings.k)
+    lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+    denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+    rows = []
+    worst = {"gonzalez": 0.0, "epsilon": 0.0}
+    for solver in ("gonzalez", "epsilon"):
+        result = solve_unrestricted_assigned(
+            dataset, settings.k, assignment="expected-point", solver=solver, epsilon=settings.epsilon
+        )
+        ratio = result.expected_cost / denominator
+        worst[solver] = max(worst[solver], ratio)
+        rows.append(
+            ExperimentRow(
+                configuration=f"{spec.describe()} solver={solver}",
+                measured={
+                    "cost": result.expected_cost,
+                    "unrestricted_reference": reference.expected_cost,
+                    "lower_bound": lower_bound,
+                    "ratio_vs_reference": ratio,
+                    "guaranteed_factor": result.guaranteed_factor or float("nan"),
+                },
+            )
+        )
+    return rows, worst
+
+
 def run_e6_e7_unrestricted_euclidean(settings: Table1Settings | None = None) -> ExperimentRecord:
     """E6/E7 — Table 1 rows 6-7: unrestricted assigned, Euclidean."""
     settings = settings or Table1Settings()
-    rows = []
+    cases = parallel_map(
+        _unrestricted_case,
+        list(_euclidean_micro_workloads(settings)),
+        payload=settings,
+        workers=settings.workers,
+    )
+    rows = [row for case_rows, _ in cases for row in case_rows]
     worst = {"gonzalez": 0.0, "epsilon": 0.0}
-    for dataset, spec in _euclidean_micro_workloads(settings):
-        reference = brute_force_unrestricted_assigned(dataset, settings.k)
-        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
-        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
-        for solver in ("gonzalez", "epsilon"):
-            result = solve_unrestricted_assigned(
-                dataset, settings.k, assignment="expected-point", solver=solver, epsilon=settings.epsilon
-            )
-            ratio = result.expected_cost / denominator
+    for _, case_worst in cases:
+        for solver, ratio in case_worst.items():
             worst[solver] = max(worst[solver], ratio)
-            rows.append(
-                ExperimentRow(
-                    configuration=f"{spec.describe()} solver={solver}",
-                    measured={
-                        "cost": result.expected_cost,
-                        "unrestricted_reference": reference.expected_cost,
-                        "lower_bound": lower_bound,
-                        "ratio_vs_reference": ratio,
-                        "guaranteed_factor": result.guaranteed_factor or float("nan"),
-                    },
-                )
-            )
     return ExperimentRecord(
         experiment_id="E6/E7",
         paper_artifact="Table 1 rows 6-7 (unrestricted assigned, Euclidean)",
@@ -219,35 +262,38 @@ def run_e6_e7_unrestricted_euclidean(settings: Table1Settings | None = None) -> 
     )
 
 
+def _e8_case(settings: Table1Settings, trial: int) -> tuple[ExperimentRow, float]:
+    dataset, spec = line_workload(
+        n=settings.n_small,
+        z=settings.z,
+        segment_count=settings.k,
+        seed=settings.seed + trial,
+    )
+    solution = wang_zhang_1d(dataset, settings.k)
+    reference = brute_force_unrestricted_assigned(dataset, settings.k)
+    lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+    denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+    ratio = solution.expected_cost / denominator
+    row = ExperimentRow(
+        configuration=f"{spec.describe()} trial={trial}",
+        measured={
+            "wang_zhang_cost": solution.expected_cost,
+            "unrestricted_reference": reference.expected_cost,
+            "lower_bound": lower_bound,
+            "ratio_vs_reference": ratio,
+        },
+    )
+    return row, ratio
+
+
 def run_e8_one_dimensional(settings: Table1Settings | None = None) -> ExperimentRecord:
     """E8 — Table 1 row 8: R^1 unrestricted assigned via Theorem 2.3."""
     settings = settings or Table1Settings()
-    rows = []
-    worst_ratio = 0.0
-    for trial in range(settings.trials):
-        dataset, spec = line_workload(
-            n=settings.n_small,
-            z=settings.z,
-            segment_count=settings.k,
-            seed=settings.seed + trial,
-        )
-        solution = wang_zhang_1d(dataset, settings.k)
-        reference = brute_force_unrestricted_assigned(dataset, settings.k)
-        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
-        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
-        ratio = solution.expected_cost / denominator
-        worst_ratio = max(worst_ratio, ratio)
-        rows.append(
-            ExperimentRow(
-                configuration=f"{spec.describe()} trial={trial}",
-                measured={
-                    "wang_zhang_cost": solution.expected_cost,
-                    "unrestricted_reference": reference.expected_cost,
-                    "lower_bound": lower_bound,
-                    "ratio_vs_reference": ratio,
-                },
-            )
-        )
+    cases = parallel_map(
+        _e8_case, list(range(settings.trials)), payload=settings, workers=settings.workers
+    )
+    rows = [row for row, _ in cases]
+    worst_ratio = max((ratio for _, ratio in cases), default=0.0)
     return ExperimentRecord(
         experiment_id="E8",
         paper_artifact="Table 1 row 8 (R^1, unrestricted assigned)",
@@ -261,37 +307,48 @@ def run_e8_one_dimensional(settings: Table1Settings | None = None) -> Experiment
     )
 
 
+def _e9_case(settings: Table1Settings, trial: int) -> tuple[list[ExperimentRow], dict[str, float]]:
+    dataset, spec = graph_uncertain_workload(
+        n=settings.n_small + 2,
+        z=settings.z,
+        node_count=24,
+        seed=settings.seed + trial,
+    )
+    reference = brute_force_unrestricted_assigned(dataset, settings.k)
+    lower_bound = assigned_cost_lower_bound(dataset, settings.k)
+    denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
+    rows = []
+    worst = {"one-center": 0.0, "expected-distance": 0.0}
+    for assignment in ("one-center", "expected-distance"):
+        result = solve_metric_unrestricted(dataset, settings.k, assignment=assignment)
+        ratio = result.expected_cost / denominator
+        worst[assignment] = max(worst[assignment], ratio)
+        rows.append(
+            ExperimentRow(
+                configuration=f"{spec.describe()} assignment={assignment}",
+                measured={
+                    "cost": result.expected_cost,
+                    "unrestricted_reference": reference.expected_cost,
+                    "lower_bound": lower_bound,
+                    "ratio_vs_reference": ratio,
+                    "guaranteed_factor": result.guaranteed_factor or float("nan"),
+                },
+            )
+        )
+    return rows, worst
+
+
 def run_e9_general_metric(settings: Table1Settings | None = None) -> ExperimentRecord:
     """E9 — Table 1 row 9: unrestricted assigned in a general (graph) metric."""
     settings = settings or Table1Settings()
-    rows = []
+    cases = parallel_map(
+        _e9_case, list(range(settings.trials)), payload=settings, workers=settings.workers
+    )
+    rows = [row for case_rows, _ in cases for row in case_rows]
     worst = {"one-center": 0.0, "expected-distance": 0.0}
-    for trial in range(settings.trials):
-        dataset, spec = graph_uncertain_workload(
-            n=settings.n_small + 2,
-            z=settings.z,
-            node_count=24,
-            seed=settings.seed + trial,
-        )
-        reference = brute_force_unrestricted_assigned(dataset, settings.k)
-        lower_bound = assigned_cost_lower_bound(dataset, settings.k)
-        denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
-        for assignment in ("one-center", "expected-distance"):
-            result = solve_metric_unrestricted(dataset, settings.k, assignment=assignment)
-            ratio = result.expected_cost / denominator
+    for _, case_worst in cases:
+        for assignment, ratio in case_worst.items():
             worst[assignment] = max(worst[assignment], ratio)
-            rows.append(
-                ExperimentRow(
-                    configuration=f"{spec.describe()} assignment={assignment}",
-                    measured={
-                        "cost": result.expected_cost,
-                        "unrestricted_reference": reference.expected_cost,
-                        "lower_bound": lower_bound,
-                        "ratio_vs_reference": ratio,
-                        "guaranteed_factor": result.guaranteed_factor or float("nan"),
-                    },
-                )
-            )
     return ExperimentRecord(
         experiment_id="E9",
         paper_artifact="Table 1 row 9 (any metric, unrestricted assigned)",
@@ -307,36 +364,38 @@ def run_e9_general_metric(settings: Table1Settings | None = None) -> ExperimentR
     )
 
 
+def _e10_case(settings: Table1Settings, item) -> tuple[ExperimentRow, bool]:
+    trial, maker = item
+    dataset, spec = maker(n=settings.n_medium, z=settings.z, dimension=2, seed=settings.seed + trial)
+    ours = solve_unrestricted_assigned(dataset, settings.k, assignment="expected-point", solver="epsilon")
+    gm = guha_munagala_baseline(dataset, settings.k)
+    cm = cormode_mcgregor_baseline(dataset, settings.k)
+    win = ours.expected_cost <= min(gm.expected_cost, cm.expected_cost) + 1e-12
+    row = ExperimentRow(
+        configuration=f"{spec.describe()}",
+        measured={
+            "paper_algorithm_cost": ours.expected_cost,
+            "guha_munagala_style_cost": gm.expected_cost,
+            "cormode_mcgregor_style_cost": cm.expected_cost,
+            "improvement_vs_gm": gm.expected_cost / max(ours.expected_cost, 1e-12),
+            "improvement_vs_cm": cm.expected_cost / max(ours.expected_cost, 1e-12),
+        },
+    )
+    return row, win
+
+
 def run_e10_baseline_comparison(settings: Table1Settings | None = None) -> ExperimentRecord:
     """E10 — abstract claim: improvement over prior constant-factor baselines."""
     settings = settings or Table1Settings()
-    rows = []
-    wins = 0
-    total = 0
-    for trial in range(settings.trials):
-        for maker, name in (
-            (gaussian_clusters, "gaussian"),
-            (heavy_tailed, "heavy-tailed"),
-        ):
-            dataset, spec = maker(n=settings.n_medium, z=settings.z, dimension=2, seed=settings.seed + trial)
-            ours = solve_unrestricted_assigned(dataset, settings.k, assignment="expected-point", solver="epsilon")
-            gm = guha_munagala_baseline(dataset, settings.k)
-            cm = cormode_mcgregor_baseline(dataset, settings.k)
-            total += 1
-            if ours.expected_cost <= min(gm.expected_cost, cm.expected_cost) + 1e-12:
-                wins += 1
-            rows.append(
-                ExperimentRow(
-                    configuration=f"{spec.describe()}",
-                    measured={
-                        "paper_algorithm_cost": ours.expected_cost,
-                        "guha_munagala_style_cost": gm.expected_cost,
-                        "cormode_mcgregor_style_cost": cm.expected_cost,
-                        "improvement_vs_gm": gm.expected_cost / max(ours.expected_cost, 1e-12),
-                        "improvement_vs_cm": cm.expected_cost / max(ours.expected_cost, 1e-12),
-                    },
-                )
-            )
+    items = [
+        (trial, maker)
+        for trial in range(settings.trials)
+        for maker in (gaussian_clusters, heavy_tailed)
+    ]
+    cases = parallel_map(_e10_case, items, payload=settings, workers=settings.workers)
+    rows = [row for row, _ in cases]
+    wins = sum(1 for _, win in cases if win)
+    total = len(cases)
     return ExperimentRecord(
         experiment_id="E10",
         paper_artifact="Abstract / Section 4 (improvement over [14]; 15+eps -> 5+eps)",

@@ -66,11 +66,20 @@ class EuclideanMetric(MinkowskiMetric):
         b = as_point_array(b, name="b")
         if a.shape[1] != b.shape[1]:
             raise MetricError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
-        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, computed with a clamp to
-        # guard against tiny negative values from floating-point cancellation.
+        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y: one BLAS product instead of
+        # an (n, m, d) difference tensor.  The expansion cancels catastrophically
+        # when x ~= y (the error floor is ~eps * ||x||^2, i.e. ~1e-7 *after* the
+        # square root for unit-scale data — enough to report a nonzero
+        # self-distance), so entries in the cancellation zone are recomputed
+        # with the exact difference formula; d(x, x) is then exactly 0.
         sq_a = (a * a).sum(axis=1)[:, None]
         sq_b = (b * b).sum(axis=1)[None, :]
         squared = sq_a + sq_b - 2.0 * (a @ b.T)
+        suspect = squared < 1e-8 * (sq_a + sq_b)
+        if np.any(suspect):
+            rows, cols = np.nonzero(suspect)
+            difference = a[rows] - b[cols]
+            squared[rows, cols] = (difference * difference).sum(axis=1)
         return np.sqrt(np.maximum(squared, 0.0))
 
 

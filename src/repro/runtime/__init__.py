@@ -1,0 +1,40 @@
+"""Process-parallel, cache-aware execution runtime.
+
+Two coordinated pieces behind every heavy loop in the repo:
+
+* :mod:`repro.runtime.parallel` — a worker-pool executor that ships an
+  expensive payload (a built :class:`~repro.cost.context.CostContext`,
+  experiment settings) to each worker once and maps cheap work items
+  (enumeration chunk bounds, trial descriptors) over the pool.  Serial
+  execution (``workers=1``) is the default and bit-identical; worker counts
+  only change wall-clock time, never results.
+* :mod:`repro.runtime.store` — a content-fingerprint-keyed LRU memo of
+  ``CostContext`` instances, so trials and repeated solver calls over the
+  same (dataset, candidates) pair stop rebuilding supports and sorted CDF
+  columns.  Rebuild happens exactly when the dataset or candidate set
+  changes.
+
+Consumers: the three brute-force enumerators (sharded subset/assignment
+chunks), the Table-1 / ablation / sensitivity trial loops (``workers`` field
+on their settings dataclasses, ``--workers`` on the CLI), and
+``wang_zhang_1d``'s store-routed final scoring.
+"""
+
+from .parallel import available_workers, iter_chunk_bounds, parallel_map, resolve_workers
+from .store import (
+    DEFAULT_STORE_SIZE,
+    ContextStore,
+    candidate_fingerprint,
+    dataset_fingerprint,
+)
+
+__all__ = [
+    "available_workers",
+    "iter_chunk_bounds",
+    "parallel_map",
+    "resolve_workers",
+    "ContextStore",
+    "DEFAULT_STORE_SIZE",
+    "candidate_fingerprint",
+    "dataset_fingerprint",
+]

@@ -1,0 +1,241 @@
+"""Machine-readable benchmark runner (``python -m repro bench``).
+
+Times the repo's hot execution paths — including the two PR-3 additions, the
+sharded brute-force enumeration and the incremental candidate-column splice —
+and writes one JSON document (``BENCH_PR3.json`` by default) so future PRs
+have a perf trajectory to compare against instead of anecdotes.
+
+Cases
+-----
+``brute_force_parallel_speedup``
+    Serial vs ``workers>=2`` wall clock of the same restricted brute-force
+    enumeration.  The target is >=2x at 2+ workers; it is only *achievable*
+    with >=2 physical CPUs, so the record carries ``cpu_count`` and a
+    ``target_met`` flag rather than asserting (the paired pytest benchmark
+    asserts when enough cores exist).
+``wang_zhang_column_splice``
+    Rebuild-vs-splice on the coordinate-descent context: a from-scratch
+    :class:`~repro.cost.context.CostContext` build (plus the evaluator sort
+    of every column) against
+    :meth:`~repro.cost.context.CostContext.replace_candidate_columns`
+    splicing only the fine-grid columns — the exact operation
+    ``wang_zhang_1d`` performs per coordinate step.
+``batch_cost_kernel`` / ``local_search_sweep``
+    The PR-1/PR-2 guards (batched E[max] vs scalar loop; round-amortized
+    rest profiles vs per-point re-sorts) re-measured so the trajectory stays
+    comparable across PRs.
+``context_store_memoization``
+    Cold build vs memoized :class:`~repro.runtime.store.ContextStore` hit.
+
+Every case reports best-of-``repeats`` seconds; timings are environment
+dependent by nature, so the document also records the Python/NumPy versions
+and CPU count it was produced with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from math import comb
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.brute_force import brute_force_restricted_assigned
+from ..cost.context import CostContext
+from ..cost.expected import assigned_cost_evaluator
+from ..workloads.synthetic import gaussian_clusters, line_workload
+from .parallel import available_workers
+from .store import ContextStore
+
+#: Default output path for the checked-in benchmark trajectory.
+DEFAULT_OUTPUT = "BENCH_PR3.json"
+#: Wall-clock speedup the parallel brute force targets at 2+ workers.
+PARALLEL_SPEEDUP_TARGET = 2.0
+#: Wall-clock speedup the column splice targets over a full rebuild.
+SPLICE_SPEEDUP_TARGET = 2.0
+
+
+def _best_of(function: Callable[[], object], repeats: int) -> float:
+    best = np.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def bench_brute_force_parallel(repeats: int = 3, workers: int | None = None) -> dict:
+    """Serial vs sharded brute-force enumeration on one mid-size instance."""
+    dataset, _ = gaussian_clusters(n=30, z=4, dimension=2, k_true=3, seed=7)
+    candidates = dataset.all_locations()[:40]
+    kwargs = dict(candidates=candidates, chunk_rows=256)
+    workers = max(2, int(workers) if workers is not None else 2)
+
+    serial = brute_force_restricted_assigned(dataset, 3, workers=1, **kwargs)
+    serial_seconds = _best_of(
+        lambda: brute_force_restricted_assigned(dataset, 3, workers=1, **kwargs), repeats
+    )
+    parallel = brute_force_restricted_assigned(dataset, 3, workers=workers, **kwargs)
+    parallel_seconds = _best_of(
+        lambda: brute_force_restricted_assigned(dataset, 3, workers=workers, **kwargs), repeats
+    )
+    assert parallel.expected_cost == serial.expected_cost  # determinism contract
+    speedup = serial_seconds / max(parallel_seconds, 1e-12)
+    return {
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "workers": workers,
+        "cpu_count": available_workers(),
+        "subsets": comb(candidates.shape[0], 3),
+        "speedup": speedup,
+        "target": PARALLEL_SPEEDUP_TARGET,
+        "target_met": bool(speedup >= PARALLEL_SPEEDUP_TARGET),
+        "note": "target requires >= 2 physical CPUs; results are bit-identical at every worker count",
+    }
+
+
+def bench_column_splice(repeats: int = 5) -> dict:
+    """Full context rebuild vs incremental fine-grid column splice."""
+    dataset, _ = line_workload(n=100, z=12, segment_count=3, seed=11)
+    k = 3
+    coarse = np.linspace(-1.0, 1.0, 33)
+    fine = np.linspace(-0.05, 0.05, 21)
+    centers = dataset.expected_points()[:k]
+    candidates = np.vstack([centers, coarse.reshape(-1, 1), fine.reshape(-1, 1)])
+    fine_columns = np.arange(k + 33, k + 33 + 21)
+
+    def rebuild() -> None:
+        context = CostContext(dataset, candidates)
+        context.evaluator  # the per-sweep cost the splice avoids
+
+    context = CostContext(dataset, candidates)
+    context.evaluator
+    shift = [0.0]
+
+    def splice() -> None:
+        shift[0] += 1e-4
+        context.replace_candidate_columns(fine_columns, (fine + shift[0]).reshape(-1, 1))
+
+    rebuild_seconds = _best_of(rebuild, repeats)
+    splice_seconds = _best_of(splice, repeats)
+    speedup = rebuild_seconds / max(splice_seconds, 1e-12)
+    return {
+        "rebuild_seconds": rebuild_seconds,
+        "splice_seconds": splice_seconds,
+        "replaced_columns": int(fine_columns.shape[0]),
+        "total_columns": int(candidates.shape[0]),
+        "speedup": speedup,
+        "target": SPLICE_SPEEDUP_TARGET,
+        "target_met": bool(speedup >= SPLICE_SPEEDUP_TARGET),
+    }
+
+
+def bench_batch_cost_kernel(repeats: int = 3) -> dict:
+    """Batched E[max] kernel vs a scalar per-assignment loop (PR-1 guard)."""
+    dataset, _ = gaussian_clusters(n=100, z=6, dimension=2, k_true=4, seed=12)
+    centers = dataset.expected_points()[:4]
+    evaluator = assigned_cost_evaluator(dataset, centers)
+    rng = np.random.default_rng(0)
+    column_sets = rng.integers(0, 4, size=(128, dataset.size))
+    batch_seconds = _best_of(lambda: evaluator.costs(column_sets), repeats)
+    scalar_seconds = _best_of(lambda: [evaluator.cost(row) for row in column_sets], repeats)
+    return {
+        "batch_seconds": batch_seconds,
+        "scalar_seconds": scalar_seconds,
+        "rows": 128,
+        "speedup": scalar_seconds / max(batch_seconds, 1e-12),
+    }
+
+
+def bench_local_search_sweep(repeats: int = 3) -> dict:
+    """Round-amortized rest profiles vs per-point re-sorts (PR-2 guard)."""
+    dataset, _ = gaussian_clusters(n=200, z=8, dimension=2, k_true=4, seed=3)
+    centers = dataset.expected_points()[:4]
+    evaluator = assigned_cost_evaluator(dataset, centers)
+    rng = np.random.default_rng(0)
+    assignment = rng.integers(0, centers.shape[0], size=dataset.size)
+    all_columns = np.arange(centers.shape[0])
+
+    def per_point_round() -> None:
+        for point in range(dataset.size):
+            profile = evaluator.rest_profile(assignment, point)
+            evaluator.move_costs(profile, all_columns)
+
+    sweep = evaluator.local_search_sweep(assignment)
+
+    def amortized_round() -> None:
+        for point in range(dataset.size):
+            profile = sweep.rest_profile(point)
+            evaluator.move_costs(profile, all_columns)
+
+    per_point_seconds = _best_of(per_point_round, repeats)
+    amortized_seconds = _best_of(amortized_round, repeats)
+    return {
+        "per_point_seconds": per_point_seconds,
+        "amortized_seconds": amortized_seconds,
+        "speedup": per_point_seconds / max(amortized_seconds, 1e-12),
+    }
+
+
+def bench_context_store(repeats: int = 3) -> dict:
+    """Cold CostContext build vs a ContextStore hit on the same pair."""
+    dataset, _ = gaussian_clusters(n=80, z=6, dimension=2, k_true=4, seed=21)
+    candidates = dataset.all_locations()[:64]
+
+    def cold() -> None:
+        CostContext(dataset, candidates).evaluator
+
+    store = ContextStore()
+    store.get(dataset, candidates).evaluator
+
+    def hit() -> None:
+        store.get(dataset, candidates)
+
+    cold_seconds = _best_of(cold, repeats)
+    hit_seconds = _best_of(hit, repeats)
+    return {
+        "cold_build_seconds": cold_seconds,
+        "memoized_hit_seconds": hit_seconds,
+        "speedup": cold_seconds / max(hit_seconds, 1e-12),
+        "hits": store.hits,
+        "misses": store.misses,
+    }
+
+
+CASES: dict[str, Callable[[], dict]] = {
+    "brute_force_parallel_speedup": bench_brute_force_parallel,
+    "wang_zhang_column_splice": bench_column_splice,
+    "batch_cost_kernel": bench_batch_cost_kernel,
+    "local_search_sweep": bench_local_search_sweep,
+    "context_store_memoization": bench_context_store,
+}
+
+
+def run_bench(output: str | Path | None = DEFAULT_OUTPUT, *, cases: list[str] | None = None) -> dict:
+    """Execute the benchmark cases and (optionally) write the JSON document."""
+    selected = cases or list(CASES)
+    unknown = [name for name in selected if name not in CASES]
+    if unknown:
+        raise ValueError(f"unknown benchmark cases: {unknown}; known: {sorted(CASES)}")
+    document = {
+        "schema": "repro-bench/1",
+        "pr": "PR3",
+        "created_unix": time.time(),
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "cases": {},
+    }
+    for name in selected:
+        document["cases"][name] = CASES[name]()
+    if output is not None:
+        Path(output).write_text(json.dumps(document, indent=2) + "\n")
+    return document

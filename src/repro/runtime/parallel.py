@@ -1,0 +1,140 @@
+"""Process-parallel execution runtime: map work items over a worker pool.
+
+Every enumeration- and trial-heavy path in the repo shares one execution
+shape: a *payload* that is expensive to build or ship (an
+:class:`~repro.cost.context.CostContext` with its pinned supports and sorted
+CDF columns, or an experiment settings object), plus a stream of cheap,
+independent *work items* (chunks of candidate subsets, trial descriptors).
+This module runs that shape either serially (``workers <= 1``, the default —
+bit-identical to calling the task function in a plain loop) or across a
+:class:`multiprocessing.Pool`:
+
+* the payload is shipped to each worker **once** — by memory inheritance
+  under the ``fork`` start method (free on POSIX), by a single pickle per
+  worker under ``spawn`` — never per work item;
+* work items are small (chunk index ranges, trial seeds) and results come
+  back in submission order, so any order-dependent reduction the caller
+  performs (first-strict-minimum selection, stable sorts) matches the serial
+  path exactly;
+* nested parallelism is refused: a task that itself asks for workers while
+  already running inside a pool worker silently degrades to serial, so
+  experiment cases that call sharded brute force never fork from a fork.
+
+Determinism contract
+--------------------
+``parallel_map(fn, items, workers=w)`` returns ``[fn(payload, item) for item
+in items]`` for every ``w``: the same chunk boundaries are used, every chunk
+is computed by the same NumPy kernels on the same inputs, and the parent
+reduces in item order.  Only wall-clock time may differ between ``workers=1``
+and ``workers=2+`` — never a returned value.  (Timing fields *measured
+inside* a task obviously vary run to run; they vary serially too.)
+
+Worker memory is bounded by the work-item granularity: the brute-force
+shards pass ``chunk_rows`` (default
+:data:`repro.cost.context.DEFAULT_CHUNK_ROWS`) through
+:func:`iter_chunk_bounds`, so a worker never materializes more than
+``chunk_rows`` batch rows at a time regardless of how large the enumeration
+is.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Set inside pool workers so nested parallel requests degrade to serial.
+_IN_WORKER = False
+
+#: Module-level slot the pool initializer fills in each worker process.
+_WORKER_PAYLOAD: Any = None
+_WORKER_TASK: Callable[..., Any] | None = None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``--workers`` value: ``None``/``0``/negatives mean serial.
+
+    Inside a pool worker this always returns 1 (no nested pools).
+    """
+    if _IN_WORKER or workers is None:
+        return 1
+    return max(1, int(workers))
+
+
+def available_workers() -> int:
+    """CPUs the runtime could plausibly use (for defaults and benchmarks)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _init_worker(task: Callable[..., Any], payload: Any) -> None:
+    global _IN_WORKER, _WORKER_PAYLOAD, _WORKER_TASK
+    _IN_WORKER = True
+    _WORKER_PAYLOAD = payload
+    _WORKER_TASK = task
+
+
+def _run_item(item: Any) -> Any:
+    assert _WORKER_TASK is not None
+    return _WORKER_TASK(_WORKER_PAYLOAD, item)
+
+
+def _pool_context():
+    """Prefer ``fork`` (payload shipped by inheritance) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(
+    task: Callable[[Any, T], R],
+    items: Sequence[T],
+    *,
+    payload: Any = None,
+    workers: int | None = 1,
+) -> list[R]:
+    """``[task(payload, item) for item in items]``, optionally across processes.
+
+    Parameters
+    ----------
+    task:
+        A **module-level** function (pool workers import it by reference)
+        taking ``(payload, item)``.
+    items:
+        Picklable work items; results are returned in the same order.
+    payload:
+        Shipped to each worker once via the pool initializer, then shared by
+        every item that worker processes.  Build expensive state (contexts,
+        pinned supports) here, not per item.
+    workers:
+        ``<= 1`` (the default) runs the loop in-process with no
+        multiprocessing import cost and bit-identical results.
+
+    Notes
+    -----
+    Results are deterministic across worker counts (see the module
+    docstring's determinism contract).  Exceptions raised by ``task``
+    propagate to the caller under both execution modes.
+    """
+    workers = resolve_workers(workers)
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [task(payload, item) for item in items]
+    workers = min(workers, len(items))
+    context = _pool_context()
+    with context.Pool(
+        processes=workers, initializer=_init_worker, initargs=(task, payload)
+    ) as pool:
+        return pool.map(_run_item, items, chunksize=1)
+
+
+def iter_chunk_bounds(total: int, chunk_rows: int) -> Iterator[tuple[int, int]]:
+    """``(start, stop)`` bounds carving ``range(total)`` into chunks.
+
+    Shared by the serial and sharded brute-force paths so both score the
+    exact same batches — the precondition for bit-identical reductions.
+    """
+    chunk_rows = max(1, int(chunk_rows))
+    for start in range(0, total, chunk_rows):
+        yield start, min(start + chunk_rows, total)

@@ -1,0 +1,97 @@
+"""Harness completeness (E13 inclusion) and the benchmark runner contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    AblationSettings,
+    SensitivitySettings,
+    Table1Settings,
+    run_everything,
+)
+from repro.runtime.bench import CASES, run_bench
+
+
+@pytest.fixture(scope="module")
+def tiny_kwargs():
+    return dict(
+        table1_settings=Table1Settings(trials=1, n_small=4, n_medium=10, z=2, k=2),
+        ablation_settings=AblationSettings(trials=1, n=8, z=2, k=2),
+        sensitivity_settings=SensitivitySettings(
+            n=8, trials=1, outlier_probabilities=(0.0, 0.1), support_sizes=(2, 3)
+        ),
+        include_scaling=False,
+    )
+
+
+class TestRunEverything:
+    def test_includes_sensitivity_records(self, tiny_kwargs):
+        records = run_everything(**tiny_kwargs)
+        identifiers = [record.experiment_id for record in records]
+        assert "E13a" in identifiers and "E13b" in identifiers
+        # Sensitivity comes after the ablations, mirroring DESIGN.md's index.
+        assert identifiers.index("E13a") > identifiers.index("E12b")
+
+    def test_include_sensitivity_flag_excludes(self, tiny_kwargs):
+        records = run_everything(**tiny_kwargs, include_sensitivity=False)
+        identifiers = [record.experiment_id for record in records]
+        assert "E13a" not in identifiers and "E13b" not in identifiers
+
+    def test_workers_override_reaches_every_settings_object(self, tiny_kwargs):
+        serial = run_everything(**tiny_kwargs)
+        parallel = run_everything(**tiny_kwargs, workers=2)
+        # E13b rows carry wall-clock fields; compare everything else exactly.
+        for left, right in zip(serial, parallel):
+            if left.experiment_id == "E13b":
+                assert [row.measured["cost"] for row in left.rows] == [
+                    row.measured["cost"] for row in right.rows
+                ]
+            else:
+                assert left == right
+
+
+class TestCliCommands:
+    def test_sensitivity_quick(self, capsys, monkeypatch):
+        tiny = SensitivitySettings(
+            n=8, trials=1, outlier_probabilities=(0.0, 0.1), support_sizes=(2, 3)
+        )
+        monkeypatch.setattr(SensitivitySettings, "quick", classmethod(lambda cls: tiny))
+        assert main(["sensitivity", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E13a" in out and "E13b" in out
+
+    def test_ablation_accepts_workers(self, capsys, monkeypatch):
+        tiny = AblationSettings(trials=1, n=8, z=2, k=2)
+        monkeypatch.setattr(AblationSettings, "quick", classmethod(lambda cls: tiny))
+        assert main(["ablation", "--quick", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E12a" in out and "E12b" in out
+
+    def test_bench_writes_machine_readable_json(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--output", str(output), "--case", "wang_zhang_column_splice"]) == 0
+        document = json.loads(output.read_text())
+        assert document["schema"] == "repro-bench/1"
+        assert "cpu_count" in document["environment"]
+        case = document["cases"]["wang_zhang_column_splice"]
+        assert case["splice_seconds"] > 0 and case["rebuild_seconds"] > 0
+        assert "speedup" in case and "target" in case
+
+
+class TestBenchRunner:
+    def test_registry_contains_the_pr3_cases(self):
+        assert "brute_force_parallel_speedup" in CASES
+        assert "wang_zhang_column_splice" in CASES
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark cases"):
+            run_bench(None, cases=["not-a-case"])
+
+    def test_run_bench_without_output_returns_document(self):
+        document = run_bench(None, cases=["batch_cost_kernel"])
+        assert set(document["cases"]) == {"batch_cost_kernel"}
+        assert document["cases"]["batch_cost_kernel"]["speedup"] > 0

@@ -57,6 +57,22 @@ class TestEuclideanMetric:
         metric = EuclideanMetric()
         assert metric.check_axioms(rng.normal(size=(12, 3)))
 
+    def test_pairwise_self_distance_exactly_zero_far_from_origin(self):
+        # The ||x||^2 + ||y||^2 - 2 x.y expansion cancels catastrophically for
+        # x ~= y far from the origin (historically d(x, x) came out ~1e-7,
+        # which broke exact-zero cost assertions on duplicate points); the
+        # cancellation-zone entries are recomputed with the difference formula.
+        metric = EuclideanMetric()
+        points = np.array([[1.19209290e-07, 12.2947633], [1e6, 1e6], [0.0, 0.0]])
+        distances = metric.pairwise(points, points.copy())
+        assert np.all(np.diag(distances) == 0.0)
+        # Nearby-but-distinct pairs keep full relative precision (compare to
+        # the representable per-row shift, which differs from 1e-9 at 1e6).
+        shifted = points + np.array([[1e-9, 0.0]])
+        off = metric.pairwise(points, shifted)
+        true_shift = shifted[:, 0] - points[:, 0]
+        np.testing.assert_allclose(np.diag(off), true_shift, rtol=1e-9)
+
 
 class TestOtherNorms:
     def test_manhattan(self):
