@@ -2,11 +2,13 @@
 """Standalone entry point for the machine-readable benchmark runner.
 
 Equivalent to ``python -m repro bench``; see :mod:`repro.runtime.bench` for
-the case registry.  Writes ``BENCH_PR3.json`` (override with ``--output``)
-so every PR leaves a comparable perf trajectory::
+the case registry.  Writes ``BENCH_PR4.json`` (override with ``--out``) so
+every PR leaves a comparable perf trajectory, and ``--compare`` diffs the
+fresh run against an earlier document, exiting nonzero on >20% regressions::
 
     PYTHONPATH=src python benchmarks/run_bench.py
-    PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/bench.json --case wang_zhang_column_splice
+    PYTHONPATH=src python benchmarks/run_bench.py --compare BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/bench.json --case unassigned_rank_merge
 """
 
 from __future__ import annotations
@@ -18,17 +20,26 @@ import sys
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_PR3.json", help="JSON document to write")
+    parser.add_argument(
+        "--out", "--output", dest="out", default="BENCH_PR4.json", help="JSON document to write"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="earlier benchmark JSON to diff against (nonzero exit on >20%% regressions)",
+    )
     parser.add_argument(
         "--case", action="append", default=None, help="run only this case (repeatable)"
     )
     args = parser.parse_args(argv)
 
-    from repro.runtime.bench import run_bench
+    from repro.runtime.bench import report_comparison, run_bench
 
-    document = run_bench(args.output, cases=args.case)
+    document = run_bench(args.out, cases=args.case)
     print(json.dumps(document, indent=2))
-    print(f"wrote {args.output}", file=sys.stderr)
+    print(f"wrote {args.out}", file=sys.stderr)
+    if args.compare is not None:
+        return report_comparison(document, args.compare)
     return 0
 
 

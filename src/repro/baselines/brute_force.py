@@ -32,11 +32,16 @@ Every enumeration is chunked into ``(B, .)`` batches of at most
 ``chunk_rows`` rows (default :data:`~repro.cost.context.DEFAULT_CHUNK_ROWS`,
 which also bounds per-worker batch memory) and the chunks are mapped over
 :func:`repro.runtime.parallel.parallel_map`.  ``workers=1`` — the default —
-runs the identical chunk loop in-process.  The fully built context (pinned
-supports, sorted CDF columns, rank tables where needed) ships to each worker
-once via the pool payload; chunks reduce in submission order with the same
-first-strict-minimum rule serial execution applies, so results are
-bit-identical for every worker count.
+runs the identical chunk loop in-process, and a requested worker count is
+clamped to the CPUs actually available, so ``workers=N`` is never slower
+than serial on a small box.  The fully built context (pinned supports,
+sorted CDF columns, rank-merge tables where needed) is published to shared
+memory once and each chunk dispatch to the persistent worker pool carries
+only the descriptor plus its work slice (``shm=False`` falls back to
+shipping the payload per call via fork inheritance); chunks reduce in
+submission order with the same first-strict-minimum rule serial execution
+applies, so results are bit-identical for every worker count, with shared
+memory on or off.
 
 When ``k`` exceeds the number of available candidates the solvers run with
 the largest feasible ``k`` and record both ``requested_k`` and
@@ -213,6 +218,7 @@ def brute_force_restricted_assigned(
     workers: int = 1,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     store: "ContextStore | None" = None,
+    shm: bool | None = None,
 ) -> UncertainKCenterResult:
     """Best candidate centers under a fixed restricted assignment rule.
 
@@ -249,6 +255,7 @@ def brute_force_restricted_assigned(
             chunks,
             payload=(context, scores, chunk_rows),
             workers=workers,
+            shm=shm,
         )
         best_candidate_indices: np.ndarray | None = None
         for cost, subset_row, candidate_indices in results:
@@ -266,7 +273,7 @@ def brute_force_restricted_assigned(
         # path and re-derive distances).
         context.evaluator
         results = parallel_map(
-            _blackbox_chunk_task, chunks, payload=(context, policy), workers=workers
+            _blackbox_chunk_task, chunks, payload=(context, policy), workers=workers, shm=shm
         )
         for cost, columns, labels in results:
             if cost < best_cost:
@@ -300,6 +307,7 @@ def brute_force_unrestricted_assigned(
     workers: int = 1,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     store: "ContextStore | None" = None,
+    shm: bool | None = None,
 ) -> UncertainKCenterResult:
     """Best-known candidate centers together with the best assignment.
 
@@ -335,6 +343,7 @@ def brute_force_unrestricted_assigned(
         subset_chunks,
         payload=(context, chunk_rows),
         workers=workers,
+        shm=shm,
     )
     for subset_rows, (costs, candidate_index_rows) in zip(subset_chunks, chunk_results):
         scored.extend(
@@ -359,6 +368,7 @@ def brute_force_unrestricted_assigned(
             items,
             payload=(context, n, chunk_rows),
             workers=workers,
+            shm=shm,
         )
         for (columns, _, _), (cost, assignment_row) in zip(items, results):
             if cost < best_cost:
@@ -437,6 +447,7 @@ def brute_force_unassigned(
     workers: int = 1,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     store: "ContextStore | None" = None,
+    shm: bool | None = None,
 ) -> UncertainKCenterResult:
     """Best candidate centers for the unassigned expected cost (exact over the set)."""
     k = check_positive_int(k, name="k")
@@ -448,7 +459,7 @@ def brute_force_unassigned(
 
     context = _build_context(dataset, candidates, store)
     if workers > 1:
-        context._ranks()  # rank tables built once, inherited by every worker
+        context._rank_merge_tables()  # built once, published to every worker
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     results = parallel_map(
@@ -456,6 +467,7 @@ def brute_force_unassigned(
         _iter_subset_chunks(candidates.shape[0], k, chunk_rows),
         payload=(context, chunk_rows),
         workers=workers,
+        shm=shm,
     )
     for cost, subset_row in results:
         if cost < best_cost:

@@ -14,8 +14,10 @@ Sub-commands
     Run the outlier / support-size sensitivity sweeps (E13a/E13b).
 ``bench``
     Execute the machine-readable benchmark suite and write its JSON document
-    (``BENCH_PR3.json`` by default) — the perf trajectory future PRs compare
-    against.
+    (``--out``, ``BENCH_PR4.json`` by default) — the perf trajectory future
+    PRs compare against.  ``--compare BENCH_PR3.json`` prints a per-case
+    speedup delta table against an earlier document and exits nonzero on
+    >20% regressions.
 ``solve``
     Solve an uncertain k-center instance stored in a JSON file (the format
     written by :meth:`repro.UncertainDataset.save_json`).
@@ -27,10 +29,13 @@ Parallelism
 -----------
 ``table1``, ``all``, ``ablation`` and ``sensitivity`` accept ``--workers N``
 to shard their independent trial cases across ``N`` processes
-(:mod:`repro.runtime.parallel`).  The default is ``1`` — fully serial — and
-results are **identical at every worker count**; workers only change wall
-clock.  The scaling experiment and the timed E13b support-size sweep always
-run serially because they measure wall clock itself.
+(:mod:`repro.runtime.parallel`; one persistent pool serves every experiment
+of a run, and the requested count is clamped to the CPUs actually
+available, so over-asking never slows a small box down).  The default is
+``1`` — fully serial — and results are **identical at every worker count**;
+workers only change wall clock.  The scaling experiment and the timed E13b
+support-size sweep always run serially because they measure wall clock
+itself.
 """
 
 from __future__ import annotations
@@ -106,10 +111,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark suite, write machine-readable timings"
     )
     bench.add_argument(
+        "--out",
         "--output",
+        dest="out",
         type=Path,
-        default=Path("BENCH_PR3.json"),
-        help="JSON document to write (default: BENCH_PR3.json)",
+        default=Path("BENCH_PR4.json"),
+        help="JSON document to write (default: BENCH_PR4.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        help=(
+            "earlier benchmark document (e.g. BENCH_PR3.json) to diff against; "
+            "prints a per-case speedup delta table and exits nonzero on >20%% "
+            "regressions"
+        ),
     )
     bench.add_argument(
         "--case",
@@ -191,11 +208,13 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .runtime.bench import run_bench
+    from .runtime.bench import report_comparison, run_bench
 
-    document = run_bench(args.output, cases=args.case)
+    document = run_bench(args.out, cases=args.case)
     print(json.dumps(document, indent=2))
-    print(f"\nwrote {args.output}", file=sys.stderr)
+    print(f"\nwrote {args.out}", file=sys.stderr)
+    if args.compare is not None:
+        return report_comparison(document, args.compare)
     return 0
 
 

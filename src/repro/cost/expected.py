@@ -182,19 +182,41 @@ def _sweep(values: np.ndarray, log_delta: np.ndarray, zero_delta: np.ndarray, n:
     return expected
 
 
+def _sweep_rows_presorted(
+    sorted_values: np.ndarray,
+    sorted_log_delta: np.ndarray,
+    sorted_zero_delta: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Row-wise ``E[max]`` for entry arrays already in union-value order.
+
+    The tail of :func:`_sweep_rows`, shared with the rank-merge unassigned
+    sweep (:meth:`repro.cost.context.CostContext.unassigned_costs`), which
+    produces its sorted entries by an integer rank merge instead of a float
+    sort — using one helper keeps the two paths bit-identical by
+    construction.
+    """
+    cumulative_log = np.cumsum(sorted_log_delta, axis=1)
+    zero_count = float(n) + np.cumsum(sorted_zero_delta, axis=1)
+    cdf_of_max = np.where(zero_count < 0.5, np.exp(np.minimum(cumulative_log, 0.0)), 0.0)
+    increments = np.diff(cdf_of_max, prepend=0.0, axis=1)
+    expected = np.einsum("bt,bt->b", sorted_values, increments)
+    expected += sorted_values[:, -1] * np.maximum(0.0, 1.0 - cdf_of_max[:, -1])
+    return expected
+
+
 def _sweep_rows(
     values: np.ndarray, log_delta: np.ndarray, zero_delta: np.ndarray, n: int
 ) -> np.ndarray:
     """Row-wise ``E[max]`` for ``(B, N)`` entry arrays sharing a variable count."""
     order = np.argsort(values, axis=1, kind="stable")
     sorted_values = np.take_along_axis(values, order, axis=1)
-    cumulative_log = np.cumsum(np.take_along_axis(log_delta, order, axis=1), axis=1)
-    zero_count = float(n) + np.cumsum(np.take_along_axis(zero_delta, order, axis=1), axis=1)
-    cdf_of_max = np.where(zero_count < 0.5, np.exp(np.minimum(cumulative_log, 0.0)), 0.0)
-    increments = np.diff(cdf_of_max, prepend=0.0, axis=1)
-    expected = np.einsum("bt,bt->b", sorted_values, increments)
-    expected += sorted_values[:, -1] * np.maximum(0.0, 1.0 - cdf_of_max[:, -1])
-    return expected
+    return _sweep_rows_presorted(
+        sorted_values,
+        np.take_along_axis(log_delta, order, axis=1),
+        np.take_along_axis(zero_delta, order, axis=1),
+        n,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,9 @@ attribute to the assignment.
 Per-(trial, workload) cases are independent, seeded, and mapped over
 :func:`repro.runtime.parallel.parallel_map`; ``AblationSettings.workers``
 shards them across processes with identical records at every worker count.
+The runtime's persistent pool is shared with every other experiment of the
+run, and requested counts clamp to the available CPUs — ``--workers 8`` on
+a laptop never runs slower than serial.
 """
 
 from __future__ import annotations

@@ -13,13 +13,15 @@ figure-like series a practitioner would want next to Table 1:
   running time stays near-linear in ``z``.
 
 Independent (noise level, trial) cases of the E13a sweep map over
-:func:`repro.runtime.parallel.parallel_map`; ``SensitivitySettings.workers``
-shards them across processes, and every field of the record is identical at
-any worker count.  The E13b sweep *always runs serially* regardless of
-``workers`` — its ``seconds`` measurements feed the ``time_growth`` /
-``time_subquadratic_in_z`` verdict, and concurrently contended cases would
-skew exactly the quantity the experiment reports (the same reason the E11
-scaling experiment is never sharded).
+:func:`repro.runtime.parallel.parallel_map` (through the runtime's shared
+persistent pool, with the requested count clamped to the available CPUs);
+``SensitivitySettings.workers`` shards them across processes, and every
+field of the record is identical at any worker count.  The E13b sweep
+*always runs serially* regardless of ``workers`` — its ``seconds``
+measurements feed the ``time_growth`` / ``time_subquadratic_in_z`` verdict,
+and concurrently contended cases would skew exactly the quantity the
+experiment reports (the same reason the E11 scaling experiment is never
+sharded).
 """
 
 from __future__ import annotations

@@ -16,10 +16,13 @@ typically far below it because the guarantees are worst-case.
 
 Each experiment's independent trial cases are module-level functions mapped
 over :func:`repro.runtime.parallel.parallel_map`; ``Table1Settings.workers``
-(the CLI's ``--workers``) shards them across processes.  ``workers=1`` (the
-default) runs the same cases in the same order in-process, so records are
-bit-identical for every worker count — cases regenerate their workloads from
-fixed seeds and never share state.
+(the CLI's ``--workers``) shards them across processes.  All seven
+experiments of a run share the runtime's one persistent pool (spawned on
+first use, reused afterwards), and a worker count above the available CPUs
+is clamped rather than oversubscribed.  ``workers=1`` (the default) runs the
+same cases in the same order in-process, so records are bit-identical for
+every worker count — cases regenerate their workloads from fixed seeds and
+never share state.
 """
 
 from __future__ import annotations

@@ -1,26 +1,69 @@
-"""Process-parallel, cache-aware execution runtime.
+"""Process-parallel, cache-aware, zero-copy execution runtime.
 
-Two coordinated pieces behind every heavy loop in the repo:
+Architecture
+------------
+The runtime is three coordinated tiers behind every heavy loop in the repo —
+a **pool** tier that owns processes, a **shared-memory** tier that owns
+payload bytes, and a **store** tier that owns built-context reuse:
 
-* :mod:`repro.runtime.parallel` — a worker-pool executor that ships an
-  expensive payload (a built :class:`~repro.cost.context.CostContext`,
-  experiment settings) to each worker once and maps cheap work items
-  (enumeration chunk bounds, trial descriptors) over the pool.  Serial
-  execution (``workers=1``) is the default and bit-identical; worker counts
-  only change wall-clock time, never results.
-* :mod:`repro.runtime.store` — a content-fingerprint-keyed LRU memo of
-  ``CostContext`` instances, so trials and repeated solver calls over the
-  same (dataset, candidates) pair stop rebuilding supports and sorted CDF
-  columns.  Rebuild happens exactly when the dataset or candidate set
-  changes.
+* :mod:`repro.runtime.pool` — the persistent worker pool.  One process-wide
+  :class:`~repro.runtime.pool.PersistentPool` is spawned lazily on first
+  parallel use, grown (never shrunk) when a later call asks for more
+  workers, reused across brute-force calls and experiment trials, and shut
+  down explicitly via :func:`~repro.runtime.pool.shutdown` (also at
+  interpreter exit).  Fork/spawn hazards degrade safely: a stale executor
+  inherited through ``fork`` is discarded and respawned, a dead worker
+  (:class:`BrokenProcessPool`) triggers a serial fallback with identical
+  results, and any parallel request made *inside* a worker runs serially.
+
+* :mod:`repro.runtime.shm` — zero-copy payload publication.  The arrays of
+  a :class:`~repro.cost.context.CostContext` payload (supports,
+  expected-distance matrix, sorted CDF columns, rank-merge tables) are
+  flattened into ``multiprocessing.shared_memory`` segments once, described
+  by a small picklable descriptor, and attached by workers as read-only
+  NumPy views — so a chunk dispatch ships only the descriptor plus its work
+  slice instead of a pickled payload.  Segments are refcounted explicitly
+  (publisher-owned leases, tracker-registration suppressed on attach) and
+  unlinked deterministically on cache eviction, shutdown, or exit — no
+  resource-tracker leaks.  Publications are memoized per context (object
+  identity + materialized parts + mutation version), so twenty calls over
+  one memoized context publish once.
+
+* :mod:`repro.runtime.parallel` — the front door.
+  :func:`~repro.runtime.parallel.parallel_map` picks the cheapest transport
+  (shared memory for context payloads, inline pickle for small settings, a
+  per-call fork-inheritance pool for large payloads with shared memory
+  off), clamps the requested worker count to the CPUs actually available
+  and to the amount of work (``workers=N`` is never slower than serial on a
+  small box), and reduces results in submission order.  Serial
+  (``workers=1``) is the default; worker counts and transports change wall
+  clock only, never results.
+
+* :mod:`repro.runtime.store` — cross-call and cross-process context reuse.
+  :class:`~repro.runtime.store.ContextStore` memoizes ``CostContext``
+  instances in a content-fingerprint-keyed LRU and, when a spill directory
+  is configured (``spill_dir`` or ``REPRO_CONTEXT_SPILL``), writes built
+  contexts through to disk under the same fingerprints so separate
+  processes — repeated CLI invocations — reuse each other's builds.
+  Rebuild happens exactly when the dataset or candidate set changes.
 
 Consumers: the three brute-force enumerators (sharded subset/assignment
-chunks), the Table-1 / ablation / sensitivity trial loops (``workers`` field
-on their settings dataclasses, ``--workers`` on the CLI), and
-``wang_zhang_1d``'s store-routed final scoring.
+chunks over shared-memory descriptors), the Table-1 / ablation /
+sensitivity trial loops (``workers`` field on their settings dataclasses,
+``--workers`` on the CLI), and ``wang_zhang_1d``'s store-routed final
+scoring.  ``python -m repro bench`` measures every tier and writes the
+cross-PR perf trajectory.
 """
 
-from .parallel import available_workers, iter_chunk_bounds, parallel_map, resolve_workers
+from .parallel import (
+    available_workers,
+    effective_workers,
+    iter_chunk_bounds,
+    parallel_map,
+    resolve_workers,
+    set_oversubscribe,
+)
+from .pool import PersistentPool, shutdown as shutdown_runtime
 from .store import (
     DEFAULT_STORE_SIZE,
     ContextStore,
@@ -30,9 +73,13 @@ from .store import (
 
 __all__ = [
     "available_workers",
+    "effective_workers",
     "iter_chunk_bounds",
     "parallel_map",
     "resolve_workers",
+    "set_oversubscribe",
+    "PersistentPool",
+    "shutdown_runtime",
     "ContextStore",
     "DEFAULT_STORE_SIZE",
     "candidate_fingerprint",

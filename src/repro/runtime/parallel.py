@@ -1,33 +1,52 @@
-"""Process-parallel execution runtime: map work items over a worker pool.
+"""Process-parallel execution runtime: map work items over worker pools.
 
 Every enumeration- and trial-heavy path in the repo shares one execution
 shape: a *payload* that is expensive to build or ship (an
 :class:`~repro.cost.context.CostContext` with its pinned supports and sorted
 CDF columns, or an experiment settings object), plus a stream of cheap,
 independent *work items* (chunks of candidate subsets, trial descriptors).
-This module runs that shape either serially (``workers <= 1``, the default —
-bit-identical to calling the task function in a plain loop) or across a
-:class:`multiprocessing.Pool`:
+:func:`parallel_map` runs that shape serially (``workers <= 1``, the default
+— bit-identical to calling the task function in a plain loop) or across a
+process pool, choosing the cheapest transport for the payload:
 
-* the payload is shipped to each worker **once** — by memory inheritance
-  under the ``fork`` start method (free on POSIX), by a single pickle per
-  worker under ``spawn`` — never per work item;
-* work items are small (chunk index ranges, trial seeds) and results come
-  back in submission order, so any order-dependent reduction the caller
-  performs (first-strict-minimum selection, stable sorts) matches the serial
-  path exactly;
-* nested parallelism is refused: a task that itself asks for workers while
-  already running inside a pool worker silently degrades to serial, so
-  experiment cases that call sharded brute force never fork from a fork.
+* **shared memory** (the default for payloads containing a ``CostContext``):
+  the payload's arrays are published once to
+  :mod:`multiprocessing.shared_memory` via :mod:`repro.runtime.shm` and each
+  chunk dispatch carries only a small descriptor plus its work slice; the
+  persistent pool's workers attach zero-copy and memoize the attachment, so
+  repeated calls over a memoized context ship the payload **zero** times;
+* **blob segment** for context-free payloads (experiment settings): the
+  pickle bytes sit in one shared-memory segment, unpickled once per worker;
+* **pre-pickled inline** (small payloads) or a **per-call pool** with an
+  initializer (the PR 3 path — payload shipped once per worker by ``fork``
+  inheritance, for large payloads) when shared memory is unavailable or
+  disabled.
+
+The pool itself is persistent (:mod:`repro.runtime.pool`): lazily spawned,
+grown on demand, reused across brute-force calls and experiment trials, and
+shut down explicitly (or at exit).  If a worker dies mid-map the pool is
+rebuilt and the map falls back to serial execution — results are identical
+by the determinism contract below.
+
+Serial fallback (never slower than ``workers=1``)
+-------------------------------------------------
+Requesting ``workers=N`` is an *upper bound*, not a demand: the effective
+worker count is clamped to :func:`available_workers`, so on a single-CPU box
+every call runs serially and never pays pool or pickling overhead (the
+``BENCH_PR3.json`` 0.76x regression).  Work below a threshold
+(``len(items) < min_items``) also runs serially — too few chunks cannot
+amortize a dispatch.  Tests and benchmarks that must exercise the pool on
+small machines enable :func:`set_oversubscribe` (or set
+``REPRO_OVERSUBSCRIBE=1``).
 
 Determinism contract
 --------------------
 ``parallel_map(fn, items, workers=w)`` returns ``[fn(payload, item) for item
-in items]`` for every ``w``: the same chunk boundaries are used, every chunk
-is computed by the same NumPy kernels on the same inputs, and the parent
-reduces in item order.  Only wall-clock time may differ between ``workers=1``
-and ``workers=2+`` — never a returned value.  (Timing fields *measured
-inside* a task obviously vary run to run; they vary serially too.)
+in items]`` for every ``w``, with shared memory on or off: the same chunk
+boundaries are used, every chunk is computed by the same NumPy kernels on
+the same bytes (shared-memory views alias the publisher's arrays exactly),
+and the parent reduces in item order.  Only wall-clock time may differ —
+never a returned value.
 
 Worker memory is bounded by the work-item granularity: the brute-force
 shards pass ``chunk_rows`` (default
@@ -39,19 +58,43 @@ is.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import pickle
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, Sequence, TypeVar
+
+from . import pool as pool_module
+from . import shm as shm_module
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Set inside pool workers so nested parallel requests degrade to serial.
-_IN_WORKER = False
+#: Without shared memory, payloads whose pickle is at most this many bytes
+#: ride inline with the persistent pool's dispatch tuples (unpickled once per
+#: worker); larger ones fall back to the per-call initializer pool.
+INLINE_PAYLOAD_BYTES = 65536
 
-#: Module-level slot the pool initializer fills in each worker process.
+#: Fewest work items worth dispatching to a pool at all.
+DEFAULT_MIN_ITEMS = 2
+
+_OVERSUBSCRIBE = os.environ.get("REPRO_OVERSUBSCRIBE", "") not in ("", "0")
+_SHM_DEFAULT = os.environ.get("REPRO_SHM", "1") not in ("", "0")
+
+# -- compatibility state for the per-call initializer pool -------------------
+
 _WORKER_PAYLOAD: Any = None
 _WORKER_TASK: Callable[..., Any] | None = None
+
+
+def set_oversubscribe(enabled: bool) -> bool:
+    """Allow pools wider than the CPU count (tests/benchmarks on small boxes).
+
+    Returns the previous setting so callers can restore it.
+    """
+    global _OVERSUBSCRIBE
+    previous = _OVERSUBSCRIBE
+    _OVERSUBSCRIBE = bool(enabled)
+    return previous
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -59,7 +102,7 @@ def resolve_workers(workers: int | None) -> int:
 
     Inside a pool worker this always returns 1 (no nested pools).
     """
-    if _IN_WORKER or workers is None:
+    if pool_module.in_worker() or workers is None:
         return 1
     return max(1, int(workers))
 
@@ -69,9 +112,27 @@ def available_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def effective_workers(workers: int | None, item_count: int, min_items: int = DEFAULT_MIN_ITEMS) -> int:
+    """The worker count a call will actually use after every fallback rule.
+
+    Clamps to the item count and — unless oversubscription is enabled — the
+    CPU count, and collapses to serial below the item threshold.  This is
+    the single place the "never slower than ``workers=1``" guarantee lives.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return 1
+    if not _OVERSUBSCRIBE:
+        workers = min(workers, available_workers())
+    workers = min(workers, item_count)
+    if item_count < max(2, int(min_items)):
+        return 1
+    return max(1, workers)
+
+
 def _init_worker(task: Callable[..., Any], payload: Any) -> None:
-    global _IN_WORKER, _WORKER_PAYLOAD, _WORKER_TASK
-    _IN_WORKER = True
+    global _WORKER_PAYLOAD, _WORKER_TASK
+    pool_module._mark_in_worker()
     _WORKER_PAYLOAD = payload
     _WORKER_TASK = task
 
@@ -83,8 +144,22 @@ def _run_item(item: Any) -> Any:
 
 def _pool_context():
     """Prefer ``fork`` (payload shipped by inheritance) where available."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return pool_module._pool_context()
+
+
+def _map_with_fresh_pool(
+    task: Callable[[Any, T], R], items: list[T], payload: Any, workers: int
+) -> list[R]:
+    """The PR 3 path: per-call pool, payload shipped once via initializer.
+
+    Used for large payloads when shared memory is off — ``fork`` inheritance
+    still ships the payload only once per worker.
+    """
+    context = _pool_context()
+    with context.Pool(
+        processes=workers, initializer=_init_worker, initargs=(task, payload)
+    ) as process_pool:
+        return process_pool.map(_run_item, items, chunksize=1)
 
 
 def parallel_map(
@@ -93,6 +168,8 @@ def parallel_map(
     *,
     payload: Any = None,
     workers: int | None = 1,
+    shm: bool | None = None,
+    min_items: int = DEFAULT_MIN_ITEMS,
 ) -> list[R]:
     """``[task(payload, item) for item in items]``, optionally across processes.
 
@@ -104,29 +181,74 @@ def parallel_map(
     items:
         Picklable work items; results are returned in the same order.
     payload:
-        Shipped to each worker once via the pool initializer, then shared by
-        every item that worker processes.  Build expensive state (contexts,
-        pinned supports) here, not per item.
+        Shipped to the workers once — via a shared-memory descriptor, a
+        small inline pickle, or a per-call pool initializer — never per
+        work item.  Build expensive state (contexts, pinned supports) here,
+        not per item.
     workers:
-        ``<= 1`` (the default) runs the loop in-process with no
-        multiprocessing import cost and bit-identical results.
+        Upper bound on processes; clamped to the CPU count and the item
+        count (see the module docstring's serial-fallback rules).  ``<= 1``
+        (the default) runs the loop in-process with no multiprocessing
+        import cost and bit-identical results.
+    shm:
+        Force shared-memory payload transport on or off; ``None`` uses the
+        default (on when the payload contains a
+        :class:`~repro.cost.context.CostContext`, overridable via the
+        ``REPRO_SHM`` environment variable).  Results are identical either
+        way.
+    min_items:
+        Fewest items worth dispatching to a pool; below it the call is
+        serial.
 
     Notes
     -----
-    Results are deterministic across worker counts (see the module
-    docstring's determinism contract).  Exceptions raised by ``task``
-    propagate to the caller under both execution modes.
+    Results are deterministic across worker counts and payload transports
+    (see the module docstring's determinism contract).  Exceptions raised by
+    ``task`` propagate to the caller under every execution mode.
     """
-    workers = resolve_workers(workers)
     items = list(items)
-    if workers <= 1 or len(items) <= 1:
+    workers = effective_workers(workers, len(items), min_items)
+    if workers <= 1:
         return [task(payload, item) for item in items]
-    workers = min(workers, len(items))
-    context = _pool_context()
-    with context.Pool(
-        processes=workers, initializer=_init_worker, initargs=(task, payload)
-    ) as pool:
-        return pool.map(_run_item, items, chunksize=1)
+
+    if shm is None:
+        shm = _SHM_DEFAULT
+    # ``shm=False`` / ``REPRO_SHM=0`` must mean NO shared-memory segments at
+    # all (e.g. containers with a tiny /dev/shm), not just "no zero-copy
+    # context" — every transport below honors it.
+    shm_usable = shm and shm_module.shm_available()
+    use_shm = shm_usable and shm_module.find_context(payload) is not None
+    call_lease = None
+    if use_shm:
+        descriptor, call_lease = shm_module.publish_payload(payload)
+        spec: tuple = ("shm", descriptor)
+    elif payload is None:
+        spec = ("none",)
+    else:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if shm_usable:
+            # Context-free payload (settings, policies): park the pickle in
+            # one segment so its bytes ship once, not once per item.
+            blob_descriptor, call_lease = shm_module.publish_blob(blob)
+            spec = ("blob", blob_descriptor)
+        elif len(blob) <= INLINE_PAYLOAD_BYTES:
+            import hashlib
+
+            spec = ("pickled", hashlib.sha1(blob).hexdigest(), blob)
+        else:
+            # Large payload without shared memory: a per-call pool with fork
+            # inheritance beats pickling the payload into every dispatch
+            # tuple.
+            return _map_with_fresh_pool(task, items, payload, workers)
+    try:
+        return pool_module.executor().map(task, items, spec, workers)
+    except BrokenProcessPool:
+        # A worker died mid-map (crash, OOM kill).  The pool was shut down;
+        # finish the job serially — identical results, degraded wall clock.
+        return [task(payload, item) for item in items]
+    finally:
+        if call_lease is not None:
+            call_lease.close()
 
 
 def iter_chunk_bounds(total: int, chunk_rows: int) -> Iterator[tuple[int, int]]:

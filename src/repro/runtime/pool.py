@@ -1,0 +1,242 @@
+"""Persistent, lazily-spawned worker pool shared by every parallel call.
+
+PR 3's runtime created a fresh ``multiprocessing.Pool`` per call, which
+bought simplicity at the cost the benchmarks measured: every brute-force
+call and every experiment paid pool startup, and on low-core boxes the
+startup dominated (the ``BENCH_PR3.json`` 0.76x case).  This module keeps
+**one** :class:`concurrent.futures.ProcessPoolExecutor` alive across calls:
+
+* lazily spawned on first use and grown (never shrunk) when a later call
+  asks for more workers;
+* safe against forks: the executor is keyed to the PID that created it, so
+  a process that forked with a stale executor discards it and spawns a
+  fresh one instead of deadlocking on inherited pipes;
+* safe against nesting: pool workers mark themselves via :func:`in_worker`
+  and any parallel request made inside one degrades to serial;
+* safe against worker death: a :class:`BrokenProcessPool` marks the
+  executor dead (it is rebuilt lazily) and the caller falls back to running
+  the map serially — results are identical by the determinism contract;
+* shut down explicitly via :func:`shutdown` (also registered ``atexit``),
+  which closes the executor *and* unlinks every cached shared-memory
+  publication.
+
+Dispatch protocol
+-----------------
+Each work item travels as a small ``(task, payload_spec, item)`` tuple.  The
+payload spec is one of
+
+* ``("none",)`` — no payload;
+* ``("shm", descriptor)`` — a :class:`~repro.runtime.shm.PayloadDescriptor`
+  for payloads containing a ``CostContext``; the worker attaches the
+  shared-memory segments zero-copy and memoizes the materialized payload by
+  the descriptor's token, closing evicted attachments;
+* ``("blob", descriptor)`` — a :class:`~repro.runtime.shm.BlobDescriptor`
+  for small context-free payloads (experiment settings): the pickle bytes
+  sit in one segment, workers unpickle once and memoize by token;
+* ``("pickled", token, blob)`` — fallback when shared memory is
+  unavailable: the pre-pickled payload rides with each item but is
+  unpickled once per worker and memoized by token.
+
+Workers therefore receive payload *bytes* at most once each under shared
+memory — no matter how many chunks they process or how many calls reuse the
+same context — and payload *objects* are materialized once per worker under
+every transport.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable
+
+from . import shm as shm_module
+
+#: Materialized payloads a worker keeps before evicting least-recently-used.
+WORKER_PAYLOAD_CACHE = 4
+
+# -- worker-side state -------------------------------------------------------
+
+_IN_WORKER = False
+_PAYLOAD_CACHE: "OrderedDict[str, tuple[Any, Callable[[], None] | None]]" = OrderedDict()
+
+
+def in_worker() -> bool:
+    """Whether this process is a pool worker (nested pools degrade to serial)."""
+    return _IN_WORKER
+
+
+def _mark_in_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _cache_payload(token: str, payload: Any, closer: Callable[[], None] | None) -> None:
+    _PAYLOAD_CACHE[token] = (payload, closer)
+    while len(_PAYLOAD_CACHE) > WORKER_PAYLOAD_CACHE:
+        _, (_, old_closer) = _PAYLOAD_CACHE.popitem(last=False)
+        if old_closer is not None:
+            old_closer()
+
+
+def _resolve_payload(spec: tuple) -> Any:
+    kind = spec[0]
+    if kind == "none":
+        return None
+    if kind == "pickled":
+        token, blob = spec[1], spec[2]
+        cached = _PAYLOAD_CACHE.get(token)
+        if cached is not None:
+            _PAYLOAD_CACHE.move_to_end(token)
+            return cached[0]
+        import pickle
+
+        payload = pickle.loads(blob)
+        _cache_payload(token, payload, None)
+        return payload
+    if kind == "blob":
+        descriptor = spec[1]
+        cached = _PAYLOAD_CACHE.get(descriptor.token)
+        if cached is not None:
+            _PAYLOAD_CACHE.move_to_end(descriptor.token)
+            return cached[0]
+        payload = shm_module.materialize_blob(descriptor)
+        _cache_payload(descriptor.token, payload, None)
+        return payload
+    if kind == "shm":
+        descriptor = spec[1]
+        cached = _PAYLOAD_CACHE.get(descriptor.token)
+        if cached is not None:
+            _PAYLOAD_CACHE.move_to_end(descriptor.token)
+            return cached[0]
+        payload, closer = shm_module.materialize_payload(descriptor)
+        _cache_payload(descriptor.token, payload, closer)
+        return payload
+    raise ValueError(f"unknown payload spec kind: {kind!r}")
+
+
+def _dispatch(args: tuple) -> Any:
+    task, spec, item = args
+    return task(_resolve_payload(spec), item)
+
+
+# -- parent-side executor ----------------------------------------------------
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap startup, inherited modules) where available."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class PersistentPool:
+    """A grow-only process pool that survives across calls.
+
+    The module-level instance behind :func:`executor` is what the runtime
+    uses; standalone instances exist for benchmarks that need to measure
+    per-call pool startup against persistent reuse.
+    """
+
+    def __init__(self) -> None:
+        self._executor: ProcessPoolExecutor | None = None
+        self._workers = 0
+        self._pid: int | None = None
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None and self._pid == os.getpid()
+
+    @property
+    def workers(self) -> int:
+        return self._workers if self.started else 0
+
+    def ensure(self, workers: int) -> ProcessPoolExecutor:
+        """The live executor, (re)spawned or grown to ``workers`` if needed."""
+        workers = max(1, int(workers))
+        if self._executor is not None and self._pid != os.getpid():
+            # Forked child inherited a stale executor: its pipes belong to
+            # the parent.  Drop it without joining (the parent owns the
+            # worker processes) and spawn fresh ones.
+            self._executor = None
+            self._workers = 0
+        if self._executor is not None and workers > self._workers:
+            self.shutdown()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=_pool_context(),
+                initializer=_mark_in_worker,
+            )
+            self._workers = workers
+            self._pid = os.getpid()
+        return self._executor
+
+    def map(
+        self,
+        task: Callable[[Any, Any], Any],
+        items: Iterable[Any],
+        spec: tuple,
+        workers: int,
+    ) -> list[Any]:
+        """``[task(payload, item) for item in items]`` across the pool.
+
+        Results come back in submission order (the determinism contract).
+        The pool is grow-only, so it may hold more processes than this call
+        requested; at most ``workers`` items are kept in flight regardless,
+        keeping ``workers`` a real concurrency cap per call.  Raises
+        :class:`BrokenProcessPool` after marking the pool for rebuild when a
+        worker dies mid-map; task-level exceptions propagate as-is.
+        """
+        executor = self.ensure(workers)
+        items = list(items)
+        results: list[Any] = [None] * len(items)
+        window: "deque[tuple[int, Any]]" = deque()
+        try:
+            for index, item in enumerate(items):
+                while len(window) >= workers:
+                    done_index, future = window.popleft()
+                    results[done_index] = future.result()
+                window.append((index, executor.submit(_dispatch, (task, spec, item))))
+            while window:
+                done_index, future = window.popleft()
+                results[done_index] = future.result()
+            return results
+        except BrokenProcessPool:
+            self.shutdown()
+            raise
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent).  Cached publications are separate."""
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - interpreter teardown races
+                pass
+            self._executor = None
+            self._workers = 0
+
+
+_POOL = PersistentPool()
+
+
+def executor() -> PersistentPool:
+    """The process-wide persistent pool."""
+    return _POOL
+
+
+def shutdown() -> None:
+    """Stop the persistent pool and unlink every shared-memory publication.
+
+    Safe to call at any point; the pool respawns lazily on next use.  This
+    is the explicit teardown the shared-memory lifecycle tests exercise —
+    after it returns, no repro-owned segments remain in the namespace.
+    """
+    _POOL.shutdown()
+    shm_module.close_all_publications()
+
+
+atexit.register(shutdown)

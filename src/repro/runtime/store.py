@@ -18,19 +18,39 @@ assignments, subsets and local-search rounds over fixed candidates never
 invalidate.  Any changed byte in either fingerprint is a miss and builds a
 fresh context; the old entry ages out of the LRU.
 
-The store is deliberately *not* shared across processes: pool workers each
-hold their own (the parallel runtime ships built contexts in the worker
-payload instead, which is cheaper than re-keying).  Reusing a cached context
-is bit-identical to rebuilding it — the cached arrays were produced by the
-same kernels from the same inputs — so memoization never changes results,
-only wall-clock time.
+Disk spill tier
+---------------
+The in-memory LRU is per process; a second tier spills built contexts to
+disk under the **same** content fingerprints, so separate processes —
+repeated CLI invocations, benchmark subprocesses — reuse each other's
+builds.  Pass ``spill_dir`` (or set the ``REPRO_CONTEXT_SPILL`` environment
+variable, which becomes the default for every store) to enable it:
+
+* every in-memory miss that builds a context also writes it through to
+  ``<spill_dir>/<dataset-fp>-<candidate-fp>-<pin>.ctx`` (atomic
+  write-then-rename, version-tagged pickle);
+* a later miss — in this process after eviction, or in a brand-new process —
+  loads the spilled context instead of rebuilding (``disk_hits`` counts
+  these); a stale, corrupt or version-mismatched file is ignored and
+  overwritten by a fresh build;
+* invalidation is free: any changed dataset/candidate byte changes the
+  fingerprint and therefore the filename.
+
+Pool workers still never share a store (the parallel runtime ships built
+contexts via shared-memory descriptors instead, which is cheaper than
+re-keying).  Reusing a cached context — memory or disk — is bit-identical to
+rebuilding it: the arrays were produced by the same kernels from the same
+inputs, and pickling restores their exact bytes.  Memoization never changes
+results, only wall-clock time.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from collections import OrderedDict
+from pathlib import Path
 
 import numpy as np
 
@@ -39,6 +59,13 @@ from ..uncertain.dataset import UncertainDataset
 
 #: Default number of contexts a store keeps before evicting least-recently-used.
 DEFAULT_STORE_SIZE = 8
+
+#: Environment variable naming a default spill directory for every store.
+SPILL_ENV = "REPRO_CONTEXT_SPILL"
+
+#: Bumped whenever the pickled context layout changes; mismatched spill
+#: files are ignored and rebuilt.
+SPILL_FORMAT = 1
 
 
 def _hash_array(hasher: "hashlib._Hash", array: np.ndarray) -> None:
@@ -74,16 +101,27 @@ class ContextStore:
     >>> same = store.get(dataset, candidates)      # cache hit, same object
     >>> assert same is context
 
-    ``hits`` / ``misses`` counters make reuse observable in tests and
-    benchmarks.
+    ``hits`` / ``misses`` / ``disk_hits`` counters make reuse observable in
+    tests and benchmarks.  ``spill_dir`` enables the cross-process disk tier
+    (defaults to the ``REPRO_CONTEXT_SPILL`` environment variable; ``None``
+    with the variable unset keeps the store memory-only).
     """
 
-    def __init__(self, maxsize: int = DEFAULT_STORE_SIZE):
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_STORE_SIZE,
+        *,
+        spill_dir: str | Path | None = None,
+    ):
         self.maxsize = max(1, int(maxsize))
+        if spill_dir is None:
+            spill_dir = os.environ.get(SPILL_ENV) or None
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._entries: OrderedDict[tuple[str, str, bool], CostContext] = OrderedDict()
         self._dataset_keys: dict[int, tuple[UncertainDataset, str]] = {}
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -102,6 +140,48 @@ class ContextStore:
         self._dataset_keys[id(dataset)] = (dataset, key)
         return key
 
+    def _spill_path(self, key: tuple[str, str, bool]) -> Path | None:
+        if self.spill_dir is None:
+            return None
+        dataset_key, candidate_key, pin = key
+        return self.spill_dir / f"{dataset_key}-{candidate_key}-{int(pin)}.ctx"
+
+    def _load_spilled(self, path: Path | None) -> CostContext | None:
+        """Best-effort disk load; anything suspicious falls back to a rebuild."""
+        if path is None or not path.is_file():
+            return None
+        try:
+            with path.open("rb") as handle:
+                tag, version, context = pickle.load(handle)
+        except Exception:
+            return None
+        if tag != "repro-context" or version != SPILL_FORMAT or not isinstance(context, CostContext):
+            return None
+        return context
+
+    def _write_spill(self, path: Path | None, context: CostContext) -> None:
+        """Best-effort atomic write-through (a failed write never fails a solve)."""
+        if path is None:
+            return
+        temporary = path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with temporary.open("wb") as handle:
+                pickle.dump(
+                    ("repro-context", SPILL_FORMAT, context),
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            temporary.replace(path)
+        except Exception:
+            # Full disk, read-only directory, unpicklable metric, ... — the
+            # spill tier is an optimization, never a failure mode.  Don't
+            # leave a half-written temp file behind either.
+            try:
+                temporary.unlink(missing_ok=True)
+            except OSError:
+                pass
+
     def get(
         self,
         dataset: UncertainDataset,
@@ -109,7 +189,11 @@ class ContextStore:
         *,
         pin_supports: bool = True,
     ) -> CostContext:
-        """The memoized context for ``(dataset, candidates)``; builds on miss."""
+        """The memoized context for ``(dataset, candidates)``.
+
+        Lookup order: in-memory LRU, then the disk spill tier (when
+        enabled), then a fresh build (written through to disk).
+        """
         candidates = np.asarray(candidates, dtype=float)
         key = (self._dataset_key(dataset), candidate_fingerprint(candidates), pin_supports)
         entry = self._entries.get(key)
@@ -117,15 +201,23 @@ class ContextStore:
             self.hits += 1
             self._entries.move_to_end(key)
             return entry
-        self.misses += 1
-        entry = CostContext(dataset, candidates, pin_supports=pin_supports)
+        spill_path = self._spill_path(key)
+        entry = self._load_spilled(spill_path)
+        if entry is not None:
+            self.disk_hits += 1
+        else:
+            self.misses += 1
+            entry = CostContext(dataset, candidates, pin_supports=pin_supports)
+            self._write_spill(spill_path, entry)
         self._entries[key] = entry
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return entry
 
     def clear(self) -> None:
+        """Drop the in-memory tier and counters (spilled files stay valid)."""
         self._entries.clear()
         self._dataset_keys.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0

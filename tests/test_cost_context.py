@@ -157,6 +157,94 @@ class TestUnassignedPaths:
             context.unassigned_costs(np.array([[0, 999]]))
 
 
+def make_ragged_dataset(seed: int, n: int = 6) -> UncertainDataset:
+    """Points with different support sizes (exercises rank-merge grouping)."""
+    rng = np.random.default_rng(seed)
+    points = []
+    for index in range(n):
+        z = int(rng.integers(1, 5))
+        locations = rng.normal(scale=3.0, size=(z, 2))
+        if z > 1 and rng.random() < 0.5:
+            locations[z - 1] = locations[0]  # tied values across locations
+        probabilities = rng.dirichlet(np.ones(z))
+        if z > 1 and rng.random() < 0.5:
+            probabilities[0] = 0.0
+            probabilities = probabilities / probabilities.sum()
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities))
+    return UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+
+
+class TestRankMergeSweep:
+    """The rank-merge sweep must be *bit-identical* to the float-sort sweep.
+
+    The global ranking is a stable sort over the same entry enumeration the
+    per-point rankings use, so per-row integer merges reproduce the float
+    sort's exact tie order — equality here is ``==``, not ``allclose``.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bit_identical_to_float_sort(self, seed):
+        dataset = make_tricky_dataset(seed, n=5, z=4)
+        candidates = np.vstack([dataset.all_locations(), dataset.expected_points()])
+        context = CostContext(dataset, candidates)
+        rng = np.random.default_rng(seed + 500)
+        subsets = np.array(
+            [rng.choice(candidates.shape[0], size=3, replace=False) for _ in range(40)]
+        )
+        merged = context.unassigned_costs(subsets, chunk_rows=16)
+        float_sorted = context._unassigned_costs_float_sort(subsets, chunk_rows=16)
+        assert np.array_equal(merged, float_sorted)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bit_identical_on_ragged_supports(self, seed):
+        dataset = make_ragged_dataset(seed)
+        candidates = dataset.all_locations()
+        context = CostContext(dataset, candidates)
+        rng = np.random.default_rng(seed + 600)
+        size = min(3, candidates.shape[0])
+        subsets = np.array(
+            [rng.choice(candidates.shape[0], size=size, replace=False) for _ in range(25)]
+        )
+        merged = context.unassigned_costs(subsets, chunk_rows=7)
+        float_sorted = context._unassigned_costs_float_sort(subsets, chunk_rows=7)
+        assert np.array_equal(merged, float_sorted)
+
+    def test_single_candidate_subsets(self):
+        dataset = make_ragged_dataset(3)
+        context = CostContext(dataset, dataset.all_locations())
+        subsets = np.arange(context.candidate_count).reshape(-1, 1)
+        assert np.array_equal(
+            context.unassigned_costs(subsets),
+            context._unassigned_costs_float_sort(subsets),
+        )
+
+    def test_tables_invalidate_on_column_replacement(self):
+        dataset = make_tricky_dataset(9, n=4, z=3)
+        candidates = dataset.all_locations()
+        context = CostContext(dataset, candidates)
+        subsets = np.array([[0, 1], [2, 3], [4, 5]])
+        context.unassigned_costs(subsets)  # builds the rank-merge tables
+        replacement = candidates[:2] + 0.75
+        context.replace_candidate_columns(np.array([0, 1]), replacement)
+        fresh = CostContext(dataset, context.candidates.copy())
+        assert np.array_equal(
+            context.unassigned_costs(subsets), fresh.unassigned_costs(subsets)
+        )
+
+    def test_chunk_rows_do_not_change_results(self):
+        dataset = make_tricky_dataset(11, n=5, z=4)
+        context = CostContext(dataset, dataset.all_locations())
+        rng = np.random.default_rng(77)
+        subsets = np.array(
+            [rng.choice(context.candidate_count, size=2, replace=False) for _ in range(23)]
+        )
+        baseline = context.unassigned_costs(subsets, chunk_rows=1024)
+        for chunk_rows in (1, 5, 23):
+            assert np.array_equal(
+                context.unassigned_costs(subsets, chunk_rows=chunk_rows), baseline
+            )
+
+
 class TestCandidateScores:
     @pytest.mark.parametrize(
         "policy",

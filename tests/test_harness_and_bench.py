@@ -95,3 +95,96 @@ class TestBenchRunner:
         document = run_bench(None, cases=["batch_cost_kernel"])
         assert set(document["cases"]) == {"batch_cost_kernel"}
         assert document["cases"]["batch_cost_kernel"]["speedup"] > 0
+
+    def test_registry_contains_the_pr4_cases(self):
+        for case in (
+            "shm_dispatch_bytes",
+            "persistent_pool_amortization",
+            "context_store_disk_spill",
+            "unassigned_rank_merge",
+        ):
+            assert case in CASES
+
+    def test_document_records_audit_metadata(self):
+        document = run_bench(None, cases=["batch_cost_kernel"])
+        assert document["pr"] == "PR4"
+        # ISO timestamp parses and matches the unix stamp it sits next to.
+        import datetime
+
+        stamp = datetime.datetime.fromisoformat(document["created_iso"])
+        assert abs(stamp.timestamp() - document["created_unix"]) < 2.0
+        # This repo is a git checkout, so the revision must resolve.
+        assert isinstance(document["git_revision"], str)
+        assert len(document["git_revision"]) == 40
+
+
+class TestBenchCompare:
+    def _document(self, **seconds):
+        return {"cases": {"case": dict(seconds)}}
+
+    def test_bench_out_flag_and_compare_pass(self, tmp_path):
+        baseline = tmp_path / "old.json"
+        output = tmp_path / "new.json"
+        document = run_bench(None, cases=["batch_cost_kernel"])
+        # Inflate the baseline timings 10x so machine-load jitter between
+        # the two runs can never trip the 20% regression gate here.
+        for case in document["cases"].values():
+            for key in list(case):
+                if key.endswith("_seconds"):
+                    case[key] *= 10.0
+        baseline.write_text(json.dumps(document))
+        assert (
+            main(
+                [
+                    "bench",
+                    "--out",
+                    str(output),
+                    "--case",
+                    "batch_cost_kernel",
+                    "--compare",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(output.read_text())["pr"] == "PR4"
+
+    def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
+        from repro.runtime.bench import compare_documents
+
+        old = self._document(batch_seconds=0.010)
+        new = self._document(batch_seconds=0.013)  # 1.3x slower: regression
+        table, regressions = compare_documents(new, old)
+        assert "REGRESSION" in table
+        assert len(regressions) == 1
+        baseline = tmp_path / "old.json"
+        baseline.write_text(json.dumps({"cases": {"batch_cost_kernel": {"batch_seconds": 1e-3}}}))
+        # A real run is far slower than 1ms -> the CLI must exit nonzero.
+        assert (
+            main(
+                [
+                    "bench",
+                    "--out",
+                    str(tmp_path / "new.json"),
+                    "--case",
+                    "batch_cost_kernel",
+                    "--compare",
+                    str(baseline),
+                ]
+            )
+            == 1
+        )
+
+    def test_compare_tolerates_noise_and_missing_cases(self):
+        from repro.runtime.bench import compare_documents
+
+        old = {"cases": {"a": {"x_seconds": 0.010}, "gone": {"x_seconds": 1.0}}}
+        new = {"cases": {"a": {"x_seconds": 0.011}, "added": {"x_seconds": 1.0}}}
+        table, regressions = compare_documents(new, old)
+        assert regressions == []  # 1.1x is inside the 20% tolerance
+        assert "a.x_seconds" in table
+        # sub-millisecond metrics are reported but never flagged
+        old = {"cases": {"a": {"x_seconds": 1e-6}}}
+        new = {"cases": {"a": {"x_seconds": 5e-6}}}
+        _, regressions = compare_documents(new, old)
+        assert regressions == []

@@ -35,8 +35,26 @@ from repro.experiments import (
     run_outlier_sensitivity,
     run_representative_ablation,
 )
-from repro.runtime import iter_chunk_bounds, parallel_map, resolve_workers
+from repro.runtime import (
+    effective_workers,
+    iter_chunk_bounds,
+    parallel_map,
+    resolve_workers,
+    set_oversubscribe,
+    shutdown_runtime,
+)
+from repro.runtime import parallel as parallel_module
+from repro.runtime import pool as pool_module
 from repro.workloads import gaussian_clusters
+
+
+@pytest.fixture(autouse=True)
+def _pool_on_one_cpu():
+    """Exercise real pools even on 1-CPU machines; leave nothing behind."""
+    previous = set_oversubscribe(True)
+    yield
+    set_oversubscribe(previous)
+    shutdown_runtime()
 
 
 def _square(payload, item):
@@ -74,6 +92,53 @@ class TestExecutor:
         bounds = list(iter_chunk_bounds(10, 3))
         assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
         assert list(iter_chunk_bounds(0, 3)) == []
+
+
+class TestSerialFallback:
+    """``workers=N`` must never be slower than serial on a small box."""
+
+    def test_clamps_to_available_cpus(self, monkeypatch):
+        set_oversubscribe(False)
+        monkeypatch.setattr(parallel_module, "available_workers", lambda: 1)
+        assert effective_workers(8, item_count=100) == 1
+
+    def test_clamps_to_item_count(self):
+        assert effective_workers(8, item_count=3) == 3
+
+    def test_too_few_items_run_serially(self):
+        assert effective_workers(4, item_count=1) == 1
+        assert effective_workers(4, item_count=3, min_items=4) == 1
+
+    def test_single_cpu_request_never_starts_a_pool(self, monkeypatch):
+        set_oversubscribe(False)
+        monkeypatch.setattr(parallel_module, "available_workers", lambda: 1)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool must not start on a 1-CPU box")
+
+        monkeypatch.setattr(pool_module.PersistentPool, "ensure", forbidden)
+        result = parallel_map(_square, range(10), payload=2, workers=8)
+        assert result == [2 * i * i for i in range(10)]
+
+    def test_oversubscribe_reenables_pools(self, monkeypatch):
+        monkeypatch.setattr(parallel_module, "available_workers", lambda: 1)
+        set_oversubscribe(True)
+        assert effective_workers(4, item_count=16) == 4
+
+
+class TestShmOptOut:
+    """``shm=False`` must mean no shared-memory segments of any kind."""
+
+    def test_no_segment_allocation_with_shm_disabled(self, monkeypatch):
+        from repro.runtime import shm as shm_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("shm=False must not touch shared memory")
+
+        monkeypatch.setattr(shm_module, "publish_payload", forbidden)
+        monkeypatch.setattr(shm_module, "publish_blob", forbidden)
+        result = parallel_map(_square, range(8), payload=3, workers=2, shm=False)
+        assert result == [3 * i * i for i in range(8)]
 
 
 @pytest.fixture(scope="module")

@@ -1,4 +1,4 @@
-"""ContextStore keying, invalidation and LRU behavior."""
+"""ContextStore keying, invalidation, LRU and disk-spill behavior."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import pytest
 
 from repro.cost.context import CostContext
 from repro.runtime import ContextStore, candidate_fingerprint, dataset_fingerprint
+from repro.runtime.store import SPILL_ENV
 from repro.uncertain import UncertainDataset, UncertainPoint
 from repro.workloads import gaussian_clusters
 
@@ -90,3 +91,78 @@ class TestContextStore:
         store.get(dataset, candidates)
         store.clear()
         assert (len(store), store.hits, store.misses) == (0, 0, 0)
+
+
+class TestDiskSpill:
+    """The cross-process tier: same fingerprints, pickled write-through."""
+
+    def test_spill_disabled_by_default(self, instance, monkeypatch, tmp_path):
+        monkeypatch.delenv(SPILL_ENV, raising=False)
+        store = ContextStore()
+        assert store.spill_dir is None
+
+    def test_env_variable_enables_spill(self, instance, monkeypatch, tmp_path):
+        monkeypatch.setenv(SPILL_ENV, str(tmp_path))
+        store = ContextStore()
+        assert store.spill_dir == tmp_path
+
+    def test_build_writes_through(self, instance, tmp_path):
+        dataset, candidates = instance
+        store = ContextStore(spill_dir=tmp_path)
+        store.get(dataset, candidates)
+        assert len(list(tmp_path.glob("*.ctx"))) == 1
+
+    def test_fresh_store_hits_disk_instead_of_rebuilding(self, instance, tmp_path):
+        dataset, candidates = instance
+        first = ContextStore(spill_dir=tmp_path)
+        first.get(dataset, candidates)
+        second = ContextStore(spill_dir=tmp_path)  # simulates a new process
+        loaded = second.get(dataset, candidates)
+        assert (second.misses, second.disk_hits) == (0, 1)
+        labels = np.zeros(dataset.size, dtype=int)
+        assert loaded.assigned_cost(labels) == CostContext(dataset, candidates).assigned_cost(labels)
+        subsets = np.asarray([[0, 1], [1, 2], [0, 3]])
+        assert np.array_equal(
+            loaded.unassigned_costs(subsets), CostContext(dataset, candidates).unassigned_costs(subsets)
+        )
+
+    def test_memory_hit_wins_over_disk(self, instance, tmp_path):
+        dataset, candidates = instance
+        store = ContextStore(spill_dir=tmp_path)
+        built = store.get(dataset, candidates)
+        again = store.get(dataset, candidates)
+        assert again is built
+        assert (store.hits, store.disk_hits) == (1, 0)
+
+    def test_eviction_then_reload_comes_from_disk(self, instance, tmp_path):
+        dataset, candidates = instance
+        store = ContextStore(maxsize=1, spill_dir=tmp_path)
+        store.get(dataset, candidates)
+        store.get(dataset, candidates + 1.0)  # evicts the first entry
+        store.get(dataset, candidates)  # disk, not a rebuild
+        assert store.misses == 2
+        assert store.disk_hits == 1
+
+    def test_corrupt_spill_file_is_ignored_and_rebuilt(self, instance, tmp_path):
+        dataset, candidates = instance
+        store = ContextStore(spill_dir=tmp_path)
+        store.get(dataset, candidates)
+        spill_file = next(tmp_path.glob("*.ctx"))
+        spill_file.write_bytes(b"not a pickle")
+        fresh = ContextStore(spill_dir=tmp_path)
+        context = fresh.get(dataset, candidates)
+        assert (fresh.misses, fresh.disk_hits) == (1, 0)
+        assert isinstance(context, CostContext)
+        # the rebuild overwrote the corrupt file with a loadable one
+        reread = ContextStore(spill_dir=tmp_path)
+        reread.get(dataset, candidates)
+        assert reread.disk_hits == 1
+
+    def test_changed_candidates_never_alias_on_disk(self, instance, tmp_path):
+        dataset, candidates = instance
+        store = ContextStore(spill_dir=tmp_path)
+        store.get(dataset, candidates)
+        other = ContextStore(spill_dir=tmp_path)
+        other.get(dataset, candidates + 0.5)
+        assert (other.misses, other.disk_hits) == (1, 0)
+        assert len(list(tmp_path.glob("*.ctx"))) == 2
