@@ -26,6 +26,40 @@ only genuinely black-box rules (local-search optimal assignment) fall back to
 a per-subset policy call, and even those are scored through the shared
 evaluator rather than a scratch engine invocation.
 
+Branch-and-bound pruning
+------------------------
+By default (``prune=True``) the enumerations run as best-first
+branch-and-bound instead of exhaustive scans:
+
+* an **incumbent** — the best achieved cost so far — is seeded *before*
+  enumeration by a greedy cover over the cached expected-distance matrix
+  (:func:`_greedy_seed_columns`), scored through the exact kernels, so
+  pruning bites from the first chunk;
+* every chunk first evaluates a **vectorized admissible lower bound**
+  (:meth:`~repro.cost.context.CostContext.subset_assigned_lower_bounds`,
+  :meth:`~repro.cost.context.CostContext.subset_unassigned_lower_bounds`, or
+  per-assignment-row / shared-prefix bounds for the exhaustive-assignment
+  stage) and skips exactly the rows whose bound exceeds the incumbent by
+  more than the floating-point slack
+  (:func:`repro.bounds.lower_bounds.prune_margin`);
+* across worker shards the incumbent is **shared**
+  (:mod:`repro.runtime.incumbent`): each chunk refreshes its threshold once
+  at chunk start and publishes its achieved minimum through a lock-light
+  compare-and-swap, so one shard's early find shrinks every other shard's
+  work.
+
+Pruning is **exact**: every value the incumbent ever holds is the cost of a
+feasible solution of the same enumeration (the seed subset or a fully
+evaluated row), hence an upper bound on the enumeration's optimum ``C*``; a
+skipped row has ``cost >= bound > incumbent >= C*`` and therefore can never
+win under the first-strict-minimum tie rule.  The returned subset,
+assignment, and cost are bit-identical to the unpruned path (``prune=False``
+or ``--no-prune``) at every worker count, with shared memory on or off —
+only *which* rows pay the exact kernels varies with timing.  Result metadata
+records ``evaluated_rows`` / ``pruned_rows`` next to ``requested_k`` /
+``effective_k`` so the win is observable (counts are deterministic serially;
+under workers they depend on cross-shard timing while results never do).
+
 Process parallelism
 -------------------
 Every enumeration is chunked into ``(B, .)`` batches of at most
@@ -37,11 +71,11 @@ clamped to the CPUs actually available, so ``workers=N`` is never slower
 than serial on a small box.  The fully built context (pinned supports,
 sorted CDF columns, rank-merge tables where needed) is published to shared
 memory once and each chunk dispatch to the persistent worker pool carries
-only the descriptor plus its work slice (``shm=False`` falls back to
-shipping the payload per call via fork inheritance); chunks reduce in
-submission order with the same first-strict-minimum rule serial execution
-applies, so results are bit-identical for every worker count, with shared
-memory on or off.
+only the descriptor, its work slice and the incumbent token (``shm=False``
+falls back to shipping the payload per call via fork inheritance); chunks
+reduce in submission order with the same first-strict-minimum rule serial
+execution applies, so results are bit-identical for every worker count, with
+shared memory on or off.
 
 When ``k`` exceeds the number of available candidates the solvers run with
 the largest feasible ``k`` and record both ``requested_k`` and
@@ -61,8 +95,10 @@ from .._validation import as_point_array, check_positive_int
 from ..algorithms.result import UncertainKCenterResult
 from ..assignments.base import AssignmentPolicy
 from ..assignments.policies import ExpectedDistanceAssignment
+from ..bounds.lower_bounds import prune_margin
 from ..cost.context import DEFAULT_CHUNK_ROWS, CostContext
 from ..exceptions import ValidationError
+from ..runtime import incumbent as incumbent_module
 from ..runtime.parallel import iter_chunk_bounds, parallel_map, resolve_workers
 from ..uncertain.dataset import UncertainDataset
 
@@ -130,6 +166,106 @@ def _build_context(
 
 
 # ---------------------------------------------------------------------------
+# Incumbent seeding and pruning helpers
+# ---------------------------------------------------------------------------
+
+
+def _greedy_seed_columns(context: CostContext, k: int) -> np.ndarray:
+    """``k`` distinct candidate columns from a greedy cover, sorted.
+
+    Greedily minimizes ``max_i min_{c in chosen} E[d(P_i, c)]`` over the
+    cached expected-distance matrix — exactly the quantity the subset lower
+    bound measures, which is what makes this cheap ``O(k n m)`` opener a
+    tight incumbent: subsets whose bound cannot beat the greedy cover's
+    achieved cost are pruned from the very first chunk.
+    """
+    expected = context.expected
+    chosen: list[int] = []
+    per_point = np.full(context.size, np.inf)
+    taken = np.zeros(context.candidate_count, dtype=bool)
+    for _ in range(min(k, context.candidate_count)):
+        candidate_max = np.minimum(per_point[:, None], expected).max(axis=0)
+        candidate_max[taken] = np.inf
+        column = int(candidate_max.argmin())
+        taken[column] = True
+        chosen.append(column)
+        per_point = np.minimum(per_point, expected[:, column])
+    return np.asarray(sorted(chosen), dtype=int)
+
+
+def _seed_restricted_incumbent(
+    context: CostContext,
+    scores: np.ndarray | None,
+    policy: AssignmentPolicy,
+    k: int,
+) -> float:
+    """Exact cost of the greedy seed subset under the call's assignment rule.
+
+    Evaluated through the same kernels the enumeration uses, so the value is
+    achieved by a feasible enumeration row — the exactness requirement for
+    every incumbent value.
+    """
+    columns = _greedy_seed_columns(context, k)
+    if scores is not None:
+        candidate_indices = context.score_assignments(scores, columns[None, :])[0]
+        return float(context.assigned_costs(candidate_indices[None, :])[0])
+    centers = context.candidates[columns]
+    labels = np.asarray(policy(context.dataset, centers), dtype=int)
+    return float(context.evaluator.cost(columns[labels]))
+
+
+def _seed_unassigned_incumbent(context: CostContext, k: int) -> float:
+    """Exact unassigned cost of the greedy seed subset."""
+    return float(context.unassigned_cost(_greedy_seed_columns(context, k)))
+
+
+def _prune_mask(bounds: np.ndarray, threshold: float) -> np.ndarray | None:
+    """Keep-mask for one chunk, or ``None`` when nothing can be pruned.
+
+    A row survives unless its lower bound exceeds the incumbent by more than
+    the floating-point slack — so bound-kernel rounding can only reduce
+    pruning, never drop a row that ties the optimum.
+    """
+    if not np.isfinite(threshold):
+        return None
+    keep = bounds <= threshold + prune_margin(threshold)
+    if keep.all():
+        return None
+    return keep
+
+
+def _assignment_prefix_bound(
+    context: CostContext, columns: np.ndarray, start: int, stop: int
+) -> float:
+    """Admissible bound on *every* assignment row in shard ``[start, stop)``.
+
+    Rows are base-``kk`` encodings, most-significant digit first, so the
+    digits shared by ``start`` and ``stop - 1`` pin the assignments of a
+    prefix of points for the whole shard; those points contribute their
+    exact expected distances, the free suffix is relaxed to each point's
+    subset minimum.  When the bound already exceeds the incumbent the shard
+    is skipped without even decoding its rows.
+    """
+    n = context.size
+    kk = int(columns.shape[0])
+    expected = context.expected
+    subset_min = expected[:, columns].min(axis=1)
+    shared = 0
+    while shared < n:
+        divisor = kk ** (n - shared - 1)
+        if start // divisor != (stop - 1) // divisor:
+            break
+        shared += 1
+    bound = float(subset_min[shared:].max()) if shared < n else -np.inf
+    if shared > 0:
+        exponents = np.arange(n - 1, n - shared - 1, -1, dtype=np.int64)
+        digits = (start // kk ** exponents) % kk
+        prefix = expected[np.arange(shared), columns[digits]]
+        bound = max(bound, float(prefix.max()))
+    return bound
+
+
+# ---------------------------------------------------------------------------
 # Chunk tasks (module level so pool workers resolve them by reference)
 # ---------------------------------------------------------------------------
 
@@ -140,36 +276,99 @@ def _chunk_best(costs: np.ndarray) -> tuple[int, float]:
 
 
 def _restricted_chunk_task(payload, subset_rows: np.ndarray):
-    """Score one chunk of subsets under a score-matrix assignment rule."""
+    """Score one chunk of subsets under a score-matrix assignment rule.
+
+    Returns ``(cost, subset, assignment, pruned, evaluated)``; a fully
+    pruned chunk returns ``(inf, None, None, total, 0)``.
+    """
     context, scores, chunk_rows = payload
+    handle = incumbent_module.active()
+    total = subset_rows.shape[0]
+    if handle is not None:
+        keep = _prune_mask(context.subset_assigned_lower_bounds(subset_rows), handle.value())
+        if keep is not None:
+            subset_rows = subset_rows[keep]
+    evaluated = subset_rows.shape[0]
+    if evaluated == 0:
+        return np.inf, None, None, total, 0
     candidate_index_rows = context.score_assignments(scores, subset_rows)
     costs = context.assigned_costs(candidate_index_rows, chunk_rows=chunk_rows)
     winner, cost = _chunk_best(costs)
-    return cost, subset_rows[winner], candidate_index_rows[winner]
+    if handle is not None:
+        handle.propose(cost)
+    return cost, subset_rows[winner], candidate_index_rows[winner], total - evaluated, evaluated
 
 
 def _blackbox_chunk_task(payload, subset_rows: np.ndarray):
-    """Score one chunk of subsets under a black-box assignment policy."""
+    """Score one chunk of subsets under a black-box assignment policy.
+
+    The subset bound holds for *any* assignment into the subset, so pruning
+    here skips whole policy calls — the expensive part of this path.  The
+    chunk additionally tightens against its own improvements row by row
+    (achieved costs, so still exact).
+    """
     context, policy = payload
+    handle = incumbent_module.active()
     evaluator = context.evaluator
+    threshold = handle.value() if handle is not None else np.inf
+    bounds = (
+        context.subset_assigned_lower_bounds(subset_rows)
+        if handle is not None and np.isfinite(threshold)
+        else None
+    )
     best: tuple[float, np.ndarray, np.ndarray] | None = None
-    for columns in subset_rows:
+    pruned = 0
+    evaluated = 0
+    for index, columns in enumerate(subset_rows):
+        if bounds is not None and bounds[index] > threshold + prune_margin(threshold):
+            pruned += 1
+            continue
         centers = context.candidates[columns]
         labels = np.asarray(policy(context.dataset, centers), dtype=int)
-        cost = evaluator.cost(columns[labels])
+        cost = float(evaluator.cost(columns[labels]))
+        evaluated += 1
         if best is None or cost < best[0]:
-            best = (float(cost), columns, labels)
-    assert best is not None
-    return best
+            best = (cost, columns, labels)
+            if cost < threshold:
+                threshold = cost
+                if handle is not None:
+                    handle.propose(cost)
+    if best is None:
+        return np.inf, None, None, pruned, evaluated
+    return (*best, pruned, evaluated)
 
 
 def _ed_scored_chunk_task(payload, subset_rows: np.ndarray):
-    """ED-score one chunk of subsets, returning every row (stage 1 of the
-    unrestricted search keeps the full ranking, not just the chunk winner)."""
-    context, chunk_rows = payload
+    """ED-score one chunk of subsets, returning every surviving row.
+
+    Stage 1 of the unrestricted search keeps a full ranking of the
+    ``polish_top`` cheapest subsets, so its incumbent is a *top-K
+    threshold*: each chunk publishes its own ``top_k``-th smallest evaluated
+    cost (an upper bound on the global ``top_k``-th smallest, since the
+    chunk's rows are a subset of all rows) and prunes rows whose lower bound
+    exceeds the shared threshold — rows that provably cannot enter the
+    global top ``top_k`` nor be the stage winner.  Returns
+    ``(kept_indices, costs, assignment_rows, pruned)``.
+    """
+    context, chunk_rows, top_k = payload
+    handle = incumbent_module.active()
+    total = subset_rows.shape[0]
+    kept = None
+    if handle is not None:
+        keep = _prune_mask(context.subset_assigned_lower_bounds(subset_rows), handle.value())
+        if keep is not None:
+            kept = np.flatnonzero(keep)
+            subset_rows = subset_rows[kept]
+    if subset_rows.shape[0] == 0:
+        empty_assignments = np.empty((0, context.size), dtype=int)
+        return np.empty(0, dtype=int), np.empty(0), empty_assignments, total
     candidate_index_rows = context.ed_assignments(subset_rows)
     costs = context.assigned_costs(candidate_index_rows, chunk_rows=chunk_rows)
-    return costs, candidate_index_rows
+    if handle is not None and costs.shape[0] >= top_k:
+        handle.propose(float(np.partition(costs, top_k - 1)[top_k - 1]))
+    if kept is None:
+        kept = np.arange(total)
+    return kept, costs, candidate_index_rows, total - subset_rows.shape[0]
 
 
 def _assignment_rows_slice(columns: np.ndarray, n: int, start: int, stop: int) -> np.ndarray:
@@ -187,21 +386,58 @@ def _assignment_rows_slice(columns: np.ndarray, n: int, start: int, stop: int) -
 
 
 def _exhaustive_chunk_task(payload, item):
-    """Best assignment within one shard of one subset's ``kk ** n`` space."""
+    """Best assignment within one shard of one subset's ``kk ** n`` space.
+
+    Two pruning levels: the shared-prefix bound can drop the whole shard
+    before any row is decoded, then per-row bounds (one gather + row max
+    over the expected matrix) drop individual assignments.  Returns
+    ``(cost, assignment_row, pruned, evaluated)``.
+    """
     context, n, chunk_rows = payload
     columns, start, stop = item
+    handle = incumbent_module.active()
+    total = stop - start
+    threshold = handle.value() if handle is not None else np.inf
+    if handle is not None and np.isfinite(threshold):
+        if _assignment_prefix_bound(context, columns, start, stop) > threshold + prune_margin(
+            threshold
+        ):
+            return np.inf, None, total, 0
     assignment_rows = _assignment_rows_slice(columns, n, start, stop)
+    if handle is not None and np.isfinite(threshold):
+        keep = _prune_mask(context.assignment_lower_bounds(assignment_rows), threshold)
+        if keep is not None:
+            assignment_rows = assignment_rows[keep]
+    evaluated = assignment_rows.shape[0]
+    if evaluated == 0:
+        return np.inf, None, total, 0
     costs = context.assigned_costs(assignment_rows, chunk_rows=chunk_rows)
     winner, cost = _chunk_best(costs)
-    return cost, assignment_rows[winner]
+    if handle is not None:
+        handle.propose(cost)
+    return cost, assignment_rows[winner], total - evaluated, evaluated
 
 
 def _unassigned_chunk_task(payload, subset_rows: np.ndarray):
-    """Score one chunk of subsets on the unassigned objective."""
+    """Score one chunk of subsets on the unassigned objective.
+
+    Returns ``(cost, subset, pruned, evaluated)``.
+    """
     context, chunk_rows = payload
+    handle = incumbent_module.active()
+    total = subset_rows.shape[0]
+    if handle is not None:
+        keep = _prune_mask(context.subset_unassigned_lower_bounds(subset_rows), handle.value())
+        if keep is not None:
+            subset_rows = subset_rows[keep]
+    evaluated = subset_rows.shape[0]
+    if evaluated == 0:
+        return np.inf, None, total, 0
     costs = context.unassigned_costs(subset_rows, chunk_rows=chunk_rows)
     winner, cost = _chunk_best(costs)
-    return cost, subset_rows[winner]
+    if handle is not None:
+        handle.propose(cost)
+    return cost, subset_rows[winner], total - evaluated, evaluated
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +455,7 @@ def brute_force_restricted_assigned(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     store: "ContextStore | None" = None,
     shm: bool | None = None,
+    prune: bool = True,
 ) -> UncertainKCenterResult:
     """Best candidate centers under a fixed restricted assignment rule.
 
@@ -227,7 +464,9 @@ def brute_force_restricted_assigned(
     chunks across processes (``1`` = serial, bit-identical either way);
     ``chunk_rows`` bounds both the shard granularity and per-worker batch
     memory; ``store`` memoizes the cost context across repeated calls on the
-    same (dataset, candidates) pair.
+    same (dataset, candidates) pair.  ``prune=False`` disables the
+    branch-and-bound layer (the CLI's ``--no-prune``) — results are
+    bit-identical either way, pruning only skips provably losing rows.
     """
     k = check_positive_int(k, name="k")
     policy = assignment or ExpectedDistanceAssignment()
@@ -243,6 +482,10 @@ def brute_force_restricted_assigned(
     else:
         scores = policy.candidate_scores(dataset, candidates)
 
+    seed = _seed_restricted_incumbent(context, scores, policy, k) if prune else None
+    total_rows = _checked_subset_count(candidates.shape[0], k)
+    pruned_rows = 0
+    evaluated_rows = 0
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     best_assignment: np.ndarray | None = None
@@ -256,9 +499,12 @@ def brute_force_restricted_assigned(
             payload=(context, scores, chunk_rows),
             workers=workers,
             shm=shm,
+            incumbent_seed=seed,
         )
         best_candidate_indices: np.ndarray | None = None
-        for cost, subset_row, candidate_indices in results:
+        for cost, subset_row, candidate_indices, pruned, evaluated in results:
+            pruned_rows += pruned
+            evaluated_rows += evaluated
             if cost < best_cost:
                 best_cost = float(cost)
                 best_subset = tuple(int(c) for c in subset_row)
@@ -273,9 +519,16 @@ def brute_force_restricted_assigned(
         # path and re-derive distances).
         context.evaluator
         results = parallel_map(
-            _blackbox_chunk_task, chunks, payload=(context, policy), workers=workers, shm=shm
+            _blackbox_chunk_task,
+            chunks,
+            payload=(context, policy),
+            workers=workers,
+            shm=shm,
+            incumbent_seed=seed,
         )
-        for cost, columns, labels in results:
+        for cost, columns, labels, pruned, evaluated in results:
+            pruned_rows += pruned
+            evaluated_rows += evaluated
             if cost < best_cost:
                 best_cost = float(cost)
                 best_subset = tuple(int(c) for c in columns)
@@ -293,6 +546,10 @@ def brute_force_restricted_assigned(
             "candidate_count": int(candidates.shape[0]),
             "workers": int(workers),
             **k_metadata,
+            "prune": bool(prune),
+            "total_rows": int(total_rows),
+            "evaluated_rows": int(evaluated_rows),
+            "pruned_rows": int(pruned_rows),
         },
     )
 
@@ -308,6 +565,7 @@ def brute_force_unrestricted_assigned(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     store: "ContextStore | None" = None,
     shm: bool | None = None,
+    prune: bool = True,
 ) -> UncertainKCenterResult:
     """Best-known candidate centers together with the best assignment.
 
@@ -319,6 +577,12 @@ def brute_force_unrestricted_assigned(
     ``exhaustive_assignment=True``) or by single-move local search through
     the round-amortized sweep.  Both enumeration stages shard their chunks
     across ``workers`` processes with serial-identical reductions.
+
+    With pruning on (the default) the subset stage runs under a shared
+    top-``polish_top`` threshold (rows that provably cannot enter the
+    polishing pool nor win the stage are skipped — the pool membership and
+    order are preserved exactly) and the exhaustive stage under the stage-1
+    winner as incumbent with per-row and shared-prefix bounds.
 
     For an exact optimum over the candidate set pass
     ``polish_top >= C(m, k)`` together with ``exhaustive_assignment=True``
@@ -333,22 +597,30 @@ def brute_force_unrestricted_assigned(
     workers = resolve_workers(workers)
 
     context = _build_context(dataset, candidates, store)
-    if workers > 1:
+    if workers > 1 or prune:
         context.expected  # pin before shipping: workers share, never rebuild
         context.evaluator
+    top_k = max(1, int(polish_top))
     scored: list[tuple[float, tuple[int, ...], np.ndarray]] = []
     subset_chunks = list(_iter_subset_chunks(candidates.shape[0], k, chunk_rows))
+    subset_total = sum(chunk.shape[0] for chunk in subset_chunks)
     chunk_results = parallel_map(
         _ed_scored_chunk_task,
         subset_chunks,
-        payload=(context, chunk_rows),
+        payload=(context, chunk_rows, top_k),
         workers=workers,
         shm=shm,
+        incumbent_seed=np.inf if prune else None,
     )
-    for subset_rows, (costs, candidate_index_rows) in zip(subset_chunks, chunk_results):
+    subset_pruned = 0
+    for subset_rows, (kept, costs, candidate_index_rows, pruned) in zip(
+        subset_chunks, chunk_results
+    ):
+        subset_pruned += pruned
+        rows = subset_rows[kept]
         scored.extend(
             (float(cost), tuple(int(c) for c in subset), candidate_indices)
-            for cost, subset, candidate_indices in zip(costs, subset_rows, candidate_index_rows)
+            for cost, subset, candidate_indices in zip(costs, rows, candidate_index_rows)
         )
     scored.sort(key=lambda entry: entry[0])
 
@@ -357,6 +629,8 @@ def brute_force_unrestricted_assigned(
         exhaustive_assignment = polish_top * (k**n) <= MAX_ASSIGNMENT_ENUMERATION
 
     best_cost, best_subset, best_candidate_indices = scored[0]
+    assignment_pruned = 0
+    assignment_evaluated = 0
     if exhaustive_assignment:
         items = [
             (np.asarray(subset, dtype=int), start, stop)
@@ -369,8 +643,11 @@ def brute_force_unrestricted_assigned(
             payload=(context, n, chunk_rows),
             workers=workers,
             shm=shm,
+            incumbent_seed=best_cost if prune else None,
         )
-        for (columns, _, _), (cost, assignment_row) in zip(items, results):
+        for (columns, _, _), (cost, assignment_row, pruned, evaluated) in zip(items, results):
+            assignment_pruned += pruned
+            assignment_evaluated += evaluated
             if cost < best_cost:
                 best_cost = float(cost)
                 best_subset = tuple(int(c) for c in columns)
@@ -400,6 +677,12 @@ def brute_force_unrestricted_assigned(
             "polished_subsets": polish_top,
             "workers": int(workers),
             **k_metadata,
+            "prune": bool(prune),
+            "total_rows": int(subset_total + (polish_top * (k**n) if exhaustive_assignment else 0)),
+            "evaluated_rows": int(subset_total - subset_pruned + assignment_evaluated),
+            "pruned_rows": int(subset_pruned + assignment_pruned),
+            "subset_pruned_rows": int(subset_pruned),
+            "assignment_pruned_rows": int(assignment_pruned),
         },
     )
 
@@ -448,6 +731,7 @@ def brute_force_unassigned(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     store: "ContextStore | None" = None,
     shm: bool | None = None,
+    prune: bool = True,
 ) -> UncertainKCenterResult:
     """Best candidate centers for the unassigned expected cost (exact over the set)."""
     k = check_positive_int(k, name="k")
@@ -460,6 +744,10 @@ def brute_force_unassigned(
     context = _build_context(dataset, candidates, store)
     if workers > 1:
         context._rank_merge_tables()  # built once, published to every worker
+    seed = _seed_unassigned_incumbent(context, k) if prune else None
+    total_rows = _checked_subset_count(candidates.shape[0], k)
+    pruned_rows = 0
+    evaluated_rows = 0
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     results = parallel_map(
@@ -468,8 +756,11 @@ def brute_force_unassigned(
         payload=(context, chunk_rows),
         workers=workers,
         shm=shm,
+        incumbent_seed=seed,
     )
-    for cost, subset_row in results:
+    for cost, subset_row, pruned, evaluated in results:
+        pruned_rows += pruned
+        evaluated_rows += evaluated
         if cost < best_cost:
             best_cost = float(cost)
             best_subset = tuple(int(c) for c in subset_row)
@@ -484,5 +775,9 @@ def brute_force_unassigned(
             "candidate_count": int(candidates.shape[0]),
             "workers": int(workers),
             **k_metadata,
+            "prune": bool(prune),
+            "total_rows": int(total_rows),
+            "evaluated_rows": int(evaluated_rows),
+            "pruned_rows": int(pruned_rows),
         },
     )

@@ -1,10 +1,15 @@
-"""Provable lower bounds used as ratio denominators in the experiments."""
+"""Provable lower bounds: ratio denominators and branch-and-bound kernels."""
 
 from .lower_bounds import (
+    PRUNE_SLACK,
     assigned_cost_lower_bound,
+    assignment_lower_bounds,
     expected_point_lower_bound,
     one_center_representative_lower_bound,
     per_point_lower_bound,
+    prune_margin,
+    subset_assigned_lower_bounds,
+    subset_unassigned_lower_bounds,
 )
 
 __all__ = [
@@ -12,4 +17,9 @@ __all__ = [
     "expected_point_lower_bound",
     "one_center_representative_lower_bound",
     "assigned_cost_lower_bound",
+    "PRUNE_SLACK",
+    "prune_margin",
+    "subset_assigned_lower_bounds",
+    "subset_unassigned_lower_bounds",
+    "assignment_lower_bounds",
 ]

@@ -21,11 +21,28 @@ The bounds all come from the paper's own lemmas:
 The deterministic optima themselves are lower-bounded by ``r_G / 2`` (the
 Gonzalez guarantee) or computed exactly for small instances, keeping the
 whole chain a valid bound.
+
+Branch-and-bound subset bounds
+------------------------------
+The same Lemma 3.2 argument, applied *per candidate subset* instead of per
+instance, is what drives the pruned brute-force enumerations
+(:mod:`repro.baselines.brute_force`): for any assignment into subset ``S``,
+``EcostA(S) >= max_i min_{c in S} E[d(P_i, c)]``, and for the unassigned
+objective ``Ecost(S) >= max_i E[min_{c in S} d(P_i, c)]``.  The vectorized
+chunk kernels live on :class:`~repro.cost.context.CostContext` (they read
+its cached expected matrix / pinned supports); this module re-exports them
+under their lemma-facing names together with :func:`prune_margin`, the
+floating-point slack every incumbent comparison applies.  A subset (or
+assignment row) is pruned only when its bound exceeds the incumbent by more
+than the margin, so bound-kernel rounding can only ever *reduce* pruning,
+never change a result.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..cost.context import CostContext
 
 from ..deterministic.exact import (
     MAX_EXACT_PARTITION_POINTS,
@@ -89,3 +106,53 @@ def assigned_cost_lower_bound(dataset: UncertainDataset, k: int) -> float:
     if dataset.metric.supports_expected_point:
         bounds.append(expected_point_lower_bound(dataset, k))
     return max(bounds)
+
+
+# ---------------------------------------------------------------------------
+# Per-subset bounds for branch-and-bound pruning
+# ---------------------------------------------------------------------------
+
+#: Relative floating-point slack applied to every incumbent comparison.  The
+#: bounds are admissible in real arithmetic, but they are computed by
+#: different kernels (a gather/min/max over the expected matrix) than the
+#: costs they bound (the sorted-sweep ``E[max]`` kernel), so the two may
+#: round apart by a few ulps.  Comparing against ``incumbent * (1 + slack)``
+#: keeps a pruned row's true cost strictly above the incumbent even under
+#: worst-case rounding; the slack is ~1e6 ulps wide — astronomically larger
+#: than kernel rounding — while pruning essentially nothing extra.
+PRUNE_SLACK = 1e-9
+
+
+def prune_margin(threshold: float) -> float:
+    """The absolute slack added to ``threshold`` before pruning against it."""
+    return PRUNE_SLACK * max(1.0, abs(threshold))
+
+
+def subset_assigned_lower_bounds(context: CostContext, subset_rows: np.ndarray) -> np.ndarray:
+    """Lemma 3.2 subset-wise: admissible bounds for any restricted assignment.
+
+    ``EcostA(S) >= max_i min_{c in S} E[d(P_i, c)]`` for every assignment
+    rule, so one kernel serves ED, EP, OC, nearest-mode and black-box
+    policies alike.  Delegates to
+    :meth:`~repro.cost.context.CostContext.subset_assigned_lower_bounds`.
+    """
+    return context.subset_assigned_lower_bounds(subset_rows)
+
+
+def subset_unassigned_lower_bounds(context: CostContext, subset_rows: np.ndarray) -> np.ndarray:
+    """Admissible per-subset bounds on the unassigned objective.
+
+    ``Ecost(S) >= max_i E[min_{c in S} d(P_i, c)]`` — note ``E[min]``, not
+    ``min E``: the assigned-style bound would overshoot here.  Delegates to
+    :meth:`~repro.cost.context.CostContext.subset_unassigned_lower_bounds`.
+    """
+    return context.subset_unassigned_lower_bounds(subset_rows)
+
+
+def assignment_lower_bounds(context: CostContext, candidate_index_rows: np.ndarray) -> np.ndarray:
+    """Per-assignment-row bounds for the exhaustive enumeration stage.
+
+    Delegates to
+    :meth:`~repro.cost.context.CostContext.assignment_lower_bounds`.
+    """
+    return context.assignment_lower_bounds(candidate_index_rows)

@@ -14,10 +14,11 @@ Sub-commands
     Run the outlier / support-size sensitivity sweeps (E13a/E13b).
 ``bench``
     Execute the machine-readable benchmark suite and write its JSON document
-    (``--out``, ``BENCH_PR4.json`` by default) — the perf trajectory future
-    PRs compare against.  ``--compare BENCH_PR3.json`` prints a per-case
-    speedup delta table against an earlier document and exits nonzero on
-    >20% regressions.
+    (``--out``, ``BENCH_PR5.json`` by default) — the perf trajectory future
+    PRs compare against.  ``--compare BENCH_PR4.json`` prints a per-case
+    speedup delta table against an earlier document; exit code 3 flags >20%
+    regressions (other nonzero codes are crashes).  ``--quick`` runs the
+    fast subset of cases for CI smoke steps.
 ``solve``
     Solve an uncertain k-center instance stored in a JSON file (the format
     written by :meth:`repro.UncertainDataset.save_json`).
@@ -36,6 +37,15 @@ available, so over-asking never slows a small box down).  The default is
 workers only change wall clock.  The scaling experiment and the timed E13b
 support-size sweep always run serially because they measure wall clock
 itself.
+
+Pruning
+-------
+The brute-force reference solvers run with branch-and-bound pruning by
+default (admissible lower bounds against a shared incumbent — see
+:mod:`repro.baselines.brute_force`).  ``table1`` and ``all`` accept
+``--no-prune`` as an escape hatch that forces the exhaustive scans instead;
+results are bit-identical either way (pruning only skips provably losing
+rows), so the flag exists for debugging and for measuring the pruning win.
 """
 
 from __future__ import annotations
@@ -75,6 +85,18 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_no_prune_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help=(
+            "disable branch-and-bound pruning in the brute-force reference "
+            "solvers (escape hatch; results are bit-identical with pruning "
+            "on, it only skips provably losing rows)"
+        ),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="uncertain-kcenter",
@@ -86,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--quick", action="store_true", help="use the lightweight experiment preset")
     table1.add_argument("--output", type=Path, default=None, help="also write the report to this file")
     _add_workers_argument(table1)
+    _add_no_prune_argument(table1)
 
     everything = subparsers.add_parser(
         "all", help="run every experiment (Table 1, scaling, ablations, sensitivity)"
@@ -93,6 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--quick", action="store_true", help="use the lightweight experiment preset")
     everything.add_argument("--output", type=Path, default=None, help="also write the report to this file")
     _add_workers_argument(everything)
+    _add_no_prune_argument(everything)
 
     scaling = subparsers.add_parser("scaling", help="running-time scaling experiment (E11)")
     scaling.add_argument("--quick", action="store_true")
@@ -115,16 +139,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         dest="out",
         type=Path,
-        default=Path("BENCH_PR4.json"),
-        help="JSON document to write (default: BENCH_PR4.json)",
+        default=Path("BENCH_PR5.json"),
+        help="JSON document to write (default: BENCH_PR5.json)",
     )
     bench.add_argument(
         "--compare",
         type=Path,
         default=None,
         help=(
-            "earlier benchmark document (e.g. BENCH_PR3.json) to diff against; "
-            "prints a per-case speedup delta table and exits nonzero on >20%% "
+            "earlier benchmark document (e.g. BENCH_PR4.json) to diff against; "
+            "prints a per-case speedup delta table (cases present in only one "
+            "document are listed, not errors) and exits with code 3 on >20%% "
             "regressions"
         ),
     )
@@ -133,6 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         help="run only this case (repeatable); default: every case",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the fast smoke subset of cases (CI's bench step)",
     )
 
     solve = subparsers.add_parser("solve", help="solve an instance from a JSON dataset file")
@@ -163,7 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     settings = Table1Settings.quick() if args.quick else Table1Settings()
-    settings = replace(settings, workers=args.workers)
+    settings = replace(settings, workers=args.workers, prune=not args.no_prune)
     report = render_records(run_all_table1(settings))
     print(report)
     if args.output is not None:
@@ -173,9 +203,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     if args.quick:
-        records = run_quick(workers=args.workers)
+        records = run_quick(workers=args.workers, prune=not args.no_prune)
     else:
-        records = run_everything(workers=args.workers)
+        records = run_everything(workers=args.workers, prune=not args.no_prune)
     report = render_full_report(records)
     print(report)
     if args.output is not None:
@@ -210,7 +240,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .runtime.bench import report_comparison, run_bench
 
-    document = run_bench(args.out, cases=args.case)
+    document = run_bench(args.out, cases=args.case, quick=args.quick)
     print(json.dumps(document, indent=2))
     print(f"\nwrote {args.out}", file=sys.stderr)
     if args.compare is not None:

@@ -27,6 +27,15 @@ and caches:
   themselves are never comparison-sorted per chunk (an integer rank sort of
   the same shape replaces it; the union sweep dominates either way).
 
+The cached structure also powers the **admissible lower-bound kernels**
+behind the branch-and-bound brute force
+(:meth:`CostContext.subset_assigned_lower_bounds`,
+:meth:`CostContext.subset_unassigned_lower_bounds`,
+:meth:`CostContext.assignment_lower_bounds` — re-exported with their lemma
+context by :mod:`repro.bounds.lower_bounds`): pure gathers/min-reductions
+over the expected matrix and pinned supports, no sorts, so bounding a chunk
+is an order of magnitude cheaper than exactly scoring it.
+
 Consumers: :class:`repro.assignments.policies.OptimalAssignment`, the
 ``polish_assignment`` path of :mod:`repro.algorithms.unrestricted`, all four
 baselines (:mod:`repro.baselines.brute_force`,
@@ -506,6 +515,62 @@ class CostContext:
                 n,
             )
         return out
+
+    # -- admissible lower bounds (branch-and-bound pruning) ------------------
+
+    def subset_assigned_lower_bounds(self, subset_rows: np.ndarray) -> np.ndarray:
+        """``(B,)`` lower bounds on the assigned cost of candidate subsets.
+
+        For any assignment ``A`` into subset ``S`` (any rule — ED, EP, OC,
+        nearest-mode, black-box local search):
+
+        ``EcostA(S) = E[max_i d(P_i, A(i))] >= max_i E[d(P_i, A(i))]
+        >= max_i min_{c in S} E[d(P_i, c)]``
+
+        — the per-point Lemma 3.2 argument applied subset-wise, so the bound
+        is admissible for *every* restricted assignment rule at once.  Reads
+        only the cached ``(n, m)`` expected-distance matrix: one gather, one
+        min-reduce, one max-reduce per chunk, no sorts and no new memory
+        beyond the ``(n, B, kk)`` gather.
+        """
+        subset_rows = self._check_subset_rows(subset_rows)
+        return self.expected[:, subset_rows].min(axis=2).max(axis=0)
+
+    def subset_unassigned_lower_bounds(self, subset_rows: np.ndarray) -> np.ndarray:
+        """``(B,)`` lower bounds on the unassigned cost of candidate subsets.
+
+        ``E[max_i min_{c in S} d(P_i, c)] >= max_i E[min_{c in S} d(P_i, c)]``
+        (the max of a realization dominates every point's own min-distance,
+        then take expectations).  Note the assigned-style bound built on
+        ``min_c E[d]`` would *not* be admissible here — ``E[min] <= min E``
+        — so this kernel min-reduces the pinned supports before the
+        probability dot product.  No sorts; the full union sweep the bound
+        replaces is what makes pruned rows cheap.
+        """
+        subset_rows = self._check_subset_rows(subset_rows)
+        best: np.ndarray | None = None
+        for support, probabilities in zip(self.supports, self.probabilities):
+            reduced = support[:, subset_rows].min(axis=2)  # (z_i, B)
+            bounds = probabilities @ reduced
+            best = bounds if best is None else np.maximum(best, bounds, out=best)
+        assert best is not None
+        return best
+
+    def assignment_lower_bounds(self, candidate_index_rows: np.ndarray) -> np.ndarray:
+        """``(B,)`` lower bounds on the assigned cost of explicit assignments.
+
+        ``E[max_i d(P_i, A(i))] >= max_i E[d(P_i, A(i))]`` — one gather from
+        the cached expected matrix and a row max.  This is the per-row form
+        the exhaustive-assignment enumeration prunes on (its prefix bound is
+        the same quantity with unassigned points relaxed to their subset
+        minimum).
+        """
+        candidate_index_rows = np.atleast_2d(np.asarray(candidate_index_rows, dtype=int))
+        if candidate_index_rows.shape[1] != self.size:
+            raise ValidationError("assignment rows must have one entry per uncertain point")
+        return self.expected[
+            np.arange(self.size)[None, :], candidate_index_rows
+        ].max(axis=1)
 
     def _unassigned_costs_float_sort(
         self, subset_rows: np.ndarray, *, chunk_rows: int = DEFAULT_CHUNK_ROWS

@@ -37,13 +37,16 @@ def run_everything(
     include_ablation: bool = True,
     include_sensitivity: bool = True,
     workers: int | None = None,
+    prune: bool | None = None,
 ) -> Sequence[ExperimentRecord]:
     """Run every experiment in DESIGN.md's index (E1..E13).
 
     ``workers`` overrides the ``workers`` field of every settings object at
     once (the scaling experiment and the timed E13b sweep always run
     serially — they measure wall clock, and contended workers would skew
-    the fitted exponents / growth verdicts).
+    the fitted exponents / growth verdicts).  ``prune`` (the CLI's
+    ``--no-prune`` maps to ``False``) toggles branch-and-bound pruning in
+    the brute-force references; records are bit-identical either way.
     """
     table1_settings = table1_settings or Table1Settings()
     ablation_settings = ablation_settings or AblationSettings()
@@ -52,6 +55,8 @@ def run_everything(
         table1_settings = replace(table1_settings, workers=workers)
         ablation_settings = replace(ablation_settings, workers=workers)
         sensitivity_settings = replace(sensitivity_settings, workers=workers)
+    if prune is not None:
+        table1_settings = replace(table1_settings, prune=prune)
     records = list(run_all_table1(table1_settings))
     if include_scaling:
         records.append(run_scaling(scaling_settings))
@@ -64,7 +69,9 @@ def run_everything(
     return tuple(records)
 
 
-def run_quick(*, workers: int | None = None) -> Sequence[ExperimentRecord]:
+def run_quick(
+    *, workers: int | None = None, prune: bool | None = None
+) -> Sequence[ExperimentRecord]:
     """Lightweight run used by the CLI's ``--quick`` flag and smoke tests."""
     return run_everything(
         table1_settings=Table1Settings.quick(),
@@ -72,6 +79,7 @@ def run_quick(*, workers: int | None = None) -> Sequence[ExperimentRecord]:
         ablation_settings=AblationSettings.quick(),
         sensitivity_settings=SensitivitySettings.quick(),
         workers=workers,
+        prune=prune,
     )
 
 

@@ -70,6 +70,10 @@ class Table1Settings:
     epsilon: float = 0.1
     seed: int = 0
     workers: int = 1
+    #: Branch-and-bound pruning for the brute-force references (the CLI's
+    #: ``--no-prune`` clears it).  Pruned and unpruned references are
+    #: bit-identical; the flag exists to measure/debug the pruning layer.
+    prune: bool = True
 
     @classmethod
     def quick(cls) -> "Table1Settings":
@@ -137,7 +141,9 @@ def run_e1_one_center(settings: Table1Settings | None = None) -> ExperimentRecor
 def _restricted_case(payload, item) -> tuple[list[ExperimentRow], dict[str, float]]:
     settings, assignment, policy_cls = payload
     dataset, spec = item
-    reference = brute_force_restricted_assigned(dataset, settings.k, assignment=policy_cls())
+    reference = brute_force_restricted_assigned(
+        dataset, settings.k, assignment=policy_cls(), prune=settings.prune
+    )
     lower_bound = assigned_cost_lower_bound(dataset, settings.k)
     denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
     rows = []
@@ -210,7 +216,7 @@ def run_e4_e5_restricted_expected_point(settings: Table1Settings | None = None) 
 
 def _unrestricted_case(settings: Table1Settings, item) -> tuple[list[ExperimentRow], dict[str, float]]:
     dataset, spec = item
-    reference = brute_force_unrestricted_assigned(dataset, settings.k)
+    reference = brute_force_unrestricted_assigned(dataset, settings.k, prune=settings.prune)
     lower_bound = assigned_cost_lower_bound(dataset, settings.k)
     denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
     rows = []
@@ -273,7 +279,7 @@ def _e8_case(settings: Table1Settings, trial: int) -> tuple[ExperimentRow, float
         seed=settings.seed + trial,
     )
     solution = wang_zhang_1d(dataset, settings.k)
-    reference = brute_force_unrestricted_assigned(dataset, settings.k)
+    reference = brute_force_unrestricted_assigned(dataset, settings.k, prune=settings.prune)
     lower_bound = assigned_cost_lower_bound(dataset, settings.k)
     denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
     ratio = solution.expected_cost / denominator
@@ -317,7 +323,7 @@ def _e9_case(settings: Table1Settings, trial: int) -> tuple[list[ExperimentRow],
         node_count=24,
         seed=settings.seed + trial,
     )
-    reference = brute_force_unrestricted_assigned(dataset, settings.k)
+    reference = brute_force_unrestricted_assigned(dataset, settings.k, prune=settings.prune)
     lower_bound = assigned_cost_lower_bound(dataset, settings.k)
     denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
     rows = []

@@ -1,10 +1,11 @@
-"""Process-parallel, cache-aware, zero-copy execution runtime.
+"""Process-parallel, cache-aware, zero-copy, bound-sharing execution runtime.
 
 Architecture
 ------------
-The runtime is three coordinated tiers behind every heavy loop in the repo —
+The runtime is four coordinated tiers behind every heavy loop in the repo —
 a **pool** tier that owns processes, a **shared-memory** tier that owns
-payload bytes, and a **store** tier that owns built-context reuse:
+payload bytes, a **store** tier that owns built-context reuse, and an
+**incumbent** tier that owns the cross-shard branch-and-bound state:
 
 * :mod:`repro.runtime.pool` — the persistent worker pool.  One process-wide
   :class:`~repro.runtime.pool.PersistentPool` is spawned lazily on first
@@ -44,17 +45,42 @@ payload bytes, and a **store** tier that owns built-context reuse:
   instances in a content-fingerprint-keyed LRU and, when a spill directory
   is configured (``spill_dir`` or ``REPRO_CONTEXT_SPILL``), writes built
   contexts through to disk under the same fingerprints so separate
-  processes — repeated CLI invocations — reuse each other's builds.
-  Rebuild happens exactly when the dataset or candidate set changes.
+  processes — repeated CLI invocations — reuse each other's builds.  The
+  spill directory is bounded by age and total size (``spill_max_bytes`` /
+  ``REPRO_CONTEXT_SPILL_MAX``, ``spill_max_age_seconds`` /
+  ``REPRO_CONTEXT_SPILL_MAX_AGE``; stat-only, oldest-first) and
+  :meth:`~repro.runtime.store.ContextStore.scan_spill_dir` deep-cleans
+  corrupt or version-mismatched files via the same tag check the read path
+  uses.  Rebuild happens exactly when the dataset or candidate set changes.
+
+* :mod:`repro.runtime.incumbent` — the shared branch-and-bound incumbent.
+  One process-wide slot (a ``multiprocessing.Value`` double plus a
+  generation counter sharing its lock) is created before the pool spawns —
+  inherited by ``fork`` workers, shipped through the pool initializer under
+  ``spawn`` — and each pruned :func:`~repro.runtime.parallel.parallel_map`
+  activates a fresh generation seeded with a heuristic feasible cost.  The
+  shared-incumbent protocol: a small picklable token rides in every chunk
+  dispatch tuple; chunk tasks read the threshold **once per chunk** (under
+  the slot lock — torn reads could over-prune) and publish achieved costs
+  through a lock-light compare-and-swap (unlocked peek, locked re-check
+  and write), so one shard's early find shrinks every other shard's work.
+  Exactness never depends on freshness: every stored value is an achieved
+  feasible cost, i.e. an upper bound on the enumeration optimum, so a
+  stale read only prunes less.  Serial maps thread a plain in-process
+  incumbent through the identical chunk loop.
 
 Consumers: the three brute-force enumerators (sharded subset/assignment
-chunks over shared-memory descriptors), the Table-1 / ablation /
-sensitivity trial loops (``workers`` field on their settings dataclasses,
-``--workers`` on the CLI), and ``wang_zhang_1d``'s store-routed final
-scoring.  ``python -m repro bench`` measures every tier and writes the
-cross-PR perf trajectory.
+chunks over shared-memory descriptors, pruned against the shared incumbent
+via the admissible bound kernels on
+:class:`~repro.cost.context.CostContext` — see
+:mod:`repro.bounds.lower_bounds`), the Table-1 / ablation / sensitivity
+trial loops (``workers`` field on their settings dataclasses, ``--workers``
+on the CLI, ``--no-prune`` to force exhaustive references), and
+``wang_zhang_1d``'s store-routed final scoring.  ``python -m repro bench``
+measures every tier and writes the cross-PR perf trajectory.
 """
 
+from .incumbent import IncumbentToken, SerialIncumbent, SharedIncumbent
 from .parallel import (
     available_workers,
     effective_workers,
@@ -84,4 +110,7 @@ __all__ = [
     "DEFAULT_STORE_SIZE",
     "candidate_fingerprint",
     "dataset_fingerprint",
+    "IncumbentToken",
+    "SerialIncumbent",
+    "SharedIncumbent",
 ]

@@ -1,15 +1,26 @@
 """Machine-readable benchmark runner (``python -m repro bench``).
 
-Times the repo's hot execution paths — including the PR-4 additions: the
-persistent worker pool, shared-memory chunk dispatch, the disk-spill context
-store and the rank-merge unassigned sweep — and writes one JSON document
-(``BENCH_PR4.json`` by default) so future PRs have a perf trajectory to
-compare against instead of anecdotes.  ``--compare`` diffs a run against an
-earlier document (e.g. the checked-in ``BENCH_PR3.json``) and fails on
-regressions.
+Times the repo's hot execution paths — including the PR-5 additions: the
+branch-and-bound pruned brute-force enumerations with their shared incumbent
+— and writes one JSON document (``BENCH_PR5.json`` by default) so future PRs
+have a perf trajectory to compare against instead of anecdotes.
+``--compare`` diffs a run against an earlier document (e.g. the checked-in
+``BENCH_PR4.json``): shared ``*_seconds`` metrics get a delta line, cases
+present in only one document are *listed* (a PR adding or retiring cases is
+normal, not an error), and >20% regressions exit with code 3 so CI can
+distinguish "slower" (warn) from "crashed" (fail).  ``--quick`` runs the
+fast smoke subset for CI.
 
 Cases
 -----
+``brute_force_prune_restricted``
+    The PR-5 acceptance case: the pruned restricted brute force against
+    ``prune=False`` on one n=12, m=16, k=4 instance — identical results,
+    recorded ``prune_rate`` / ``evaluated_rows`` / ``pruned_rows``, target
+    >= 3x wall clock with > 50% of subset rows pruned.
+``brute_force_prune_unassigned``
+    The same differential for the unassigned enumeration (the bound
+    min-reduces pinned supports instead of the expected matrix).
 ``brute_force_parallel_speedup``
     Serial vs ``workers>=2`` wall clock of the same restricted brute-force
     enumeration.  On boxes with fewer than 2 CPUs the runtime now *clamps*
@@ -57,7 +68,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..baselines.brute_force import brute_force_restricted_assigned
+from ..baselines.brute_force import brute_force_restricted_assigned, brute_force_unassigned
 from ..cost.context import CostContext
 from ..cost.expected import assigned_cost_evaluator
 from ..workloads.synthetic import gaussian_clusters, line_workload
@@ -67,7 +78,11 @@ from .parallel import available_workers, set_oversubscribe
 from .store import ContextStore
 
 #: Default output path for the checked-in benchmark trajectory.
-DEFAULT_OUTPUT = "BENCH_PR4.json"
+DEFAULT_OUTPUT = "BENCH_PR5.json"
+#: Wall-clock speedup the pruned restricted brute force targets.
+PRUNE_SPEEDUP_TARGET = 3.0
+#: Fraction of subset rows the acceptance instance must prune.
+PRUNE_RATE_TARGET = 0.5
 #: Wall-clock speedup the parallel brute force targets at 2+ workers.
 PARALLEL_SPEEDUP_TARGET = 2.0
 #: Wall-clock speedup the column splice targets over a full rebuild.
@@ -95,6 +110,79 @@ def _best_of(function: Callable[[], object], repeats: int) -> float:
         function()
         best = min(best, time.perf_counter() - start)
     return float(best)
+
+
+def _prune_case_fields(pruned_result, unpruned_result, pruned_seconds, no_prune_seconds) -> dict:
+    """Shared reporting for the pruning differential cases."""
+    assert pruned_result.expected_cost == unpruned_result.expected_cost  # exactness contract
+    assert np.array_equal(pruned_result.centers, unpruned_result.centers)
+    metadata = pruned_result.metadata
+    total = metadata["total_rows"]
+    prune_rate = metadata["pruned_rows"] / max(total, 1)
+    speedup = no_prune_seconds / max(pruned_seconds, 1e-12)
+    return {
+        "no_prune_seconds": no_prune_seconds,
+        "pruned_seconds": pruned_seconds,
+        "total_rows": int(total),
+        "evaluated_rows": int(metadata["evaluated_rows"]),
+        "pruned_rows": int(metadata["pruned_rows"]),
+        "prune_rate": float(prune_rate),
+        "speedup": speedup,
+        "target": PRUNE_SPEEDUP_TARGET,
+        "prune_rate_target": PRUNE_RATE_TARGET,
+        "target_met": bool(speedup >= PRUNE_SPEEDUP_TARGET and prune_rate > PRUNE_RATE_TARGET),
+        "note": "results are bit-identical; pruning only skips provably losing rows",
+    }
+
+
+def bench_prune_restricted(repeats: int = 5) -> dict:
+    """Pruned vs exhaustive restricted brute force (the PR-5 acceptance case).
+
+    n=12, m=16, k=4: C(16, 4) = 1820 subsets, the greedy-seeded incumbent
+    plus the Lemma 3.2 subset bound prune ~3/4 of them before the exact
+    ``E[max]`` kernel runs.
+    """
+    dataset, _ = gaussian_clusters(n=12, z=12, dimension=2, k_true=4, seed=9)
+    candidates = dataset.all_locations()[:16]
+    kwargs = dict(candidates=candidates, workers=1)
+    unpruned = brute_force_restricted_assigned(dataset, 4, prune=False, **kwargs)
+    pruned = brute_force_restricted_assigned(dataset, 4, **kwargs)
+    no_prune_seconds = _best_of(
+        lambda: brute_force_restricted_assigned(dataset, 4, prune=False, **kwargs), repeats
+    )
+    pruned_seconds = _best_of(
+        lambda: brute_force_restricted_assigned(dataset, 4, **kwargs), repeats
+    )
+    return {
+        "subsets": comb(candidates.shape[0], 4),
+        **_prune_case_fields(pruned, unpruned, pruned_seconds, no_prune_seconds),
+    }
+
+
+def bench_prune_unassigned(repeats: int = 5) -> dict:
+    """Pruned vs exhaustive unassigned brute force on the same shape.
+
+    The unassigned bound min-reduces the pinned supports (``E[min]``, not
+    ``min E``) so the pruned rows skip the rank-merge union sweep entirely.
+    """
+    dataset, _ = gaussian_clusters(n=12, z=12, dimension=2, k_true=4, seed=9)
+    candidates = dataset.all_locations()[:16]
+    kwargs = dict(candidates=candidates, workers=1)
+    unpruned = brute_force_unassigned(dataset, 4, prune=False, **kwargs)
+    pruned = brute_force_unassigned(dataset, 4, **kwargs)
+    no_prune_seconds = _best_of(
+        lambda: brute_force_unassigned(dataset, 4, prune=False, **kwargs), repeats
+    )
+    pruned_seconds = _best_of(lambda: brute_force_unassigned(dataset, 4, **kwargs), repeats)
+    fields = _prune_case_fields(pruned, unpruned, pruned_seconds, no_prune_seconds)
+    # The restricted case carries the >=3x acceptance target; here the rate
+    # is the contract and wall clock is reported (the unassigned sweep's
+    # bound is relatively more expensive than the expected-matrix gather).
+    fields["target_met"] = bool(fields["prune_rate"] > PRUNE_RATE_TARGET)
+    return {
+        "subsets": comb(candidates.shape[0], 4),
+        **fields,
+    }
 
 
 def bench_brute_force_parallel(repeats: int = 3, workers: int | None = None) -> dict:
@@ -402,6 +490,8 @@ def bench_context_store(repeats: int = 3) -> dict:
 
 
 CASES: dict[str, Callable[[], dict]] = {
+    "brute_force_prune_restricted": bench_prune_restricted,
+    "brute_force_prune_unassigned": bench_prune_unassigned,
     "brute_force_parallel_speedup": bench_brute_force_parallel,
     "shm_dispatch_bytes": bench_shm_dispatch_bytes,
     "persistent_pool_amortization": bench_persistent_pool,
@@ -412,6 +502,19 @@ CASES: dict[str, Callable[[], dict]] = {
     "local_search_sweep": bench_local_search_sweep,
     "context_store_memoization": bench_context_store,
 }
+
+#: The fast smoke subset ``--quick`` runs (CI's bench step): everything that
+#: completes in milliseconds, skipping the subprocess-spawning and
+#: many-call amortization cases.
+QUICK_CASES: tuple[str, ...] = (
+    "brute_force_prune_restricted",
+    "brute_force_prune_unassigned",
+    "shm_dispatch_bytes",
+    "unassigned_rank_merge",
+    "wang_zhang_column_splice",
+    "batch_cost_kernel",
+    "context_store_memoization",
+)
 
 
 def _git_state() -> tuple[str | None, bool | None]:
@@ -445,9 +548,18 @@ def _git_state() -> tuple[str | None, bool | None]:
     return revision.stdout.strip(), dirty
 
 
-def run_bench(output: str | Path | None = DEFAULT_OUTPUT, *, cases: list[str] | None = None) -> dict:
-    """Execute the benchmark cases and (optionally) write the JSON document."""
-    selected = cases or list(CASES)
+def run_bench(
+    output: str | Path | None = DEFAULT_OUTPUT,
+    *,
+    cases: list[str] | None = None,
+    quick: bool = False,
+) -> dict:
+    """Execute the benchmark cases and (optionally) write the JSON document.
+
+    ``quick`` selects the :data:`QUICK_CASES` smoke subset (explicit
+    ``cases`` still win); the document records which preset produced it.
+    """
+    selected = cases or (list(QUICK_CASES) if quick else list(CASES))
     unknown = [name for name in selected if name not in CASES]
     if unknown:
         raise ValueError(f"unknown benchmark cases: {unknown}; known: {sorted(CASES)}")
@@ -455,7 +567,8 @@ def run_bench(output: str | Path | None = DEFAULT_OUTPUT, *, cases: list[str] | 
     revision, dirty = _git_state()
     document = {
         "schema": "repro-bench/1",
-        "pr": "PR4",
+        "pr": "PR5",
+        "quick": bool(quick and not cases),
         "created_unix": now,
         "created_iso": datetime.datetime.fromtimestamp(
             now, tz=datetime.timezone.utc
@@ -484,8 +597,11 @@ def compare_documents(new_document: dict, old_document: dict) -> tuple[str, list
     a metric counts as a regression when the new timing is more than
     :data:`REGRESSION_TOLERANCE` times the old one, the old timing is above
     the noise floor, and the metric is a product path rather than one of the
-    :data:`REFERENCE_METRICS` baselines.  Returns the rendered table and the
-    list of regression descriptions.
+    :data:`REFERENCE_METRICS` baselines.  Cases (or metrics) present in only
+    one document are *reported*, never errors: a PR adding new cases, a
+    ``--quick`` run covering a subset, or a retired case are all normal
+    states of the trajectory.  Returns the rendered table and the list of
+    regression descriptions.
     """
     lines = [
         f"{'case/metric':<58}{'old (s)':>12}{'new (s)':>12}{'new/old':>9}",
@@ -520,15 +636,29 @@ def compare_documents(new_document: dict, old_document: dict) -> tuple[str, list
             )
     if len(lines) == 2:
         lines.append("(no comparable *_seconds metrics)")
+    only_old = sorted(set(old_cases) - set(new_cases))
+    only_new = sorted(set(new_cases) - set(old_cases))
+    if only_old:
+        lines.append(f"only in baseline (not re-run): {', '.join(only_old)}")
+    if only_new:
+        lines.append(f"only in this run (no baseline): {', '.join(only_new)}")
     return "\n".join(lines), regressions
 
 
-def report_comparison(document: dict, baseline_path: "str | Path") -> int:
-    """Print the delta table against a baseline document; 1 on regressions.
+#: Exit code :func:`report_comparison` uses for ">20% regression" — distinct
+#: from crashes/unreadable baselines (1) so CI can warn on the former while
+#: gating on the latter.
+REGRESSION_EXIT_CODE = 3
 
-    The single implementation behind both ``python -m repro bench --compare``
-    and ``benchmarks/run_bench.py --compare`` (an unreadable or malformed
-    baseline is reported as a failure rather than a traceback).
+
+def report_comparison(document: dict, baseline_path: "str | Path") -> int:
+    """Print the delta table against a baseline document.
+
+    Returns 0 when clean, :data:`REGRESSION_EXIT_CODE` (3) when shared
+    metrics regressed beyond 20%, and 1 when the baseline cannot be read —
+    the single implementation behind both ``python -m repro bench
+    --compare`` and ``benchmarks/run_bench.py --compare`` (an unreadable or
+    malformed baseline is reported as a failure rather than a traceback).
     """
     baseline_path = Path(baseline_path)
     try:
@@ -543,5 +673,5 @@ def report_comparison(document: dict, baseline_path: "str | Path") -> int:
         print(f"\n{len(regressions)} regression(s) beyond 20%:", file=sys.stderr)
         for regression in regressions:
             print(f"  {regression}", file=sys.stderr)
-        return 1
+        return REGRESSION_EXIT_CODE
     return 0

@@ -1,0 +1,256 @@
+"""Cross-shard shared incumbent for branch-and-bound pruning.
+
+The pruned brute-force enumerations (:mod:`repro.baselines.brute_force`)
+skip a chunk row when an admissible lower bound on its cost exceeds the best
+cost any shard has *achieved* so far — the **incumbent**.  Serially that is
+one float threaded through the chunk loop; across a worker pool it must be a
+value every worker can read cheaply and tighten safely, because one shard
+finding a good subset early should shrink every other shard's work.
+
+This module owns that value.  The design constraints:
+
+* **correctness does not depend on freshness** — a stale (too high)
+  incumbent only prunes less; exactness needs just one invariant, that every
+  value ever stored is a cost *achieved* by a feasible solution (the seed or
+  a fully evaluated row), hence an upper bound on the optimum;
+* **reads must never tear** — a torn read could yield garbage *below* the
+  optimum and over-prune, so the threshold read takes the slot lock.  Chunk
+  tasks read once per chunk (``handle.value()``), which keeps the lock out
+  of the per-row hot path entirely;
+* **writes are lock-light compare-and-swap** — a proposal first peeks at the
+  raw value without the lock (a stale peek costs at most one missed
+  publication, never correctness) and only acquires the lock to re-check and
+  write when it still looks like an improvement.  Improvements are rare by
+  construction (costs of enumerated rows rarely descend), so the lock is
+  effectively uncontended.
+
+Topology
+--------
+One process-wide *slot* (a ``multiprocessing.Value('d')`` plus a generation
+counter sharing its lock) is created in the parent **before** the persistent
+pool spawns, so fork workers inherit it and spawn workers receive it through
+the pool initializer (:mod:`repro.runtime.pool` passes
+:func:`slot_handles` / :func:`adopt_slot`).  Each
+:func:`~repro.runtime.parallel.parallel_map` call that wants pruning
+activates a fresh *generation* with a seed value and ships a small picklable
+:class:`IncumbentToken` inside every chunk dispatch tuple; workers bind the
+token to the inherited slot and expose it to the chunk task via
+:func:`active`.  A generation mismatch (a stale bind) degrades to the
+token's seed — less pruning, identical results.  Serial execution binds a
+plain in-process :class:`SerialIncumbent` instead and never touches
+``multiprocessing`` at all.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class IncumbentToken:
+    """Picklable reference to one activation of the shared slot.
+
+    Rides inside every chunk dispatch tuple of a pruned map.  ``seed`` is the
+    incumbent value at activation (``inf`` when no heuristic seed exists), a
+    floor the handle can always fall back to when the slot is missing or its
+    generation moved on.
+    """
+
+    generation: int
+    seed: float
+
+
+class SerialIncumbent:
+    """In-process incumbent for serial maps: one float, no multiprocessing."""
+
+    __slots__ = ("_best",)
+
+    def __init__(self, seed: float):
+        self._best = float(seed)
+
+    def value(self) -> float:
+        """The current pruning threshold."""
+        return self._best
+
+    def propose(self, cost: float) -> None:
+        """Record an achieved cost; keeps the minimum."""
+        cost = float(cost)
+        if cost < self._best:
+            self._best = cost
+
+
+class SharedIncumbent:
+    """Worker-side (or parent-side) view of the shared slot for one token.
+
+    Tracks a process-local best alongside the shared value, so pruning keeps
+    working at full strength even if the slot vanished (fresh pool without
+    initargs) or another generation took it over.
+    """
+
+    __slots__ = ("_slot", "_generation", "_best")
+
+    def __init__(self, slot: "_Slot", token: IncumbentToken):
+        self._slot = slot
+        self._generation = token.generation
+        self._best = float(token.seed)
+
+    def value(self) -> float:
+        """The freshest safe threshold: min of local best and the slot.
+
+        Takes the slot lock — torn reads of the double could fabricate a
+        value below the optimum and over-prune, which would break exactness.
+        Chunk tasks call this once per chunk, so the lock never sits on a
+        per-row path.
+        """
+        slot = self._slot
+        # ``Synchronized.value`` would re-acquire the (non-reentrant) slot
+        # lock; inside a held-lock section the raw ctypes objects are the
+        # right access path.
+        with slot.lock:
+            if slot.generation.get_obj().value == self._generation:
+                shared = slot.value.get_obj().value
+            else:  # stale bind: fall back to what this process achieved
+                shared = self._best
+        if shared < self._best:
+            self._best = shared
+        return self._best
+
+    def propose(self, cost: float) -> None:
+        """Publish an achieved cost if it improves the shared incumbent.
+
+        Lock-light: the unlocked peek may be stale (costing a missed
+        publication or a redundant lock acquire) but the write itself
+        re-checks under the lock, so the slot only ever decreases and only
+        within the right generation.
+        """
+        cost = float(cost)
+        if cost >= self._best:
+            return
+        self._best = cost
+        slot = self._slot
+        raw_value = slot.value.get_obj()
+        if cost < raw_value.value:  # unlocked peek: stale is harmless here
+            with slot.lock:
+                if slot.generation.get_obj().value == self._generation and cost < raw_value.value:
+                    raw_value.value = cost
+
+
+#: Anything chunk tasks can prune against.
+IncumbentHandle = SerialIncumbent | SharedIncumbent
+
+
+class _Slot:
+    """The process-wide shared state: value + generation sharing one lock."""
+
+    __slots__ = ("value", "generation", "lock", "pid")
+
+    def __init__(self, value, generation, lock, pid: int):
+        self.value = value
+        self.generation = generation
+        self.lock = lock
+        self.pid = pid
+
+
+_SLOT: _Slot | None = None
+_ACTIVE: IncumbentHandle | None = None
+
+
+def _fork_preferred_context():
+    """Same start-method preference as :mod:`repro.runtime.pool`.
+
+    Duplicated rather than imported to keep this module import-light and
+    cycle-free (``pool`` imports ``incumbent``).
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def ensure_slot() -> _Slot:
+    """The parent's slot, created lazily and re-created after a fork.
+
+    Must run before the persistent pool spawns (the pool initializer ships
+    the slot to the workers); :meth:`repro.runtime.pool.PersistentPool.ensure`
+    guarantees that ordering.
+    """
+    global _SLOT
+    if _SLOT is None or _SLOT.pid != os.getpid():
+        context = _fork_preferred_context()
+        lock = context.Lock()
+        value = context.Value("d", float("inf"), lock=lock)
+        generation = context.Value("q", 0, lock=lock)
+        _SLOT = _Slot(value=value, generation=generation, lock=lock, pid=os.getpid())
+    return _SLOT
+
+
+def slot_handles() -> tuple:
+    """The picklable pieces a pool initializer ships to spawn workers."""
+    slot = ensure_slot()
+    return (slot.value, slot.generation, slot.lock)
+
+
+def adopt_slot(handles: tuple | None) -> None:
+    """Worker-side: install the slot received through the pool initializer."""
+    global _SLOT
+    if handles is None:
+        return
+    value, generation, lock = handles
+    _SLOT = _Slot(value=value, generation=generation, lock=lock, pid=os.getpid())
+
+
+def activate(seed: float) -> IncumbentToken:
+    """Start a new generation at ``seed``; returns the token chunks carry.
+
+    ``seed`` must be either ``inf`` or a cost achieved by a feasible
+    solution of the enumeration being pruned — that is the whole exactness
+    contract.
+    """
+    slot = ensure_slot()
+    with slot.lock:
+        raw_generation = slot.generation.get_obj()
+        raw_generation.value += 1
+        slot.value.get_obj().value = float(seed)
+        generation = int(raw_generation.value)
+    return IncumbentToken(generation=generation, seed=float(seed))
+
+
+def bind_token(token: IncumbentToken | None) -> None:
+    """Make ``token`` the active incumbent for subsequent task calls.
+
+    Called by the pool dispatch before every chunk task (cheap: allocates
+    one small handle) and by the serial fallback paths.  ``None`` unbinds.
+    """
+    global _ACTIVE
+    if token is None:
+        _ACTIVE = None
+    elif _SLOT is not None:
+        _ACTIVE = SharedIncumbent(_SLOT, token)
+    else:  # no slot in this process: prune against the seed alone
+        _ACTIVE = SerialIncumbent(token.seed)
+
+
+def active() -> IncumbentHandle | None:
+    """The incumbent handle bound to the current task, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def serial_incumbent(seed: float) -> Iterator[SerialIncumbent]:
+    """Bind a :class:`SerialIncumbent` around an in-process chunk loop.
+
+    Restores whatever was active before, so a pruned map nested inside
+    another task (pool workers degrade nested maps to serial) cannot clobber
+    the outer incumbent.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    handle = SerialIncumbent(seed)
+    _ACTIVE = handle
+    try:
+        yield handle
+    finally:
+        _ACTIVE = previous

@@ -48,6 +48,15 @@ the same bytes (shared-memory views alias the publisher's arrays exactly),
 and the parent reduces in item order.  Only wall-clock time may differ —
 never a returned value.
 
+Pruned maps (``incumbent_seed`` set) relax this one notch by design: tasks
+may *skip* work whose admissible lower bound exceeds the shared incumbent
+(:mod:`repro.runtime.incumbent`), and which rows get skipped depends on
+cross-shard timing — but the callers' reductions are constructed so the
+reduced result is still bit-identical at every worker count (see the
+exactness contract in :mod:`repro.baselines.brute_force`).  Serial pruned
+maps thread the identical incumbent through the in-process loop, so their
+skip sets are deterministic too.
+
 Worker memory is bounded by the work-item granularity: the brute-force
 shards pass ``chunk_rows`` (default
 :data:`repro.cost.context.DEFAULT_CHUNK_ROWS`) through
@@ -63,6 +72,7 @@ import pickle
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
+from . import incumbent as incumbent_module
 from . import pool as pool_module
 from . import shm as shm_module
 
@@ -84,6 +94,7 @@ _SHM_DEFAULT = os.environ.get("REPRO_SHM", "1") not in ("", "0")
 
 _WORKER_PAYLOAD: Any = None
 _WORKER_TASK: Callable[..., Any] | None = None
+_WORKER_TOKEN: Any = None
 
 
 def set_oversubscribe(enabled: bool) -> bool:
@@ -130,16 +141,27 @@ def effective_workers(workers: int | None, item_count: int, min_items: int = DEF
     return max(1, workers)
 
 
-def _init_worker(task: Callable[..., Any], payload: Any) -> None:
-    global _WORKER_PAYLOAD, _WORKER_TASK
+def _init_worker(
+    task: Callable[..., Any],
+    payload: Any,
+    incumbent_handles: tuple | None = None,
+    incumbent_token: Any = None,
+) -> None:
+    global _WORKER_PAYLOAD, _WORKER_TASK, _WORKER_TOKEN
     pool_module._mark_in_worker()
+    incumbent_module.adopt_slot(incumbent_handles)
     _WORKER_PAYLOAD = payload
     _WORKER_TASK = task
+    _WORKER_TOKEN = incumbent_token
 
 
 def _run_item(item: Any) -> Any:
     assert _WORKER_TASK is not None
-    return _WORKER_TASK(_WORKER_PAYLOAD, item)
+    incumbent_module.bind_token(_WORKER_TOKEN)
+    try:
+        return _WORKER_TASK(_WORKER_PAYLOAD, item)
+    finally:
+        incumbent_module.bind_token(None)
 
 
 def _pool_context():
@@ -148,16 +170,24 @@ def _pool_context():
 
 
 def _map_with_fresh_pool(
-    task: Callable[[Any, T], R], items: list[T], payload: Any, workers: int
+    task: Callable[[Any, T], R],
+    items: list[T],
+    payload: Any,
+    workers: int,
+    incumbent_token: Any = None,
 ) -> list[R]:
     """The PR 3 path: per-call pool, payload shipped once via initializer.
 
     Used for large payloads when shared memory is off — ``fork`` inheritance
-    still ships the payload only once per worker.
+    still ships the payload only once per worker.  The incumbent slot (when
+    this map is pruned) travels through the same initializer.
     """
     context = _pool_context()
+    handles = incumbent_module.slot_handles() if incumbent_token is not None else None
     with context.Pool(
-        processes=workers, initializer=_init_worker, initargs=(task, payload)
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(task, payload, handles, incumbent_token),
     ) as process_pool:
         return process_pool.map(_run_item, items, chunksize=1)
 
@@ -170,6 +200,7 @@ def parallel_map(
     workers: int | None = 1,
     shm: bool | None = None,
     min_items: int = DEFAULT_MIN_ITEMS,
+    incumbent_seed: float | None = None,
 ) -> list[R]:
     """``[task(payload, item) for item in items]``, optionally across processes.
 
@@ -199,6 +230,16 @@ def parallel_map(
     min_items:
         Fewest items worth dispatching to a pool; below it the call is
         serial.
+    incumbent_seed:
+        Activate the shared branch-and-bound incumbent
+        (:mod:`repro.runtime.incumbent`) for this map, starting at this
+        value (``inf`` for "no heuristic seed").  Chunk tasks reach it via
+        :func:`repro.runtime.incumbent.active` to prune work and publish
+        achieved costs; serial execution threads the identical incumbent
+        through the in-process loop.  ``None`` (the default) binds nothing
+        and tasks see no incumbent.  Pruning changes *which* rows tasks
+        evaluate, never the reduced result — see the exactness contract in
+        :mod:`repro.baselines.brute_force`.
 
     Notes
     -----
@@ -209,8 +250,11 @@ def parallel_map(
     items = list(items)
     workers = effective_workers(workers, len(items), min_items)
     if workers <= 1:
-        return [task(payload, item) for item in items]
+        return _serial_map(task, items, payload, incumbent_seed)
 
+    incumbent_token = (
+        incumbent_module.activate(incumbent_seed) if incumbent_seed is not None else None
+    )
     if shm is None:
         shm = _SHM_DEFAULT
     # ``shm=False`` / ``REPRO_SHM=0`` must mean NO shared-memory segments at
@@ -239,16 +283,33 @@ def parallel_map(
             # Large payload without shared memory: a per-call pool with fork
             # inheritance beats pickling the payload into every dispatch
             # tuple.
-            return _map_with_fresh_pool(task, items, payload, workers)
+            return _map_with_fresh_pool(task, items, payload, workers, incumbent_token)
     try:
-        return pool_module.executor().map(task, items, spec, workers)
+        return pool_module.executor().map(task, items, spec, workers, incumbent_token)
     except BrokenProcessPool:
         # A worker died mid-map (crash, OOM kill).  The pool was shut down;
         # finish the job serially — identical results, degraded wall clock.
-        return [task(payload, item) for item in items]
+        return _serial_map(task, items, payload, incumbent_seed)
     finally:
         if call_lease is not None:
             call_lease.close()
+
+
+def _serial_map(
+    task: Callable[[Any, T], R],
+    items: list[T],
+    payload: Any,
+    incumbent_seed: float | None,
+) -> list[R]:
+    """The in-process chunk loop, with the incumbent threaded through.
+
+    Serial pruning is deterministic: chunks run in submission order and each
+    sees exactly the improvements of its predecessors.
+    """
+    if incumbent_seed is None:
+        return [task(payload, item) for item in items]
+    with incumbent_module.serial_incumbent(incumbent_seed):
+        return [task(payload, item) for item in items]
 
 
 def iter_chunk_bounds(total: int, chunk_rows: int) -> Iterator[tuple[int, int]]:

@@ -22,8 +22,16 @@ startup dominated (the ``BENCH_PR3.json`` 0.76x case).  This module keeps
 
 Dispatch protocol
 -----------------
-Each work item travels as a small ``(task, payload_spec, item)`` tuple.  The
-payload spec is one of
+Each work item travels as a small ``(task, payload_spec, item,
+incumbent_token)`` tuple.  The incumbent token (``None`` for unpruned maps)
+references the shared branch-and-bound incumbent slot
+(:mod:`repro.runtime.incumbent`): workers bind it before invoking the task,
+so every chunk of a pruned enumeration reads the freshest cross-shard bound
+and publishes its own improvements.  The slot itself is created in the
+parent *before* the executor spawns and ships to the workers through the
+pool initializer (inherited by ``fork``, pickled at process creation under
+``spawn``) — synchronized primitives cannot ride in per-item dispatch
+tuples.  The payload spec is one of
 
 * ``("none",)`` — no payload;
 * ``("shm", descriptor)`` — a :class:`~repro.runtime.shm.PayloadDescriptor`
@@ -52,6 +60,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable
 
+from . import incumbent as incumbent_module
 from . import shm as shm_module
 
 #: Materialized payloads a worker keeps before evicting least-recently-used.
@@ -71,6 +80,12 @@ def in_worker() -> bool:
 def _mark_in_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
+
+
+def _init_pool_worker(incumbent_handles: tuple | None) -> None:
+    """Persistent-pool initializer: mark the worker, adopt the incumbent slot."""
+    _mark_in_worker()
+    incumbent_module.adopt_slot(incumbent_handles)
 
 
 def _cache_payload(token: str, payload: Any, closer: Callable[[], None] | None) -> None:
@@ -118,8 +133,12 @@ def _resolve_payload(spec: tuple) -> Any:
 
 
 def _dispatch(args: tuple) -> Any:
-    task, spec, item = args
-    return task(_resolve_payload(spec), item)
+    task, spec, item, incumbent_token = args
+    incumbent_module.bind_token(incumbent_token)
+    try:
+        return task(_resolve_payload(spec), item)
+    finally:
+        incumbent_module.bind_token(None)
 
 
 # -- parent-side executor ----------------------------------------------------
@@ -166,10 +185,15 @@ class PersistentPool:
         if self._executor is not None and workers > self._workers:
             self.shutdown()
         if self._executor is None:
+            # The incumbent slot must exist before the workers do: fork
+            # inherits it, spawn pickles it through the initializer args
+            # (synchronized primitives cannot travel in dispatch tuples).
+            incumbent_handles = incumbent_module.slot_handles()
             self._executor = ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=_pool_context(),
-                initializer=_mark_in_worker,
+                initializer=_init_pool_worker,
+                initargs=(incumbent_handles,),
             )
             self._workers = workers
             self._pid = os.getpid()
@@ -181,13 +205,17 @@ class PersistentPool:
         items: Iterable[Any],
         spec: tuple,
         workers: int,
+        incumbent_token: Any = None,
     ) -> list[Any]:
         """``[task(payload, item) for item in items]`` across the pool.
 
         Results come back in submission order (the determinism contract).
         The pool is grow-only, so it may hold more processes than this call
         requested; at most ``workers`` items are kept in flight regardless,
-        keeping ``workers`` a real concurrency cap per call.  Raises
+        keeping ``workers`` a real concurrency cap per call.
+        ``incumbent_token`` (from :func:`repro.runtime.incumbent.activate`)
+        rides in every dispatch tuple so chunk tasks of a pruned enumeration
+        share one branch-and-bound incumbent.  Raises
         :class:`BrokenProcessPool` after marking the pool for rebuild when a
         worker dies mid-map; task-level exceptions propagate as-is.
         """
@@ -200,7 +228,9 @@ class PersistentPool:
                 while len(window) >= workers:
                     done_index, future = window.popleft()
                     results[done_index] = future.result()
-                window.append((index, executor.submit(_dispatch, (task, spec, item))))
+                window.append(
+                    (index, executor.submit(_dispatch, (task, spec, item, incumbent_token)))
+                )
             while window:
                 done_index, future = window.popleft()
                 results[done_index] = future.result()

@@ -9,8 +9,13 @@ exactly the overhead the persistent pool exists to kill.  This module
 instead flattens every numeric array of the payload into
 :mod:`multiprocessing.shared_memory` segments once and describes them with a
 small picklable :class:`PayloadDescriptor`; the chunk protocol then ships
-only the descriptor plus a work slice, and workers attach the segments
-zero-copy (NumPy views straight into the mapped buffer, marked read-only).
+only the descriptor, a work slice and (for pruned enumerations) the
+incumbent token of :mod:`repro.runtime.incumbent`, and workers attach the
+segments zero-copy (NumPy views straight into the mapped buffer, marked
+read-only).  Pruned maps need the expected matrix (and, for the unassigned
+objective, the pinned supports) materialized before publication so the
+workers' bound kernels run on the shared bytes — the brute-force callers'
+seeding step guarantees that ordering.
 
 Layout
 ------

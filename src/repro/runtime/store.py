@@ -36,6 +36,17 @@ variable, which becomes the default for every store) to enable it:
 * invalidation is free: any changed dataset/candidate byte changes the
   fingerprint and therefore the filename.
 
+The directory is **bounded**: after every write-through the store prunes it
+by age (files older than ``spill_max_age_seconds`` /
+``REPRO_CONTEXT_SPILL_MAX_AGE``) and by size (oldest-first eviction until
+the directory fits ``spill_max_bytes`` / ``REPRO_CONTEXT_SPILL_MAX``) —
+stat-only, so a solve never pays an unpickle for housekeeping.  Limits are
+off by default (``None``); evictions are counted in ``spill_evictions``.
+:meth:`ContextStore.scan_spill_dir` is the deeper, explicit sweep: it loads
+every ``.ctx`` file through the same version-tag check the read path uses
+and deletes the corrupt or mismatched ones, so a directory shared by many
+processes can be reconditioned without guessing which files still parse.
+
 Pool workers still never share a store (the parallel runtime ships built
 contexts via shared-memory descriptors instead, which is cheaper than
 re-keying).  Reusing a cached context — memory or disk — is bit-identical to
@@ -63,9 +74,26 @@ DEFAULT_STORE_SIZE = 8
 #: Environment variable naming a default spill directory for every store.
 SPILL_ENV = "REPRO_CONTEXT_SPILL"
 
+#: Environment variable bounding the spill directory's total size in bytes.
+SPILL_MAX_ENV = "REPRO_CONTEXT_SPILL_MAX"
+
+#: Environment variable bounding spill-file age in seconds.
+SPILL_MAX_AGE_ENV = "REPRO_CONTEXT_SPILL_MAX_AGE"
+
 #: Bumped whenever the pickled context layout changes; mismatched spill
 #: files are ignored and rebuilt.
 SPILL_FORMAT = 1
+
+
+def _env_number(name: str, cast) -> "float | int | None":
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = cast(float(raw))
+    except (ValueError, OverflowError):  # garbage or inf: treat as unset
+        return None
+    return value if value > 0 else None
 
 
 def _hash_array(hasher: "hashlib._Hash", array: np.ndarray) -> None:
@@ -101,10 +129,14 @@ class ContextStore:
     >>> same = store.get(dataset, candidates)      # cache hit, same object
     >>> assert same is context
 
-    ``hits`` / ``misses`` / ``disk_hits`` counters make reuse observable in
-    tests and benchmarks.  ``spill_dir`` enables the cross-process disk tier
-    (defaults to the ``REPRO_CONTEXT_SPILL`` environment variable; ``None``
-    with the variable unset keeps the store memory-only).
+    ``hits`` / ``misses`` / ``disk_hits`` / ``spill_evictions`` counters make
+    reuse observable in tests and benchmarks.  ``spill_dir`` enables the
+    cross-process disk tier (defaults to the ``REPRO_CONTEXT_SPILL``
+    environment variable; ``None`` with the variable unset keeps the store
+    memory-only).  ``spill_max_bytes`` / ``spill_max_age_seconds`` bound the
+    directory (env defaults ``REPRO_CONTEXT_SPILL_MAX`` /
+    ``REPRO_CONTEXT_SPILL_MAX_AGE``; ``None`` = unbounded), enforced
+    oldest-first after every write-through.
     """
 
     def __init__(
@@ -112,16 +144,27 @@ class ContextStore:
         maxsize: int = DEFAULT_STORE_SIZE,
         *,
         spill_dir: str | Path | None = None,
+        spill_max_bytes: int | None = None,
+        spill_max_age_seconds: float | None = None,
     ):
         self.maxsize = max(1, int(maxsize))
         if spill_dir is None:
             spill_dir = os.environ.get(SPILL_ENV) or None
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if spill_max_bytes is None:
+            spill_max_bytes = _env_number(SPILL_MAX_ENV, int)
+        if spill_max_age_seconds is None:
+            spill_max_age_seconds = _env_number(SPILL_MAX_AGE_ENV, float)
+        self.spill_max_bytes = int(spill_max_bytes) if spill_max_bytes else None
+        self.spill_max_age_seconds = (
+            float(spill_max_age_seconds) if spill_max_age_seconds else None
+        )
         self._entries: OrderedDict[tuple[str, str, bool], CostContext] = OrderedDict()
         self._dataset_keys: dict[int, tuple[UncertainDataset, str]] = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.spill_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -181,6 +224,82 @@ class ContextStore:
                 temporary.unlink(missing_ok=True)
             except OSError:
                 pass
+            return
+        self._prune_spill_dir(keep=path)
+
+    def _spill_files(self) -> list[tuple[float, int, Path]]:
+        """``(mtime, bytes, path)`` for every spill file, oldest first."""
+        if self.spill_dir is None or not self.spill_dir.is_dir():
+            return []
+        entries = []
+        for path in self.spill_dir.glob("*.ctx"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with another process
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def _evict_spill_file(self, path: Path) -> bool:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - raced with another process
+            return False
+        self.spill_evictions += 1
+        return True
+
+    def _prune_spill_dir(self, *, keep: Path | None = None) -> None:
+        """Enforce the age and size bounds, oldest files first.
+
+        Stat-only (no unpickling), so the write path stays cheap; the file
+        just written (``keep``) is never evicted — a size bound smaller than
+        one context must not make the tier thrash itself empty.  Eviction
+        can never lose data, only a future ``disk_hit``: any evicted context
+        is rebuilt (and re-spilled) on its next miss.
+        """
+        if self.spill_max_bytes is None and self.spill_max_age_seconds is None:
+            return
+        entries = self._spill_files()
+        if self.spill_max_age_seconds is not None:
+            import time
+
+            cutoff = time.time() - self.spill_max_age_seconds
+            fresh = []
+            for mtime, size, path in entries:
+                if mtime < cutoff and path != keep:
+                    self._evict_spill_file(path)
+                else:
+                    fresh.append((mtime, size, path))
+            entries = fresh
+        if self.spill_max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= self.spill_max_bytes:
+                    break
+                if path == keep:
+                    continue
+                if self._evict_spill_file(path):
+                    total -= size
+
+    def scan_spill_dir(self) -> dict[str, int]:
+        """Deep-scan the spill directory, deleting files that cannot load.
+
+        Every ``.ctx`` file is pushed through the same version-tag check the
+        read path applies (:meth:`_load_spilled`): truncated pickles, wrong
+        tags and stale ``SPILL_FORMAT`` versions are removed so cross-process
+        consumers stop re-stat'ing garbage.  Returns
+        ``{"kept": ..., "removed": ...}``.
+        """
+        kept = 0
+        removed = 0
+        for _, _, path in self._spill_files():
+            if self._load_spilled(path) is None:
+                self._evict_spill_file(path)
+                removed += 1
+            else:
+                kept += 1
+        return {"kept": kept, "removed": removed}
 
     def get(
         self,
@@ -221,3 +340,4 @@ class ContextStore:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.spill_evictions = 0

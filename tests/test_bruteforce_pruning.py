@@ -1,0 +1,422 @@
+"""Branch-and-bound pruning: exactness, determinism, and the counters.
+
+The contract under test (see :mod:`repro.baselines.brute_force`): pruning
+changes *which* rows pay the exact kernels, never the returned subset,
+assignment, or cost — ``prune=True`` must be bit-identical to the
+``prune=False`` exhaustive reference on every instance shape (ties,
+zero-probability masses, ragged supports, ``k >= m`` clamping), at every
+worker count, with shared memory on or off.  The admissibility of the bound
+kernels (bound <= exact cost for every subset / assignment row) is what the
+exactness proof rests on, so it gets its own differential suite; the
+``evaluated_rows`` / ``pruned_rows`` counters are asserted to actually drop
+on a seeded adversarial instance — pruning that never prunes would pass
+every equality test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignments.policies import (
+    ExpectedPointAssignment,
+    NearestLocationAssignment,
+    OptimalAssignment,
+)
+from repro.baselines.brute_force import (
+    _assignment_prefix_bound,
+    _assignment_rows_slice,
+    _greedy_seed_columns,
+    brute_force_restricted_assigned,
+    brute_force_unassigned,
+    brute_force_unrestricted_assigned,
+)
+from repro.bounds.lower_bounds import prune_margin
+from repro.cost.context import CostContext
+from repro.metrics import EuclideanMetric
+from repro.runtime import incumbent as incumbent_module
+from repro.runtime import set_oversubscribe, shutdown_runtime
+from repro.runtime.parallel import iter_chunk_bounds
+from repro.uncertain import UncertainDataset, UncertainPoint
+from repro.workloads import gaussian_clusters
+
+
+def make_tricky_dataset(seed: int, n: int = 6, z: int = 4) -> UncertainDataset:
+    """Clustered instance with repeated locations and explicit zero masses."""
+    rng = np.random.default_rng(seed)
+    points = []
+    for _ in range(n):
+        base = rng.normal(scale=4.0, size=2)
+        locations = base + rng.normal(scale=0.8, size=(z, 2))
+        if z > 1 and rng.random() < 0.5:
+            locations[rng.integers(1, z)] = locations[0]  # exact ties
+        probabilities = rng.dirichlet(np.ones(z))
+        if z > 1 and rng.random() < 0.6:
+            probabilities[rng.integers(0, z)] = 0.0  # zero-probability mass
+            probabilities = probabilities / probabilities.sum()
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities))
+    return UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+
+
+def make_ragged_dataset(seed: int, n: int = 6) -> UncertainDataset:
+    """Points with different support sizes (exercises the grouped kernels)."""
+    rng = np.random.default_rng(seed)
+    points = []
+    for _ in range(n):
+        z = int(rng.integers(1, 5))
+        locations = rng.normal(scale=3.0, size=(z, 2))
+        if z > 1 and rng.random() < 0.5:
+            locations[z - 1] = locations[0]
+        probabilities = rng.dirichlet(np.ones(z))
+        if z > 1 and rng.random() < 0.5:
+            probabilities[0] = 0.0
+            probabilities = probabilities / probabilities.sum()
+        points.append(UncertainPoint(locations=locations, probabilities=probabilities))
+    return UncertainDataset(points=tuple(points), metric=EuclideanMetric())
+
+
+def assert_same_result(pruned, reference):
+    assert pruned.expected_cost == reference.expected_cost
+    assert np.array_equal(pruned.centers, reference.centers)
+    if reference.assignment is not None:
+        assert np.array_equal(pruned.assignment, reference.assignment)
+    assert pruned.metadata["requested_k"] == reference.metadata["requested_k"]
+    assert pruned.metadata["effective_k"] == reference.metadata["effective_k"]
+
+
+def assert_counter_invariants(result):
+    metadata = result.metadata
+    assert metadata["evaluated_rows"] + metadata["pruned_rows"] == metadata["total_rows"]
+    assert metadata["evaluated_rows"] >= 1  # a winner was evaluated
+
+
+class TestBoundAdmissibility:
+    """bound <= exact cost, row by row — the root of the exactness proof."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("make", [make_tricky_dataset, make_ragged_dataset])
+    def test_subset_assigned_bound_below_every_rule(self, seed, make):
+        dataset = make(seed)
+        candidates = dataset.all_locations()[:10]
+        context = CostContext(dataset, candidates)
+        rng = np.random.default_rng(seed + 50)
+        rows = np.stack(
+            [rng.choice(candidates.shape[0], size=3, replace=False) for _ in range(12)]
+        )
+        bounds = context.subset_assigned_lower_bounds(rows)
+        # The bound must sit below the cost of ANY assignment into the
+        # subset, not just the cost-minimizing one.
+        for scores_name in ("ed", "random"):
+            if scores_name == "ed":
+                assignments = context.ed_assignments(rows)
+            else:
+                local = rng.integers(0, rows.shape[1], size=(rows.shape[0], dataset.size))
+                assignments = np.take_along_axis(rows, local, axis=1)
+            costs = context.assigned_costs(assignments)
+            slack = 1e-12 * np.maximum(1.0, np.abs(costs))
+            assert np.all(bounds <= costs + slack), scores_name
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("make", [make_tricky_dataset, make_ragged_dataset])
+    def test_subset_unassigned_bound_below_cost(self, seed, make):
+        dataset = make(seed)
+        candidates = dataset.all_locations()[:10]
+        context = CostContext(dataset, candidates)
+        rng = np.random.default_rng(seed + 60)
+        rows = np.stack(
+            [rng.choice(candidates.shape[0], size=3, replace=False) for _ in range(12)]
+        )
+        bounds = context.subset_unassigned_lower_bounds(rows)
+        costs = context.unassigned_costs(rows)
+        slack = 1e-12 * np.maximum(1.0, np.abs(costs))
+        assert np.all(bounds <= costs + slack)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_assignment_row_bound_below_cost(self, seed):
+        dataset = make_tricky_dataset(seed)
+        candidates = dataset.all_locations()[:8]
+        context = CostContext(dataset, candidates)
+        rng = np.random.default_rng(seed + 70)
+        rows = rng.integers(0, candidates.shape[0], size=(16, dataset.size))
+        bounds = context.assignment_lower_bounds(rows)
+        costs = context.assigned_costs(rows)
+        slack = 1e-12 * np.maximum(1.0, np.abs(costs))
+        assert np.all(bounds <= costs + slack)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_prefix_bound_below_every_row_in_shard(self, seed):
+        dataset = make_tricky_dataset(seed, n=4, z=3)
+        candidates = dataset.all_locations()[:6]
+        context = CostContext(dataset, candidates)
+        columns = np.asarray([0, 2, 5])
+        n = dataset.size
+        total = columns.shape[0] ** n
+        for start, stop in iter_chunk_bounds(total, 17):
+            prefix = _assignment_prefix_bound(context, columns, start, stop)
+            rows = _assignment_rows_slice(columns, n, start, stop)
+            costs = context.assigned_costs(rows)
+            slack = 1e-12 * max(1.0, float(np.abs(costs).max()))
+            assert prefix <= costs.min() + slack
+            # ... and it must never beat the per-row bounds it coarsens.
+            row_bounds = context.assignment_lower_bounds(rows)
+            assert prefix <= row_bounds.min() + slack
+
+
+class TestDifferentialPrunedVsReference:
+    """prune=True must be bit-identical to the prune=False reference."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_restricted_ed_randomized(self, seed):
+        dataset = make_tricky_dataset(seed)
+        reference = brute_force_restricted_assigned(dataset, 3, prune=False)
+        pruned = brute_force_restricted_assigned(dataset, 3, prune=True)
+        assert_same_result(pruned, reference)
+        assert_counter_invariants(pruned)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_restricted_ed_ragged(self, seed):
+        dataset = make_ragged_dataset(seed)
+        reference = brute_force_restricted_assigned(dataset, 2, prune=False)
+        pruned = brute_force_restricted_assigned(dataset, 2, prune=True)
+        assert_same_result(pruned, reference)
+
+    @pytest.mark.parametrize(
+        "policy_cls", [ExpectedPointAssignment, NearestLocationAssignment]
+    )
+    def test_restricted_score_policies(self, policy_cls):
+        dataset = make_tricky_dataset(3)
+        reference = brute_force_restricted_assigned(
+            dataset, 2, assignment=policy_cls(), prune=False
+        )
+        pruned = brute_force_restricted_assigned(dataset, 2, assignment=policy_cls())
+        assert_same_result(pruned, reference)
+
+    def test_restricted_blackbox_policy(self):
+        dataset = make_tricky_dataset(5)
+        candidates = dataset.expected_points()
+        reference = brute_force_restricted_assigned(
+            dataset, 2, assignment=OptimalAssignment(), candidates=candidates, prune=False
+        )
+        pruned = brute_force_restricted_assigned(
+            dataset, 2, assignment=OptimalAssignment(), candidates=candidates
+        )
+        assert_same_result(pruned, reference)
+        assert_counter_invariants(pruned)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_unassigned_randomized_and_ragged(self, seed):
+        for make in (make_tricky_dataset, make_ragged_dataset):
+            dataset = make(seed)
+            reference = brute_force_unassigned(dataset, 2, prune=False)
+            pruned = brute_force_unassigned(dataset, 2, prune=True)
+            assert_same_result(pruned, reference)
+            assert_counter_invariants(pruned)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("polish_top", [1, 3])
+    def test_unrestricted_including_exhaustive_stage(self, seed, polish_top):
+        dataset = make_tricky_dataset(seed, n=5, z=3)
+        reference = brute_force_unrestricted_assigned(
+            dataset, 2, polish_top=polish_top, prune=False
+        )
+        pruned = brute_force_unrestricted_assigned(dataset, 2, polish_top=polish_top)
+        assert_same_result(pruned, reference)
+        assert (
+            pruned.metadata["exhaustive_assignment"]
+            == reference.metadata["exhaustive_assignment"]
+        )
+        assert pruned.metadata["polished_subsets"] == reference.metadata["polished_subsets"]
+
+    def test_unrestricted_local_search_branch(self):
+        dataset = make_tricky_dataset(2, n=8, z=3)  # k^n too big -> polish branch
+        reference = brute_force_unrestricted_assigned(
+            dataset, 3, exhaustive_assignment=False, prune=False
+        )
+        pruned = brute_force_unrestricted_assigned(dataset, 3, exhaustive_assignment=False)
+        assert_same_result(pruned, reference)
+
+    def test_k_at_least_m_clamps_identically(self):
+        dataset = make_tricky_dataset(1, n=3, z=2)
+        candidates = dataset.expected_points()  # m = 3 < k
+        for solver in (brute_force_restricted_assigned, brute_force_unassigned):
+            reference = solver(dataset, 7, candidates=candidates, prune=False)
+            pruned = solver(dataset, 7, candidates=candidates)
+            assert_same_result(pruned, reference)
+            assert pruned.metadata["effective_k"] == 3
+            assert pruned.metadata["requested_k"] == 7
+
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 64])
+    def test_chunk_rows_never_change_pruned_results(self, chunk_rows):
+        dataset = make_tricky_dataset(4)
+        reference = brute_force_restricted_assigned(dataset, 3, prune=False)
+        pruned = brute_force_restricted_assigned(dataset, 3, chunk_rows=chunk_rows)
+        assert_same_result(pruned, reference)
+
+
+class TestPruningCounters:
+    """The counters must prove rows were actually skipped."""
+
+    def test_evaluated_rows_strictly_drop_on_adversarial_instance(self):
+        # Clustered instance: most subsets miss a cluster entirely, so their
+        # bounds sit far above the greedy seed's achieved cost.
+        dataset, _ = gaussian_clusters(n=12, z=4, dimension=2, k_true=4, seed=9)
+        candidates = dataset.all_locations()[:16]
+        result = brute_force_restricted_assigned(dataset, 4, candidates=candidates)
+        metadata = result.metadata
+        assert metadata["prune"] is True
+        assert metadata["pruned_rows"] > 0
+        assert metadata["evaluated_rows"] < metadata["total_rows"]
+        assert metadata["pruned_rows"] > metadata["total_rows"] // 2  # the bench contract
+        assert_counter_invariants(result)
+
+    def test_unpruned_reference_counts_full_enumeration(self):
+        dataset = make_tricky_dataset(0)
+        result = brute_force_restricted_assigned(dataset, 3, prune=False)
+        assert result.metadata["prune"] is False
+        assert result.metadata["pruned_rows"] == 0
+        assert result.metadata["evaluated_rows"] == result.metadata["total_rows"]
+
+    def test_serial_counts_are_deterministic(self):
+        dataset = make_tricky_dataset(7)
+        first = brute_force_restricted_assigned(dataset, 3)
+        second = brute_force_restricted_assigned(dataset, 3)
+        assert first.metadata["evaluated_rows"] == second.metadata["evaluated_rows"]
+        assert first.metadata["pruned_rows"] == second.metadata["pruned_rows"]
+
+    def test_unassigned_prunes_on_adversarial_instance(self):
+        dataset, _ = gaussian_clusters(n=10, z=4, dimension=2, k_true=3, seed=9)
+        candidates = dataset.all_locations()[:14]
+        result = brute_force_unassigned(dataset, 3, candidates=candidates)
+        assert result.metadata["pruned_rows"] > 0
+        assert_counter_invariants(result)
+
+    def test_unrestricted_records_per_stage_counts(self):
+        dataset = make_tricky_dataset(3, n=5, z=3)
+        result = brute_force_unrestricted_assigned(dataset, 2, polish_top=2)
+        metadata = result.metadata
+        assert metadata["subset_pruned_rows"] >= 0
+        assert metadata["assignment_pruned_rows"] >= 0
+        assert (
+            metadata["subset_pruned_rows"] + metadata["assignment_pruned_rows"]
+            == metadata["pruned_rows"]
+        )
+        assert_counter_invariants(result)
+
+
+class TestWorkersAndShm:
+    """Determinism pinned at workers in {1, 2, 4} x shm on/off."""
+
+    @pytest.fixture(autouse=True)
+    def _pool_on_one_cpu(self):
+        previous = set_oversubscribe(True)
+        yield
+        set_oversubscribe(previous)
+        shutdown_runtime()
+
+    @pytest.fixture(scope="class")
+    def micro(self):
+        dataset, _ = gaussian_clusters(n=7, z=3, dimension=2, k_true=3, seed=4)
+        return dataset
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("shm", [True, False])
+    def test_restricted_pruned_matrix(self, micro, workers, shm):
+        reference = brute_force_restricted_assigned(micro, 3, prune=False)
+        pruned = brute_force_restricted_assigned(
+            micro, 3, workers=workers, shm=shm, chunk_rows=16
+        )
+        assert_same_result(pruned, reference)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("shm", [True, False])
+    def test_unassigned_pruned_matrix(self, micro, workers, shm):
+        reference = brute_force_unassigned(micro, 2, prune=False)
+        pruned = brute_force_unassigned(micro, 2, workers=workers, shm=shm, chunk_rows=16)
+        assert_same_result(pruned, reference)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("shm", [True, False])
+    def test_unrestricted_pruned_matrix(self, micro, workers, shm):
+        reference = brute_force_unrestricted_assigned(micro, 2, polish_top=3, prune=False)
+        pruned = brute_force_unrestricted_assigned(
+            micro, 2, polish_top=3, workers=workers, shm=shm, chunk_rows=16
+        )
+        assert_same_result(pruned, reference)
+
+    def test_blackbox_pruned_under_workers(self, micro):
+        candidates = micro.expected_points()
+        reference = brute_force_restricted_assigned(
+            micro, 2, assignment=OptimalAssignment(), candidates=candidates, prune=False
+        )
+        pruned = brute_force_restricted_assigned(
+            micro,
+            2,
+            assignment=OptimalAssignment(),
+            candidates=candidates,
+            workers=2,
+            chunk_rows=8,
+        )
+        assert_same_result(pruned, reference)
+
+
+class TestIncumbentMachinery:
+    def test_serial_incumbent_keeps_minimum(self):
+        handle = incumbent_module.SerialIncumbent(10.0)
+        assert handle.value() == 10.0
+        handle.propose(12.0)
+        assert handle.value() == 10.0
+        handle.propose(4.0)
+        assert handle.value() == 4.0
+
+    def test_activate_and_bind_shared_slot(self):
+        token = incumbent_module.activate(42.0)
+        incumbent_module.bind_token(token)
+        try:
+            handle = incumbent_module.active()
+            assert isinstance(handle, incumbent_module.SharedIncumbent)
+            assert handle.value() == 42.0
+            handle.propose(41.0)
+            assert handle.value() == 41.0
+            # A second handle on the same token sees the published value.
+            other = incumbent_module.SharedIncumbent(
+                incumbent_module.ensure_slot(), token
+            )
+            assert other.value() == 41.0
+            # Worse proposals never move the slot.
+            other.propose(43.0)
+            assert handle.value() == 41.0
+        finally:
+            incumbent_module.bind_token(None)
+        assert incumbent_module.active() is None
+
+    def test_stale_generation_falls_back_to_seed(self):
+        stale = incumbent_module.activate(7.0)
+        incumbent_module.activate(99.0)  # newer generation takes the slot
+        handle = incumbent_module.SharedIncumbent(incumbent_module.ensure_slot(), stale)
+        assert handle.value() == 7.0  # never reads across generations
+        handle.propose(3.0)  # must not clobber the active generation
+        active = incumbent_module.SharedIncumbent(
+            incumbent_module.ensure_slot(),
+            incumbent_module.IncumbentToken(generation=stale.generation + 1, seed=99.0),
+        )
+        assert active.value() == 99.0
+
+    def test_serial_incumbent_context_restores_previous(self):
+        with incumbent_module.serial_incumbent(5.0) as outer:
+            assert incumbent_module.active() is outer
+            with incumbent_module.serial_incumbent(2.0) as inner:
+                assert incumbent_module.active() is inner
+            assert incumbent_module.active() is outer
+        assert incumbent_module.active() is None
+
+    def test_greedy_seed_columns_distinct_and_sorted(self):
+        dataset = make_tricky_dataset(0)
+        context = CostContext(dataset, dataset.all_locations()[:9])
+        columns = _greedy_seed_columns(context, 4)
+        assert columns.shape == (4,)
+        assert np.unique(columns).shape == (4,)
+        assert np.all(np.diff(columns) > 0)
+
+    def test_prune_margin_scales_with_threshold(self):
+        assert prune_margin(0.0) == pytest.approx(1e-9)
+        assert prune_margin(1e6) == pytest.approx(1e-3)

@@ -105,9 +105,24 @@ class TestBenchRunner:
         ):
             assert case in CASES
 
+    def test_registry_contains_the_pr5_cases(self):
+        from repro.runtime.bench import QUICK_CASES
+
+        assert "brute_force_prune_restricted" in CASES
+        assert "brute_force_prune_unassigned" in CASES
+        # The quick smoke subset must be real cases and include the prune ones.
+        assert set(QUICK_CASES) <= set(CASES)
+        assert "brute_force_prune_restricted" in QUICK_CASES
+
+    def test_quick_preset_runs_the_smoke_subset(self):
+        document = run_bench(None, cases=["batch_cost_kernel"], quick=True)
+        # explicit cases win over --quick, and the flag is recorded honestly
+        assert set(document["cases"]) == {"batch_cost_kernel"}
+        assert document["quick"] is False
+
     def test_document_records_audit_metadata(self):
         document = run_bench(None, cases=["batch_cost_kernel"])
-        assert document["pr"] == "PR4"
+        assert document["pr"] == "PR5"
         # ISO timestamp parses and matches the unix stamp it sits next to.
         import datetime
 
@@ -147,7 +162,7 @@ class TestBenchCompare:
             )
             == 0
         )
-        assert json.loads(output.read_text())["pr"] == "PR4"
+        assert json.loads(output.read_text())["pr"] == "PR5"
 
     def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
         from repro.runtime.bench import compare_documents
@@ -172,8 +187,32 @@ class TestBenchCompare:
                     str(baseline),
                 ]
             )
-            == 1
+            == 3  # the distinct "regression" exit code; crashes stay nonzero-but-not-3
         )
+
+    def test_unreadable_baseline_is_a_crash_not_a_regression(self, tmp_path, capsys):
+        from repro.runtime.bench import report_comparison
+
+        assert report_comparison({"cases": {}}, tmp_path / "missing.json") == 1
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert report_comparison({"cases": {}}, garbage) == 1
+
+    def test_compare_reports_one_sided_cases(self):
+        from repro.runtime.bench import compare_documents
+
+        old = {"cases": {"shared": {"x_seconds": 0.01}, "retired": {"x_seconds": 1.0}}}
+        new = {"cases": {"shared": {"x_seconds": 0.01}, "fresh": {"x_seconds": 1.0}}}
+        table, regressions = compare_documents(new, old)
+        assert regressions == []
+        assert "only in baseline" in table and "retired" in table
+        assert "only in this run" in table and "fresh" in table
+        # Disjoint case sets must render a readable report, not crash.
+        table, regressions = compare_documents(
+            {"cases": {"b": {"x_seconds": 1.0}}}, {"cases": {"a": {"x_seconds": 1.0}}}
+        )
+        assert regressions == []
+        assert "a" in table and "b" in table
 
     def test_compare_tolerates_noise_and_missing_cases(self):
         from repro.runtime.bench import compare_documents
