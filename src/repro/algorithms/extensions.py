@@ -57,7 +57,10 @@ def solve_uncertain_kmedian(
     k = check_positive_int(k, name="k")
     if candidates is None:
         candidates = _default_candidates(dataset)
-    rng = np.random.default_rng(seed if not isinstance(seed, np.random.Generator) else None)
+    # A caller-supplied Generator is used as-is; anything else seeds a fresh
+    # one (the old `default_rng(None)` branch silently built an UNSEEDED
+    # generator whenever a Generator was passed — NONDET).
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     matrix = expected_distance_matrix(dataset, candidates)  # (n, m)
     m = matrix.shape[1]
     k = min(k, m)
@@ -114,7 +117,8 @@ def solve_uncertain_kmeans(
     expected_points = dataset.expected_points()
     n = expected_points.shape[0]
     k = min(k, n)
-    rng = np.random.default_rng(seed if not isinstance(seed, np.random.Generator) else None)
+    # Same NONDET fix as solve_uncertain_kmedian: honor a passed Generator.
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     centers = expected_points[rng.choice(n, size=k, replace=False)].copy()
 
     # Per-point variance: E||X_i||^2 - ||P̄_i||^2 (independent of centers).

@@ -16,8 +16,6 @@ time ``O(nz + n log k)``; with a ``(1+ε)`` solver, ``5 + ε`` and ``3 + ε``.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .._validation import check_positive_int
 from ..assignments.base import AssignmentPolicy
 from ..assignments.policies import ExpectedDistanceAssignment, ExpectedPointAssignment

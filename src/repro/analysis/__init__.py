@@ -1,0 +1,31 @@
+"""Repo-aware static analysis: ``python -m repro lint``.
+
+An AST-based rule engine (:mod:`.core`) plus ~8 repo-specific rules
+(:mod:`.rules`) that machine-check the runtime's load-bearing invariants —
+shm lifecycle, dispatch hygiene, lock discipline, solver determinism,
+hot-path sort policy, env-var registry routing, bound-docstring citations
+and the spill-tier boundary.  Each rule's docstring cites the PR/incident
+that motivated it; ``python -m repro lint --list-rules`` prints them.
+
+Findings are suppressed per-rule with ``# repro: noqa[RULE-ID] -- why``
+comments; the justification text is mandatory.  Exit codes gate CI: 0
+clean, 1 findings, 2 usage error.
+"""
+
+from .core import Finding, LintReport, ModuleContext, Rule, Severity, lint_paths
+from .reporters import render_json, render_rule_table, render_text
+from .rules import RULE_CLASSES, all_rules
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "RULE_CLASSES",
+    "Severity",
+    "all_rules",
+    "lint_paths",
+    "render_json",
+    "render_rule_table",
+    "render_text",
+]

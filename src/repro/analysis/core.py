@@ -1,0 +1,325 @@
+"""Rule engine for the repo-aware static checker (``python -m repro lint``).
+
+Five PRs of runtime growth produced invariants that lived only in
+docstrings: shm segments must be leased and unlinked exactly once (PR 4's
+bpo-38119 workaround), synchronized primitives must ship through pool
+initargs rather than dispatch tuples (PR 5), hot paths must not fall back to
+float sorts (PR 4's rank-merge win), solver paths must stay bit-deterministic
+at every worker count.  This package machine-checks them.
+
+Architecture
+------------
+* :class:`ModuleContext` — one parsed source file: path, source lines, AST,
+  a child→parent node map and small query helpers rules share.
+* :class:`Rule` — a check over one module.  Rules are plain classes with an
+  ``id``, a default :class:`Severity` and a ``check(module)`` generator;
+  the shipped rules live in :mod:`repro.analysis.rules` and each cites the
+  PR/incident that motivated it in its docstring.
+* :func:`lint_paths` — the driver: walk the target paths, parse each
+  ``.py`` file once, run every rule, then apply suppressions.
+
+Suppressions
+------------
+A finding is suppressed by a ``# repro: noqa[RULE-ID]`` comment on the
+flagged line (or on a pure-comment line immediately above it, for long
+statements), and **must** carry a justification after ``--``::
+
+    packed.sort(axis=2)  # repro: noqa[FLOAT-SORT-HOTPATH] -- integer rank keys
+
+A bare ``noqa`` without justification text does not suppress anything — the
+finding stays active with a note, so reviewers never meet an unexplained
+waiver.  Suppressions are per-rule; there is deliberately no blanket form.
+
+Exit codes (CI gating)
+----------------------
+``0`` — no active findings (suppressed ones are fine);
+``1`` — at least one active :attr:`Severity.ERROR` finding (or any finding
+under ``--strict``);
+``2`` — usage/internal error (unreadable target, no files).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+
+class Severity(enum.Enum):
+    """How a finding gates CI: errors always fail, warnings only in strict."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity.value}] {self.message}"
+
+
+@dataclass(frozen=True)
+class SuppressedFinding:
+    """A finding waived by a justified ``# repro: noqa[...]`` comment."""
+
+    finding: Finding
+    justification: str
+
+
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Z0-9\-]+(?:\s*,\s*[A-Z0-9\-]+)*)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    rules: tuple[str, ...]
+    justification: str | None
+    line: int
+
+
+class ModuleContext:
+    """One parsed module plus the derived indexes every rule wants.
+
+    ``path`` is the file's POSIX-style path; rules scope themselves by path
+    *parts* (``"cost" in module.parts``) or suffixes
+    (``module.path_endswith("runtime/shm.py")``) so fixture trees that
+    mirror the repo layout exercise the same logic as the real tree.
+    """
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.file = path
+        self.path = path.as_posix()
+        self.parts = path.parts
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.suppressions = _parse_suppressions(self.lines)
+
+    # -- path scoping -------------------------------------------------------
+
+    def path_endswith(self, suffix: str) -> bool:
+        return self.path.endswith(suffix)
+
+    def in_directory(self, *names: str) -> bool:
+        """Whether any ancestor directory has one of ``names``."""
+        return any(part in names for part in self.parts[:-1])
+
+    # -- AST queries --------------------------------------------------------
+
+    def walk(self, *types: type) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if not types or isinstance(node, types):
+                yield node
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Best-effort dotted name of an expression (``np.random.default_rng``)."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = self.dotted_name(node.value)
+            return f"{base}.{node.attr}" if base is not None else None
+        return None
+
+    def call_name(self, call: ast.Call) -> str | None:
+        return self.dotted_name(call.func)
+
+    def enclosing_function(self, node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def enclosing_statement(self, node: ast.AST) -> ast.stmt | None:
+        """The innermost statement containing ``node``."""
+        current: ast.AST | None = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = self.parents.get(current)
+        return current
+
+    def statement_block(self, statement: ast.stmt) -> list[ast.stmt] | None:
+        """The statement list that directly contains ``statement``."""
+        parent = self.parents.get(statement)
+        if parent is None:
+            return None
+        for field_name in ("body", "orelse", "finalbody", "handlers"):
+            block = getattr(parent, field_name, None)
+            if isinstance(block, list) and statement in block:
+                return block
+        for handler in getattr(parent, "handlers", []) or []:
+            if statement in getattr(handler, "body", []):
+                return handler.body
+        return None
+
+
+def _parse_suppressions(lines: Sequence[str]) -> dict[int, Suppression]:
+    """Map *effective* line number -> suppression.
+
+    A suppression on a pure-comment line applies to the next line (so long
+    calls can carry their waiver above); otherwise it applies to its own
+    line.
+    """
+    table: dict[int, Suppression] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _NOQA_PATTERN.search(text)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group("rules").split(","))
+        effective = index + 1 if text.lstrip().startswith("#") else index
+        table[effective] = Suppression(
+            rules=rules, justification=match.group("why"), line=index
+        )
+    return table
+
+
+class Rule:
+    """Base class for one repo invariant check.
+
+    Subclasses set ``id`` (the ``RULE-ID`` used in reports and ``noqa``
+    comments), ``severity`` and ``summary``, and implement
+    :meth:`check` yielding :class:`Finding` objects.  The class docstring
+    documents the motivating PR/incident and is surfaced by
+    ``python -m repro lint --list-rules``.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, ready for a reporter."""
+
+    targets: list[str]
+    files: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[SuppressedFinding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "error": sum(1 for f in self.findings if f.severity is Severity.ERROR),
+            "warning": sum(1 for f in self.findings if f.severity is Severity.WARNING),
+            "suppressed": len(self.suppressed),
+        }
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        if self.errors:
+            return 2
+        if strict and self.findings:
+            return 1
+        if any(finding.severity is Severity.ERROR for finding in self.findings):
+            return 1
+        return 0
+
+
+def iter_python_files(targets: Iterable[Path]) -> Iterator[Path]:
+    for target in targets:
+        if target.is_dir():
+            yield from sorted(
+                path
+                for path in target.rglob("*.py")
+                if "__pycache__" not in path.parts
+            )
+        elif target.suffix == ".py":
+            yield target
+
+
+def parse_module(path: Path) -> ModuleContext:
+    source = path.read_text(encoding="utf-8")
+    return ModuleContext(path, source, ast.parse(source, filename=str(path)))
+
+
+def _apply_suppressions(
+    module: ModuleContext, findings: Iterable[Finding], report: LintReport
+) -> None:
+    for finding in findings:
+        suppression = module.suppressions.get(finding.line)
+        if suppression is None or finding.rule not in suppression.rules:
+            report.findings.append(finding)
+        elif not suppression.justification:
+            report.findings.append(
+                Finding(
+                    rule=finding.rule,
+                    severity=finding.severity,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message
+                    + " (suppression comment present but missing the required"
+                    " '-- justification' text, so it does not apply)",
+                )
+            )
+        else:
+            report.suppressed.append(
+                SuppressedFinding(finding=finding, justification=suppression.justification)
+            )
+
+
+def lint_paths(
+    targets: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Run ``rules`` (default: every shipped rule) over ``targets``."""
+    if rules is None:
+        from .rules import all_rules
+
+        rules = all_rules()
+    paths = [Path(target) for target in targets]
+    report = LintReport(targets=[path.as_posix() for path in paths])
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        report.errors.extend(f"no such file or directory: {path}" for path in missing)
+        return report
+    for file_path in iter_python_files(paths):
+        try:
+            module = parse_module(file_path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            report.errors.append(f"cannot parse {file_path}: {error}")
+            continue
+        report.files += 1
+        collected: list[Finding] = []
+        for rule in rules:
+            collected.extend(rule.check(module))
+        collected.sort(key=lambda finding: (finding.line, finding.col, finding.rule))
+        _apply_suppressions(module, collected, report)
+    report.findings.sort(key=lambda finding: (finding.path, finding.line, finding.col))
+    return report

@@ -1,0 +1,96 @@
+"""Render a :class:`~repro.analysis.core.LintReport` as text or JSON.
+
+The text form is for humans and CI logs; the JSON form
+(``python -m repro lint --format json``) is schema-tagged
+(``repro-lint/1``) the same way the bench documents are
+(``repro-bench/1``), so tooling can consume findings without scraping.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import LintReport
+
+#: Schema tag written into every JSON report.
+JSON_SCHEMA = "repro-lint/1"
+
+
+def render_text(report: LintReport, *, strict: bool = False, verbose: bool = False) -> str:
+    """Human-readable report: findings, then suppressions, then the tally."""
+    lines: list[str] = []
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    for finding in report.findings:
+        lines.append(finding.render())
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.append(f"{len(report.suppressed)} suppressed finding(s):")
+        for suppressed in report.suppressed:
+            lines.append(f"  {suppressed.finding.render()}")
+            lines.append(f"    justification: {suppressed.justification}")
+    counts = report.counts()
+    lines.append(
+        f"checked {report.files} file(s): "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['suppressed']} suppressed"
+    )
+    code = report.exit_code(strict=strict)
+    if code == 0:
+        lines.append("clean.")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, *, strict: bool = False) -> str:
+    """Machine-readable report (schema ``repro-lint/1``)."""
+    document = {
+        "schema": JSON_SCHEMA,
+        "targets": report.targets,
+        "files": report.files,
+        "counts": report.counts(),
+        "exit_code": report.exit_code(strict=strict),
+        "strict": bool(strict),
+        "errors": list(report.errors),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "severity": finding.severity.value,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in report.findings
+        ],
+        "suppressed": [
+            {
+                "rule": suppressed.finding.rule,
+                "severity": suppressed.finding.severity.value,
+                "path": suppressed.finding.path,
+                "line": suppressed.finding.line,
+                "col": suppressed.finding.col,
+                "message": suppressed.finding.message,
+                "justification": suppressed.justification,
+            }
+            for suppressed in report.suppressed
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def render_rule_table() -> str:
+    """The ``--list-rules`` listing: id, severity, summary, motivation."""
+    from .rules import all_rules
+
+    lines: list[str] = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.severity.value}]")
+        lines.append(f"  {rule.summary}")
+        doc = (rule.__class__.__doc__ or "").strip().splitlines()
+        for line in doc:
+            lines.append(f"    {line.strip()}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+__all__ = ["JSON_SCHEMA", "render_text", "render_json", "render_rule_table"]

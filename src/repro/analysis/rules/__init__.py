@@ -1,0 +1,36 @@
+"""The shipped rule set, one plugin module per invariant family.
+
+* :mod:`.concurrency` — shared-memory lifecycle, dispatch hygiene and lock
+  discipline (the PR 4/PR 5 runtime invariants);
+* :mod:`.determinism` — bit-determinism of solver paths and the hot-path
+  no-float-sort rule;
+* :mod:`.hygiene` — env-var registry routing, bound-docstring citations and
+  the spill-tier access boundary.
+
+:func:`all_rules` instantiates one of each in stable (report) order; the
+engine treats rules as plugins, so a new invariant is one subclass plus a
+registry entry here.
+"""
+
+from __future__ import annotations
+
+from ..core import Rule
+from .concurrency import LockDisciplineRule, ShmLifecycleRule, SyncInDispatchRule
+from .determinism import FloatSortHotpathRule, NondetRule
+from .hygiene import BoundAdmissibleDocRule, EnvRegistryRule, SpillPathRule
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    ShmLifecycleRule,
+    SyncInDispatchRule,
+    LockDisciplineRule,
+    FloatSortHotpathRule,
+    NondetRule,
+    EnvRegistryRule,
+    BoundAdmissibleDocRule,
+    SpillPathRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule, in report order."""
+    return [rule_class() for rule_class in RULE_CLASSES]

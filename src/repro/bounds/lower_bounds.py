@@ -101,7 +101,12 @@ def one_center_representative_lower_bound(dataset: UncertainDataset, k: int) -> 
 
 
 def assigned_cost_lower_bound(dataset: UncertainDataset, k: int) -> float:
-    """Best available lower bound on the optimal unrestricted assigned cost."""
+    """Best available lower bound on the optimal unrestricted assigned cost.
+
+    The max of the Lemma 3.2 per-point bound, the Lemma 3.6 1-center bound
+    and (for Euclidean-style metrics) the Lemma 3.4 expected-point bound —
+    each individually a valid lower bound, so their maximum is too.
+    """
     bounds = [per_point_lower_bound(dataset), one_center_representative_lower_bound(dataset, k)]
     if dataset.metric.supports_expected_point:
         bounds.append(expected_point_lower_bound(dataset, k))
@@ -124,7 +129,14 @@ PRUNE_SLACK = 1e-9
 
 
 def prune_margin(threshold: float) -> float:
-    """The absolute slack added to ``threshold`` before pruning against it."""
+    """The absolute slack added to ``threshold`` before pruning against it.
+
+    The bounds are admissible in *real* arithmetic; this relative slack
+    (:data:`PRUNE_SLACK`) absorbs cross-kernel floating-point rounding so a
+    row is pruned only when its bound exceeds the incumbent by more than any
+    rounding could explain — widening the margin can only reduce pruning,
+    never change a result.
+    """
     return PRUNE_SLACK * max(1.0, abs(threshold))
 
 
@@ -152,7 +164,9 @@ def subset_unassigned_lower_bounds(context: CostContext, subset_rows: np.ndarray
 def assignment_lower_bounds(context: CostContext, candidate_index_rows: np.ndarray) -> np.ndarray:
     """Per-assignment-row bounds for the exhaustive enumeration stage.
 
-    Delegates to
+    Admissible by the row-wise Lemma 3.2 argument: an assignment's cost
+    ``E[max_i d(P_i, c_i)]`` is at least ``max_i E[d(P_i, c_i)]`` (Jensen on
+    the max), a gather-max over the cached expected matrix.  Delegates to
     :meth:`~repro.cost.context.CostContext.assignment_lower_bounds`.
     """
     return context.assignment_lower_bounds(candidate_index_rows)

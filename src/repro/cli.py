@@ -14,11 +14,18 @@ Sub-commands
     Run the outlier / support-size sensitivity sweeps (E13a/E13b).
 ``bench``
     Execute the machine-readable benchmark suite and write its JSON document
-    (``--out``, ``BENCH_PR5.json`` by default) — the perf trajectory future
-    PRs compare against.  ``--compare BENCH_PR4.json`` prints a per-case
+    (``--out``, ``BENCH_PR6.json`` by default) — the perf trajectory future
+    PRs compare against.  ``--compare BENCH_PR5.json`` prints a per-case
     speedup delta table against an earlier document; exit code 3 flags >20%
     regressions (other nonzero codes are crashes).  ``--quick`` runs the
     fast subset of cases for CI smoke steps.
+``lint``
+    Run the repo-aware static checker (:mod:`repro.analysis`) over the tree:
+    AST rules enforcing the runtime's concurrency, determinism and hot-path
+    invariants.  Exit 0 clean, 1 findings (warnings too under ``--strict``),
+    2 usage error — suitable for CI gating.  ``--list-rules`` prints every
+    rule with the incident that motivated it; ``--env-table`` prints the
+    README environment-variable table generated from :mod:`repro._env`.
 ``solve``
     Solve an uncertain k-center instance stored in a JSON file (the format
     written by :meth:`repro.UncertainDataset.save_json`).
@@ -139,15 +146,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         dest="out",
         type=Path,
-        default=Path("BENCH_PR5.json"),
-        help="JSON document to write (default: BENCH_PR5.json)",
+        default=Path("BENCH_PR6.json"),
+        help="JSON document to write (default: BENCH_PR6.json)",
     )
     bench.add_argument(
         "--compare",
         type=Path,
         default=None,
         help=(
-            "earlier benchmark document (e.g. BENCH_PR4.json) to diff against; "
+            "earlier benchmark document (e.g. BENCH_PR5.json) to diff against; "
             "prints a per-case speedup delta table (cases present in only one "
             "document are listed, not errors) and exits with code 3 on >20%% "
             "regressions"
@@ -163,6 +170,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="run only the fast smoke subset of cases (CI's bench step)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repo-aware static checker (runtime invariants)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files/directories to check (default: src/ when present, else .)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is schema-tagged repro-lint/1)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warning-severity findings as gating (exit 1)",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed findings with their justifications",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule (id, severity, motivating incident) and exit",
+    )
+    lint.add_argument(
+        "--env-table",
+        action="store_true",
+        help="print the README environment-variable table generated from repro._env and exit",
     )
 
     solve = subparsers.add_parser("solve", help="solve an instance from a JSON dataset file")
@@ -248,6 +292,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from ._env import render_readme_table
+    from .analysis import lint_paths, render_json, render_rule_table, render_text
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+    if args.env_table:
+        print(render_readme_table())
+        return 0
+    targets = args.paths or ([Path("src")] if Path("src").is_dir() else [Path(".")])
+    report = lint_paths(targets)
+    if args.format == "json":
+        print(render_json(report, strict=args.strict))
+    else:
+        print(render_text(report, strict=args.strict, verbose=args.verbose))
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     dataset = UncertainDataset.load_json(args.dataset)
     if args.objective == "restricted":
@@ -297,6 +360,7 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "sensitivity": _cmd_sensitivity,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
     "solve": _cmd_solve,
     "demo": _cmd_demo,
 }

@@ -491,7 +491,7 @@ class CostContext:
                 # (B, g, z): per-location global-rank minimum over the subset.
                 rank_min = ranks[:, :, rows].min(axis=3).transpose(2, 0, 1)
                 packed = (rank_min.astype(dtype) << shift) | locations
-                packed.sort(axis=2)
+                packed.sort(axis=2)  # repro: noqa[FLOAT-SORT-HOTPATH] -- this IS the rank merge: bit-packed integer keys (global rank << shift | location), no float comparisons
                 location = packed & ((1 << shift) - 1)
                 sorted_probabilities = weights[np.arange(g)[None, :, None], location]
                 cdf_after = np.cumsum(sorted_probabilities, axis=2)

@@ -77,7 +77,6 @@ import numpy as np
 
 from .._validation import as_point_array
 from ..exceptions import ValidationError
-from ..metrics.base import Metric
 from ..uncertain.dataset import UncertainDataset
 
 

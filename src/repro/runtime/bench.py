@@ -1,11 +1,11 @@
 """Machine-readable benchmark runner (``python -m repro bench``).
 
-Times the repo's hot execution paths — including the PR-5 additions: the
-branch-and-bound pruned brute-force enumerations with their shared incumbent
-— and writes one JSON document (``BENCH_PR5.json`` by default) so future PRs
-have a perf trajectory to compare against instead of anecdotes.
+Times the repo's hot execution paths — including the PR-6 addition: the
+``repro lint`` static checker over the whole tree, which gates CI ahead of
+tier-1 — and writes one JSON document (``BENCH_PR6.json`` by default) so
+future PRs have a perf trajectory to compare against instead of anecdotes.
 ``--compare`` diffs a run against an earlier document (e.g. the checked-in
-``BENCH_PR4.json``): shared ``*_seconds`` metrics get a delta line, cases
+``BENCH_PR5.json``): shared ``*_seconds`` metrics get a delta line, cases
 present in only one document are *listed* (a PR adding or retiring cases is
 normal, not an error), and >20% regressions exit with code 3 so CI can
 distinguish "slower" (warn) from "crashed" (fail).  ``--quick`` runs the
@@ -45,6 +45,9 @@ Cases
 ``wang_zhang_column_splice`` / ``batch_cost_kernel`` / ``local_search_sweep``
     / ``context_store_memoization``
     The PR-1/2/3 guards re-measured so the trajectory stays comparable.
+``lint_full_tree``
+    ``repro lint`` wall clock over ``src/repro`` (the CI gate's latency) and
+    the self-check that the tree lints clean (``findings`` must be 0).
 
 Every case reports best-of-``repeats`` seconds; timings are environment
 dependent by nature, so the document also records the Python/NumPy versions,
@@ -78,7 +81,7 @@ from .parallel import available_workers, set_oversubscribe
 from .store import ContextStore
 
 #: Default output path for the checked-in benchmark trajectory.
-DEFAULT_OUTPUT = "BENCH_PR5.json"
+DEFAULT_OUTPUT = "BENCH_PR6.json"
 #: Wall-clock speedup the pruned restricted brute force targets.
 PRUNE_SPEEDUP_TARGET = 3.0
 #: Fraction of subset rows the acceptance instance must prune.
@@ -234,6 +237,7 @@ def _dispatch_payload() -> tuple:
 def bench_shm_dispatch_bytes() -> dict:
     """Descriptor-dispatch bytes vs pickling the full payload per call."""
     payload = _dispatch_payload()
+    # repro: noqa[SPILL-PATH] -- the bench measures the full-payload pickle size to report the descriptor-dispatch win; it never persists the bytes
     pickled_bytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
     descriptor, call_lease = shm_module.publish_payload(payload)
     try:
@@ -328,6 +332,7 @@ def bench_context_store_disk_spill() -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
         runs = []
         for _ in range(2):
+            # repro: noqa[ENV-REGISTRY] -- whole-environment copy for a subprocess, not a read of any one repro variable
             env = dict(os.environ)
             src_root = str(Path(__file__).resolve().parents[2])
             env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
@@ -489,6 +494,32 @@ def bench_context_store(repeats: int = 3) -> dict:
     }
 
 
+def bench_lint_full_tree(repeats: int = 3) -> dict:
+    """``repro lint`` wall-clock over the whole ``src/repro`` tree (PR 6).
+
+    The lint job gates CI ahead of tier-1, so its latency is part of every
+    push's critical path; tracking it here keeps rule authors honest about
+    quadratic visitors.  The tree must also lint clean — a nonzero finding
+    count in the checked-in document would mean the self-check regressed.
+    """
+    from ..analysis import all_rules, lint_paths
+
+    tree = Path(__file__).resolve().parents[1]
+    report = lint_paths([tree])
+
+    def lint_tree() -> None:
+        lint_paths([tree])
+
+    seconds = _best_of(lint_tree, repeats)
+    return {
+        "lint_full_tree_seconds": seconds,
+        "files_checked": report.files,
+        "rules": len(all_rules()),
+        "findings": len(report.findings),
+        "suppressed": len(report.suppressed),
+    }
+
+
 CASES: dict[str, Callable[[], dict]] = {
     "brute_force_prune_restricted": bench_prune_restricted,
     "brute_force_prune_unassigned": bench_prune_unassigned,
@@ -501,6 +532,7 @@ CASES: dict[str, Callable[[], dict]] = {
     "batch_cost_kernel": bench_batch_cost_kernel,
     "local_search_sweep": bench_local_search_sweep,
     "context_store_memoization": bench_context_store,
+    "lint_full_tree": bench_lint_full_tree,
 }
 
 #: The fast smoke subset ``--quick`` runs (CI's bench step): everything that
@@ -514,6 +546,7 @@ QUICK_CASES: tuple[str, ...] = (
     "wang_zhang_column_splice",
     "batch_cost_kernel",
     "context_store_memoization",
+    "lint_full_tree",
 )
 
 
@@ -567,7 +600,7 @@ def run_bench(
     revision, dirty = _git_state()
     document = {
         "schema": "repro-bench/1",
-        "pr": "PR5",
+        "pr": "PR6",
         "quick": bool(quick and not cases),
         "created_unix": now,
         "created_iso": datetime.datetime.fromtimestamp(

@@ -131,6 +131,7 @@ class SharedIncumbent:
             return
         self._best = cost
         slot = self._slot
+        # repro: noqa[LOCK-DISCIPLINE] -- documented lock-light CAS: a torn/stale peek only costs a redundant lock acquire; the write re-checks under slot.lock below
         raw_value = slot.value.get_obj()
         if cost < raw_value.value:  # unlocked peek: stale is harmless here
             with slot.lock:

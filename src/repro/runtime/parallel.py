@@ -72,6 +72,7 @@ import pickle
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
+from .._env import env_flag
 from . import incumbent as incumbent_module
 from . import pool as pool_module
 from . import shm as shm_module
@@ -87,8 +88,8 @@ INLINE_PAYLOAD_BYTES = 65536
 #: Fewest work items worth dispatching to a pool at all.
 DEFAULT_MIN_ITEMS = 2
 
-_OVERSUBSCRIBE = os.environ.get("REPRO_OVERSUBSCRIBE", "") not in ("", "0")
-_SHM_DEFAULT = os.environ.get("REPRO_SHM", "1") not in ("", "0")
+_OVERSUBSCRIBE = env_flag("REPRO_OVERSUBSCRIBE", default=False)
+_SHM_DEFAULT = env_flag("REPRO_SHM", default=True)
 
 # -- compatibility state for the per-call initializer pool -------------------
 
@@ -184,6 +185,7 @@ def _map_with_fresh_pool(
     """
     context = _pool_context()
     handles = incumbent_module.slot_handles() if incumbent_token is not None else None
+    # repro: noqa[SYNC-IN-DISPATCH] -- the sanctioned PR 3 fallback: the slot travels via initargs through _init_worker, exactly the initializer protocol the rule enforces
     with context.Pool(
         processes=workers,
         initializer=_init_worker,

@@ -186,13 +186,19 @@ def pack_arrays(arrays: dict[str, np.ndarray]) -> tuple[SegmentDescriptor, Segme
     nbytes = max(1, offset)
     name = f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
     segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
-    for spec, (key, array) in zip(specs, arrays.items()):
-        array = np.ascontiguousarray(array)
-        view = np.ndarray(spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset)
-        view[...] = array
-    return SegmentDescriptor(name=segment.name, nbytes=nbytes, arrays=tuple(specs)), SegmentLease(
-        segment
-    )
+    # The lease must exist before anything else can raise: an exception
+    # between create and lease would orphan the segment in /dev/shm with
+    # nothing owning its unlink (SHM-LIFECYCLE).
+    lease = SegmentLease(segment)
+    try:
+        for spec, (key, array) in zip(specs, arrays.items()):
+            array = np.ascontiguousarray(array)
+            view = np.ndarray(spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset)
+            view[...] = array
+    except BaseException:
+        lease.close()
+        raise
+    return SegmentDescriptor(name=segment.name, nbytes=nbytes, arrays=tuple(specs)), lease
 
 
 def unpack_arrays(
@@ -573,11 +579,18 @@ def publish_blob(blob: bytes) -> tuple[BlobDescriptor, SegmentLease]:
 
     name = f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
     segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, len(blob)))
-    segment.buf[: len(blob)] = blob
+    # Lease immediately: a failed buffer write must not orphan the segment
+    # (SHM-LIFECYCLE, same rule as pack_arrays).
+    lease = SegmentLease(segment)
+    try:
+        segment.buf[: len(blob)] = blob
+    except BaseException:
+        lease.close()
+        raise
     descriptor = BlobDescriptor(
         name=name, nbytes=len(blob), token=hashlib.sha1(blob).hexdigest()
     )
-    return descriptor, SegmentLease(segment)
+    return descriptor, lease
 
 
 def materialize_blob(descriptor: BlobDescriptor) -> Any:
@@ -598,4 +611,5 @@ def live_segments() -> list[str]:
     root = "/dev/shm"
     if not os.path.isdir(root):  # pragma: no cover - non-POSIX
         return []
+    # repro: noqa[FLOAT-SORT-HOTPATH] -- leak-scan diagnostics over segment name strings; never on a solve path
     return sorted(name for name in os.listdir(root) if name.startswith(SEGMENT_PREFIX))

@@ -65,6 +65,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .._env import env_number, env_str
 from ..cost.context import CostContext
 from ..uncertain.dataset import UncertainDataset
 
@@ -83,17 +84,6 @@ SPILL_MAX_AGE_ENV = "REPRO_CONTEXT_SPILL_MAX_AGE"
 #: Bumped whenever the pickled context layout changes; mismatched spill
 #: files are ignored and rebuilt.
 SPILL_FORMAT = 1
-
-
-def _env_number(name: str, cast) -> "float | int | None":
-    raw = os.environ.get(name)
-    if not raw:
-        return None
-    try:
-        value = cast(float(raw))
-    except (ValueError, OverflowError):  # garbage or inf: treat as unset
-        return None
-    return value if value > 0 else None
 
 
 def _hash_array(hasher: "hashlib._Hash", array: np.ndarray) -> None:
@@ -149,12 +139,12 @@ class ContextStore:
     ):
         self.maxsize = max(1, int(maxsize))
         if spill_dir is None:
-            spill_dir = os.environ.get(SPILL_ENV) or None
+            spill_dir = env_str(SPILL_ENV)
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         if spill_max_bytes is None:
-            spill_max_bytes = _env_number(SPILL_MAX_ENV, int)
+            spill_max_bytes = env_number(SPILL_MAX_ENV, int)
         if spill_max_age_seconds is None:
-            spill_max_age_seconds = _env_number(SPILL_MAX_AGE_ENV, float)
+            spill_max_age_seconds = env_number(SPILL_MAX_AGE_ENV, float)
         self.spill_max_bytes = int(spill_max_bytes) if spill_max_bytes else None
         self.spill_max_age_seconds = (
             float(spill_max_age_seconds) if spill_max_age_seconds else None
@@ -238,7 +228,7 @@ class ContextStore:
             except OSError:  # pragma: no cover - raced with another process
                 continue
             entries.append((stat.st_mtime, stat.st_size, path))
-        entries.sort()
+        entries.sort()  # repro: noqa[FLOAT-SORT-HOTPATH] -- eviction housekeeping over (mtime, size, path) stat tuples, not a cost sweep
         return entries
 
     def _evict_spill_file(self, path: Path) -> bool:

@@ -122,7 +122,7 @@ class TestBenchRunner:
 
     def test_document_records_audit_metadata(self):
         document = run_bench(None, cases=["batch_cost_kernel"])
-        assert document["pr"] == "PR5"
+        assert document["pr"] == "PR6"
         # ISO timestamp parses and matches the unix stamp it sits next to.
         import datetime
 
@@ -162,7 +162,7 @@ class TestBenchCompare:
             )
             == 0
         )
-        assert json.loads(output.read_text())["pr"] == "PR5"
+        assert json.loads(output.read_text())["pr"] == "PR6"
 
     def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
         from repro.runtime.bench import compare_documents
@@ -197,6 +197,25 @@ class TestBenchCompare:
         garbage = tmp_path / "garbage.json"
         garbage.write_text("{not json")
         assert report_comparison({"cases": {}}, garbage) == 1
+
+    def test_compare_exit_code_contract(self, tmp_path, capsys):
+        """The full 0/3/1 contract of report_comparison in one place.
+
+        0 = identical documents, 3 = >20% regression on a shared product
+        metric, 1 = crashed/unreadable baseline — CI warns on 3 and gates
+        on 1, so the codes must never collapse into each other.
+        """
+        from repro.runtime.bench import REGRESSION_EXIT_CODE, report_comparison
+
+        document = {"cases": {"a": {"x_seconds": 0.010}, "b": {"y_seconds": 0.5}}}
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document))
+        assert report_comparison(json.loads(json.dumps(document)), baseline) == 0
+
+        regressed = {"cases": {"a": {"x_seconds": 0.030}, "b": {"y_seconds": 0.5}}}
+        assert report_comparison(regressed, baseline) == REGRESSION_EXIT_CODE == 3
+
+        assert report_comparison(document, tmp_path / "nope.json") == 1
 
     def test_compare_reports_one_sided_cases(self):
         from repro.runtime.bench import compare_documents
