@@ -73,6 +73,11 @@ REGISTRY: dict[str, EnvVar] = {
             usage="`REPRO_CONTEXT_SPILL_MAX_AGE=SECONDS`",
             effect="Evict spill files older than this",
         ),
+        EnvVar(
+            name="REPRO_SANITIZE",
+            usage="`REPRO_SANITIZE=shm,lock,det`",
+            effect="Enable runtime sanitizers (shm lifecycle, lock order, chunk determinism)",
+        ),
     )
 }
 

@@ -45,7 +45,10 @@ import enum
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from .dataflow.project import Project
 
 
 class Severity(enum.Enum):
@@ -224,6 +227,24 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program (interprocedural) checks.
+
+    Project rules run once per lint invocation over the
+    :class:`~repro.analysis.dataflow.project.Project` built from every
+    parsed module, instead of once per module.  They share the ``Finding``
+    schema, suppression comments and exit-code contract with per-module
+    rules; ``--no-dataflow`` skips them for the fast intra-module mode.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Project rules contribute nothing during the per-module pass."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 @dataclass
 class LintReport:
     """Everything one lint run produced, ready for a reporter."""
@@ -232,6 +253,8 @@ class LintReport:
     files: int = 0
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[SuppressedFinding] = field(default_factory=list)
+    #: Findings matched by ``--baseline`` — reported but never gating.
+    baselined: list[Finding] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
 
     def counts(self) -> dict[str, int]:
@@ -239,6 +262,7 @@ class LintReport:
             "error": sum(1 for f in self.findings if f.severity is Severity.ERROR),
             "warning": sum(1 for f in self.findings if f.severity is Severity.WARNING),
             "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
         }
 
     def exit_code(self, *, strict: bool = False) -> int:
@@ -268,47 +292,98 @@ def parse_module(path: Path) -> ModuleContext:
     return ModuleContext(path, source, ast.parse(source, filename=str(path)))
 
 
+def _apply_one_suppression(
+    module: ModuleContext, finding: Finding, report: LintReport
+) -> None:
+    suppression = module.suppressions.get(finding.line)
+    if suppression is None or finding.rule not in suppression.rules:
+        report.findings.append(finding)
+    elif not suppression.justification:
+        report.findings.append(
+            Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message
+                + " (suppression comment present but missing the required"
+                " '-- justification' text, so it does not apply)",
+            )
+        )
+    else:
+        report.suppressed.append(
+            SuppressedFinding(finding=finding, justification=suppression.justification)
+        )
+
+
 def _apply_suppressions(
     module: ModuleContext, findings: Iterable[Finding], report: LintReport
 ) -> None:
     for finding in findings:
-        suppression = module.suppressions.get(finding.line)
-        if suppression is None or finding.rule not in suppression.rules:
-            report.findings.append(finding)
-        elif not suppression.justification:
-            report.findings.append(
-                Finding(
-                    rule=finding.rule,
-                    severity=finding.severity,
-                    path=finding.path,
-                    line=finding.line,
-                    col=finding.col,
-                    message=finding.message
-                    + " (suppression comment present but missing the required"
-                    " '-- justification' text, so it does not apply)",
-                )
-            )
+        _apply_one_suppression(module, finding, report)
+
+
+def apply_baseline(report: LintReport, baseline: Mapping[str, Any]) -> None:
+    """Move findings matched by a checked-in baseline to ``report.baselined``.
+
+    ``baseline`` is a previously written ``--format json`` document (or any
+    mapping with a ``findings`` list of ``{"rule", "path", ...}`` entries).
+    Matching is by ``(rule, path)`` occurrence count, **not** line number,
+    so unrelated edits that shift a known finding up or down a file do not
+    resurrect it; a *new* finding of an already-baselined rule in the same
+    file only gates once the baseline's count for that pair is used up.
+    Baselined findings never affect :meth:`LintReport.exit_code` — that is
+    the warn-first landing path for new rules.
+    """
+    budget: dict[tuple[str, str], int] = {}
+    for entry in baseline.get("findings", []):
+        key = (str(entry.get("rule", "")), str(entry.get("path", "")))
+        budget[key] = budget.get(key, 0) + 1
+    remaining: list[Finding] = []
+    for finding in report.findings:
+        key = (finding.rule, finding.path)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            report.baselined.append(finding)
         else:
-            report.suppressed.append(
-                SuppressedFinding(finding=finding, justification=suppression.justification)
-            )
+            remaining.append(finding)
+    report.findings = remaining
 
 
 def lint_paths(
     targets: Sequence[str | Path],
     rules: Sequence[Rule] | None = None,
+    *,
+    dataflow: bool = True,
 ) -> LintReport:
-    """Run ``rules`` (default: every shipped rule) over ``targets``."""
+    """Run ``rules`` (default: every shipped rule) over ``targets``.
+
+    With ``dataflow=True`` (the default) the parsed modules are additionally
+    assembled into a :class:`~repro.analysis.dataflow.project.Project` and
+    the interprocedural rules from :mod:`repro.analysis.dataflow` run over
+    it; ``dataflow=False`` preserves the fast intra-module-only mode
+    (``--no-dataflow`` on the CLI).  Explicitly passed ``rules`` are split
+    by kind: :class:`ProjectRule` instances run in the project pass, the
+    rest per module.
+    """
+    from .dataflow import dataflow_rules
+
     if rules is None:
         from .rules import all_rules
 
-        rules = all_rules()
+        rules = list(all_rules())
+        if dataflow:
+            rules = rules + list(dataflow_rules())
+    module_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
     paths = [Path(target) for target in targets]
     report = LintReport(targets=[path.as_posix() for path in paths])
     missing = [path for path in paths if not path.exists()]
     if missing:
         report.errors.extend(f"no such file or directory: {path}" for path in missing)
         return report
+    parsed: dict[str, ModuleContext] = {}
     for file_path in iter_python_files(paths):
         try:
             module = parse_module(file_path)
@@ -316,10 +391,22 @@ def lint_paths(
             report.errors.append(f"cannot parse {file_path}: {error}")
             continue
         report.files += 1
+        parsed[module.path] = module
         collected: list[Finding] = []
-        for rule in rules:
+        for rule in module_rules:
             collected.extend(rule.check(module))
         collected.sort(key=lambda finding: (finding.line, finding.col, finding.rule))
         _apply_suppressions(module, collected, report)
+    if dataflow and project_rules and parsed:
+        from .dataflow.project import Project
+
+        project = Project(parsed)
+        for project_rule in project_rules:
+            for finding in project_rule.check_project(project):
+                owner = parsed.get(finding.path)
+                if owner is None:
+                    report.findings.append(finding)
+                else:
+                    _apply_one_suppression(owner, finding, report)
     report.findings.sort(key=lambda finding: (finding.path, finding.line, finding.col))
     return report

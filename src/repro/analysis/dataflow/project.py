@@ -1,0 +1,278 @@
+"""Project symbol table and call resolution for the whole-program lint pass.
+
+The intra-module rules in :mod:`repro.analysis.rules` see one file at a
+time, so a seed that flows through a helper in another module, or a
+``SegmentLease`` handed to a caller who drops it, is invisible to them.
+This module parses every file of a target tree **once** (reusing the same
+:class:`~repro.analysis.core.ModuleContext` objects the per-module rules
+already ran on) and derives the project-level indexes the interprocedural
+rules in :mod:`repro.analysis.dataflow.rules` need:
+
+* a module table keyed by dotted name (``repro.runtime.shm``), derived
+  purely from file paths so fixture trees that mirror the repo layout
+  resolve exactly like the real tree;
+* per-module symbol tables: top-level functions, methods (stored under
+  ``Class.method`` qualnames), classes, and the import alias table with
+  absolute and relative ``from``-imports resolved to dotted targets;
+* :meth:`Project.resolve_call` — best-effort resolution of a call
+  expression to the function/class definition it names, following import
+  aliases (including one re-export hop through an ``__init__``) and
+  ``self.method()`` calls on the enclosing class.
+
+Resolution is deliberately *unsound but precise*: anything dynamic
+(``getattr``, callables in containers, monkeypatching) resolves to
+``None`` and the dataflow rules stay silent rather than guess.  That is
+the right trade for a lint gate — every reported chain is a real static
+path through the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..core import ModuleContext
+
+#: Follow at most this many re-export hops (``from .shm import pack_arrays``
+#: in an ``__init__``) before giving up; guards against alias cycles.
+MAX_ALIAS_HOPS = 5
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+_FUNCTION_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from a file path.
+
+    ``src/repro/runtime/shm.py`` -> ``src.repro.runtime.shm``; package
+    ``__init__`` files collapse onto the package name itself.  Names are
+    matched by suffix during resolution, so the leading components
+    (``src``, a tmp fixture root, ...) never matter.
+    """
+    parts = list(path.parts)
+    parts[-1] = parts[-1][: -len(".py")] if parts[-1].endswith(".py") else parts[-1]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+@dataclass(eq=False)
+class ProjectModule:
+    """One module of the project plus its derived symbol tables."""
+
+    name: str
+    #: Base package for level-1 relative imports (the module's own name for
+    #: ``__init__`` files, its parent package otherwise).
+    package: str
+    is_package: bool
+    context: ModuleContext
+    #: Local qualname (``helper`` or ``Class.method``) -> def node.
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: Import alias -> absolute dotted target (``pack`` -> ``repro.runtime.shm.pack_arrays``).
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def local_symbol(self, name: str) -> FunctionNode | ast.ClassDef | None:
+        return self.functions.get(name) or self.classes.get(name)
+
+
+@dataclass(eq=False)
+class Resolved:
+    """Where a call landed: the defining module plus the definition node."""
+
+    kind: str  # "function" | "class" | "module"
+    module: ProjectModule
+    qualname: str
+    node: ast.AST | None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Stable identity for memo tables: (module name, qualname)."""
+        return (self.module.name, self.qualname)
+
+
+def _index_module(context: ModuleContext) -> ProjectModule:
+    path = context.file
+    name = module_name_for(path)
+    is_package = path.name == "__init__.py"
+    package = name if is_package else name.rpartition(".")[0]
+    module = ProjectModule(
+        name=name, package=package, is_package=is_package, context=context
+    )
+    for node in context.tree.body:
+        if isinstance(node, _FUNCTION_TYPES):
+            module.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            module.classes[node.name] = node
+            for item in node.body:
+                if isinstance(item, _FUNCTION_TYPES):
+                    module.functions[f"{node.name}.{item.name}"] = item
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    module.imports[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the *root* name ``a``.
+                    root = alias.name.split(".", 1)[0]
+                    module.imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = _import_base(module, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return module
+
+
+def _import_base(module: ProjectModule, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted base for an import-from, or None if it escapes the tree."""
+    if node.level == 0:
+        return node.module or ""
+    package_parts = module.package.split(".") if module.package else []
+    drop = node.level - 1
+    if drop > len(package_parts):
+        return None
+    base_parts = package_parts[: len(package_parts) - drop]
+    if node.module:
+        base_parts.extend(node.module.split("."))
+    return ".".join(base_parts)
+
+
+class Project:
+    """All parsed modules of one lint run plus cross-module resolution."""
+
+    def __init__(self, contexts: Mapping[str, ModuleContext]):
+        self.modules: dict[str, ProjectModule] = {}
+        #: Suffix index: last dotted component -> candidate module names.
+        self._by_tail: dict[str, list[str]] = {}
+        for context in contexts.values():
+            module = _index_module(context)
+            self.modules[module.name] = module
+            tail = module.name.rpartition(".")[2]
+            self._by_tail.setdefault(tail, []).append(module.name)
+
+    def __iter__(self) -> Iterator[ProjectModule]:
+        return iter(self.modules.values())
+
+    # -- module lookup -------------------------------------------------------
+
+    def resolve_module(self, dotted: str) -> ProjectModule | None:
+        """Find the project module an absolute dotted name refers to.
+
+        Exact match first; otherwise a unique suffix match, so the import
+        ``repro.runtime.shm`` finds the module indexed under
+        ``src.repro.runtime.shm`` (and tmp-dir fixture trees behave the
+        same way).  Ambiguous suffixes resolve to None.
+        """
+        if not dotted:
+            return None
+        if dotted in self.modules:
+            return self.modules[dotted]
+        tail = dotted.rpartition(".")[2]
+        matches = [
+            name
+            for name in self._by_tail.get(tail, ())
+            if name.endswith("." + dotted)
+        ]
+        if len(matches) == 1:
+            return self.modules[matches[0]]
+        return None
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(self, module: ProjectModule, call: ast.Call) -> Resolved | None:
+        """Resolve a call expression to the definition it names, if static."""
+        dotted = module.context.dotted_name(call.func)
+        if dotted is None:
+            return None
+        return self.resolve_name(module, dotted, site=call)
+
+    def resolve_name(
+        self, module: ProjectModule, dotted: str, site: ast.AST | None = None
+    ) -> Resolved | None:
+        parts = dotted.split(".")
+        # self.method() resolves on the enclosing class.
+        if parts[0] == "self" and len(parts) == 2 and site is not None:
+            owner = self._enclosing_class(module, site)
+            if owner is not None:
+                qualname = f"{owner.name}.{parts[1]}"
+                node = module.functions.get(qualname)
+                if node is not None:
+                    return Resolved("function", module, qualname, node)
+            return None
+        # Import alias on the first component (aliases are single names).
+        if parts[0] in module.imports:
+            target = ".".join([module.imports[parts[0]], *parts[1:]])
+            return self._resolve_dotted(target, MAX_ALIAS_HOPS)
+        # Local symbols: bare function/class, or Class.method.
+        if len(parts) == 1:
+            return self._local(module, parts[0])
+        if len(parts) == 2 and f"{parts[0]}.{parts[1]}" in module.functions:
+            qualname = f"{parts[0]}.{parts[1]}"
+            return Resolved("function", module, qualname, module.functions[qualname])
+        return None
+
+    def _local(self, module: ProjectModule, name: str) -> Resolved | None:
+        if name in module.functions:
+            return Resolved("function", module, name, module.functions[name])
+        if name in module.classes:
+            return Resolved("class", module, name, module.classes[name])
+        return None
+
+    def _resolve_dotted(self, dotted: str, hops: int) -> Resolved | None:
+        """Resolve an absolute dotted path to a definition.
+
+        Tries the longest module prefix first (``repro.runtime.shm`` +
+        ``pack_arrays``), falling back through shorter prefixes; a name
+        that lands on an import alias (a re-export) is followed for up to
+        ``hops`` further hops.
+        """
+        if hops <= 0:
+            return None
+        parts = dotted.split(".")
+        for split in range(len(parts), 0, -1):
+            module = self.resolve_module(".".join(parts[:split]))
+            if module is None:
+                continue
+            rest = parts[split:]
+            if not rest:
+                return Resolved("module", module, module.name, None)
+            if len(rest) == 1:
+                local = self._local(module, rest[0])
+                if local is not None:
+                    return local
+            if len(rest) == 2 and f"{rest[0]}.{rest[1]}" in module.functions:
+                qualname = f"{rest[0]}.{rest[1]}"
+                return Resolved(
+                    "function", module, qualname, module.functions[qualname]
+                )
+            if rest[0] in module.imports:
+                target = ".".join([module.imports[rest[0]], *rest[1:]])
+                return self._resolve_dotted(target, hops - 1)
+            return None
+        return None
+
+    @staticmethod
+    def _enclosing_class(module: ProjectModule, node: ast.AST) -> ast.ClassDef | None:
+        current = module.context.parent(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = module.context.parent(current)
+        return None
+
+
+__all__ = [
+    "FunctionNode",
+    "MAX_ALIAS_HOPS",
+    "Project",
+    "ProjectModule",
+    "Resolved",
+    "module_name_for",
+]

@@ -29,12 +29,22 @@ def render_text(report: LintReport, *, strict: bool = False, verbose: bool = Fal
         for suppressed in report.suppressed:
             lines.append(f"  {suppressed.finding.render()}")
             lines.append(f"    justification: {suppressed.justification}")
+    if report.baselined:
+        lines.append("")
+        lines.append(
+            f"{len(report.baselined)} baselined finding(s) (known, not gating):"
+        )
+        for finding in report.baselined:
+            lines.append(f"  {finding.render()}")
     counts = report.counts()
-    lines.append(
+    tally = (
         f"checked {report.files} file(s): "
         f"{counts['error']} error(s), {counts['warning']} warning(s), "
         f"{counts['suppressed']} suppressed"
     )
+    if counts["baselined"]:
+        tally += f", {counts['baselined']} baselined"
+    lines.append(tally)
     code = report.exit_code(strict=strict)
     if code == 0:
         lines.append("clean.")
@@ -74,17 +84,40 @@ def render_json(report: LintReport, *, strict: bool = False) -> str:
             }
             for suppressed in report.suppressed
         ],
+        "baselined": [
+            {
+                "rule": finding.rule,
+                "severity": finding.severity.value,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in report.baselined
+        ],
     }
     return json.dumps(document, indent=2)
 
 
 def render_rule_table() -> str:
-    """The ``--list-rules`` listing: id, severity, summary, motivation."""
+    """The ``--list-rules`` listing: id, severity, summary, motivation.
+
+    Intra-module rules first, then the interprocedural (dataflow) rules,
+    marked as such because ``--no-dataflow`` skips them.
+    """
+    from .dataflow import dataflow_rules
     from .rules import all_rules
 
     lines: list[str] = []
     for rule in all_rules():
         lines.append(f"{rule.id}  [{rule.severity.value}]")
+        lines.append(f"  {rule.summary}")
+        doc = (rule.__class__.__doc__ or "").strip().splitlines()
+        for line in doc:
+            lines.append(f"    {line.strip()}")
+        lines.append("")
+    for rule in dataflow_rules():
+        lines.append(f"{rule.id}  [{rule.severity.value}]  (dataflow)")
         lines.append(f"  {rule.summary}")
         doc = (rule.__class__.__doc__ or "").strip().splitlines()
         for line in doc:

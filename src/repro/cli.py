@@ -14,7 +14,7 @@ Sub-commands
     Run the outlier / support-size sensitivity sweeps (E13a/E13b).
 ``bench``
     Execute the machine-readable benchmark suite and write its JSON document
-    (``--out``, ``BENCH_PR6.json`` by default) — the perf trajectory future
+    (``--out``, ``BENCH_PR7.json`` by default) — the perf trajectory future
     PRs compare against.  ``--compare BENCH_PR5.json`` prints a per-case
     speedup delta table against an earlier document; exit code 3 flags >20%
     regressions (other nonzero codes are crashes).  ``--quick`` runs the
@@ -146,8 +146,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         dest="out",
         type=Path,
-        default=Path("BENCH_PR6.json"),
-        help="JSON document to write (default: BENCH_PR6.json)",
+        default=Path("BENCH_PR7.json"),
+        help="JSON document to write (default: BENCH_PR7.json)",
     )
     bench.add_argument(
         "--compare",
@@ -207,6 +207,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--env-table",
         action="store_true",
         help="print the README environment-variable table generated from repro._env and exit",
+    )
+    lint.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the whole-program dataflow pass (fast intra-module mode)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON report (--format json output) of known findings to report without gating",
     )
 
     solve = subparsers.add_parser("solve", help="solve an instance from a JSON dataset file")
@@ -294,7 +305,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from ._env import render_readme_table
-    from .analysis import lint_paths, render_json, render_rule_table, render_text
+    from .analysis import (
+        apply_baseline,
+        lint_paths,
+        render_json,
+        render_rule_table,
+        render_text,
+    )
 
     if args.list_rules:
         print(render_rule_table())
@@ -303,7 +320,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_readme_table())
         return 0
     targets = args.paths or ([Path("src")] if Path("src").is_dir() else [Path(".")])
-    report = lint_paths(targets)
+    report = lint_paths(targets, dataflow=not args.no_dataflow)
+    if args.baseline is not None:
+        try:
+            baseline_document = json.loads(args.baseline.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            report.errors.append(f"cannot read baseline {args.baseline}: {error}")
+        else:
+            apply_baseline(report, baseline_document)
     if args.format == "json":
         print(render_json(report, strict=args.strict))
     else:

@@ -122,7 +122,7 @@ class CostContext:
         candidates: np.ndarray,
         *,
         pin_supports: bool = True,
-    ):
+    ) -> None:
         """``pin_supports=False`` keeps ``expected`` reads from caching the
         ``(z_i, m)`` support matrices — for expected-matrix-only consumers
         over huge candidate sets (the threshold-greedy baseline's

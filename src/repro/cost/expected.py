@@ -431,7 +431,7 @@ class AssignedCostEvaluator:
         self,
         supports: Sequence[np.ndarray],
         probabilities: Sequence[np.ndarray],
-    ):
+    ) -> None:
         self.n = len(supports)
         if self.n == 0:
             raise ValidationError("AssignedCostEvaluator needs at least one variable")
@@ -675,7 +675,7 @@ class LocalSearchSweep:
     from scratch during a round.
     """
 
-    def __init__(self, evaluator: AssignedCostEvaluator, columns: np.ndarray):
+    def __init__(self, evaluator: AssignedCostEvaluator, columns: np.ndarray) -> None:
         self._evaluator = evaluator
         columns = evaluator._check_columns(np.asarray(columns, dtype=int).reshape(-1))
         self._columns = columns.copy()

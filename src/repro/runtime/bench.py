@@ -2,7 +2,7 @@
 
 Times the repo's hot execution paths — including the PR-6 addition: the
 ``repro lint`` static checker over the whole tree, which gates CI ahead of
-tier-1 — and writes one JSON document (``BENCH_PR6.json`` by default) so
+tier-1 — and writes one JSON document (``BENCH_PR7.json`` by default) so
 future PRs have a perf trajectory to compare against instead of anecdotes.
 ``--compare`` diffs a run against an earlier document (e.g. the checked-in
 ``BENCH_PR5.json``): shared ``*_seconds`` metrics get a delta line, cases
@@ -65,6 +65,7 @@ import subprocess
 import sys
 import tempfile
 import time
+from dataclasses import dataclass
 from math import comb
 from pathlib import Path
 from typing import Callable
@@ -81,7 +82,7 @@ from .parallel import available_workers, set_oversubscribe
 from .store import ContextStore
 
 #: Default output path for the checked-in benchmark trajectory.
-DEFAULT_OUTPUT = "BENCH_PR6.json"
+DEFAULT_OUTPUT = "BENCH_PR7.json"
 #: Wall-clock speedup the pruned restricted brute force targets.
 PRUNE_SPEEDUP_TARGET = 3.0
 #: Fraction of subset rows the acceptance instance must prune.
@@ -104,6 +105,43 @@ REGRESSION_FLOOR_SECONDS = 1e-3
 #: baseline a case exists to beat), shown in the delta table but never
 #: flagged as regressions — only product paths gate.
 REFERENCE_METRICS = frozenset({"float_sort_seconds", "per_call_pool_seconds"})
+
+
+@dataclass(frozen=True)
+class CompareSpec:
+    """Per-case regression gate for ``--compare``.
+
+    The global 1 ms floor + 20% tolerance fit seconds-scale cases but
+    misfire on sub-millisecond kernels: their timings sit *below* the
+    floor, so real 5x regressions in the hottest inner loops were never
+    flagged.  A case registered in :data:`CASE_COMPARE` trades a lower
+    floor for a wider tolerance (fast timers jitter proportionally more);
+    everything else keeps the historical defaults, byte-for-byte.
+    """
+
+    floor_seconds: float = REGRESSION_FLOOR_SECONDS
+    tolerance: float = REGRESSION_TOLERANCE
+
+
+#: Per-case overrides of the ``--compare`` regression gate; cases absent
+#: here use ``CompareSpec()`` (the historical global floor + tolerance).
+CASE_COMPARE: dict[str, CompareSpec] = {
+    # Sub-millisecond kernel sweeps: gate from 10 µs up, with 2x headroom
+    # because µs-scale timings jitter far more than the seconds-scale ones
+    # the 20% default was tuned for.
+    "unassigned_rank_merge": CompareSpec(floor_seconds=1e-5, tolerance=2.0),
+    "wang_zhang_column_splice": CompareSpec(floor_seconds=1e-5, tolerance=2.0),
+    # Whole-tree lint passes: multi-second and steady, but the dataflow
+    # pass scales with tree size — allow 50% so organic repo growth between
+    # PRs does not read as a perf regression.
+    "lint_full_tree": CompareSpec(floor_seconds=1e-2, tolerance=1.5),
+    "lint_dataflow_full_tree": CompareSpec(floor_seconds=1e-2, tolerance=1.5),
+}
+
+
+def compare_spec(case_name: str) -> CompareSpec:
+    """The regression gate for one case (default spec unless overridden)."""
+    return CASE_COMPARE.get(case_name, CompareSpec())
 
 
 def _best_of(function: Callable[[], object], repeats: int) -> float:
@@ -505,16 +543,44 @@ def bench_lint_full_tree(repeats: int = 3) -> dict:
     from ..analysis import all_rules, lint_paths
 
     tree = Path(__file__).resolve().parents[1]
-    report = lint_paths([tree])
+    report = lint_paths([tree], dataflow=False)
 
     def lint_tree() -> None:
-        lint_paths([tree])
+        lint_paths([tree], dataflow=False)
 
     seconds = _best_of(lint_tree, repeats)
     return {
         "lint_full_tree_seconds": seconds,
         "files_checked": report.files,
         "rules": len(all_rules()),
+        "findings": len(report.findings),
+        "suppressed": len(report.suppressed),
+    }
+
+
+def bench_lint_dataflow_full_tree(repeats: int = 3) -> dict:
+    """Whole-program (dataflow) lint over ``src/repro`` (PR 7).
+
+    The default lint mode now parses the tree into a project symbol table
+    and runs the interprocedural rules on top of the per-module pass; this
+    case tracks the *full* pipeline so the dataflow overhead stays visible
+    next to ``lint_full_tree``'s intra-module-only timing.  The tree must
+    lint clean here too — the acceptance self-check includes the dataflow
+    rules.
+    """
+    from ..analysis import dataflow_rules, lint_paths
+
+    tree = Path(__file__).resolve().parents[1]
+    report = lint_paths([tree], dataflow=True)
+
+    def lint_tree() -> None:
+        lint_paths([tree], dataflow=True)
+
+    seconds = _best_of(lint_tree, repeats)
+    return {
+        "lint_dataflow_full_tree_seconds": seconds,
+        "files_checked": report.files,
+        "dataflow_rules": len(dataflow_rules()),
         "findings": len(report.findings),
         "suppressed": len(report.suppressed),
     }
@@ -533,6 +599,7 @@ CASES: dict[str, Callable[[], dict]] = {
     "local_search_sweep": bench_local_search_sweep,
     "context_store_memoization": bench_context_store,
     "lint_full_tree": bench_lint_full_tree,
+    "lint_dataflow_full_tree": bench_lint_dataflow_full_tree,
 }
 
 #: The fast smoke subset ``--quick`` runs (CI's bench step): everything that
@@ -547,6 +614,7 @@ QUICK_CASES: tuple[str, ...] = (
     "batch_cost_kernel",
     "context_store_memoization",
     "lint_full_tree",
+    "lint_dataflow_full_tree",
 )
 
 
@@ -600,7 +668,7 @@ def run_bench(
     revision, dirty = _git_state()
     document = {
         "schema": "repro-bench/1",
-        "pr": "PR6",
+        "pr": "PR7",
         "quick": bool(quick and not cases),
         "created_unix": now,
         "created_iso": datetime.datetime.fromtimestamp(
@@ -627,10 +695,11 @@ def compare_documents(new_document: dict, old_document: dict) -> tuple[str, list
     """Per-case speedup delta table between two benchmark documents.
 
     Every ``*_seconds`` key shared by a case in both documents gets a line;
-    a metric counts as a regression when the new timing is more than
-    :data:`REGRESSION_TOLERANCE` times the old one, the old timing is above
-    the noise floor, and the metric is a product path rather than one of the
-    :data:`REFERENCE_METRICS` baselines.  Cases (or metrics) present in only
+    a metric counts as a regression when the new timing exceeds the case's
+    tolerance (:func:`compare_spec` — :data:`REGRESSION_TOLERANCE` unless
+    the case is registered in :data:`CASE_COMPARE`), the old timing is above
+    the case's noise floor, and the metric is a product path rather than one
+    of the :data:`REFERENCE_METRICS` baselines.  Cases (or metrics) present in only
     one document are *reported*, never errors: a PR adding new cases, a
     ``--quick`` run covering a subset, or a retired case are all normal
     states of the trajectory.  Returns the rendered table and the list of
@@ -647,6 +716,7 @@ def compare_documents(new_document: dict, old_document: dict) -> tuple[str, list
         old_case, new_case = old_cases[case_name], new_cases[case_name]
         if not isinstance(old_case, dict) or not isinstance(new_case, dict):
             continue
+        spec = compare_spec(case_name)
         for key in sorted(set(old_case) & set(new_case)):
             if not key.endswith("_seconds"):
                 continue
@@ -657,8 +727,8 @@ def compare_documents(new_document: dict, old_document: dict) -> tuple[str, list
             flag = ""
             if (
                 key not in REFERENCE_METRICS
-                and old_value >= REGRESSION_FLOOR_SECONDS
-                and ratio > REGRESSION_TOLERANCE
+                and old_value >= spec.floor_seconds
+                and ratio > spec.tolerance
             ):
                 flag = "  << REGRESSION"
                 regressions.append(

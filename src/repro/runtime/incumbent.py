@@ -48,6 +48,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..sanitize import lock_san
+
 
 @dataclass(frozen=True)
 class IncumbentToken:
@@ -182,16 +184,26 @@ def ensure_slot() -> _Slot:
     if _SLOT is None or _SLOT.pid != os.getpid():
         context = _fork_preferred_context()
         lock = context.Lock()
+        # ``Value`` needs the *raw* primitive (multiprocessing internals
+        # re-wrap it); only the slot's own ``with slot.lock:`` uses go
+        # through the (possibly LOCK-SAN-traced) wrapper.
         value = context.Value("d", float("inf"), lock=lock)
         generation = context.Value("q", 0, lock=lock)
-        _SLOT = _Slot(value=value, generation=generation, lock=lock, pid=os.getpid())
+        _SLOT = _Slot(
+            value=value,
+            generation=generation,
+            lock=lock_san.wrap_lock(lock, "incumbent.slot"),
+            pid=os.getpid(),
+        )
     return _SLOT
 
 
 def slot_handles() -> tuple:
     """The picklable pieces a pool initializer ships to spawn workers."""
     slot = ensure_slot()
-    return (slot.value, slot.generation, slot.lock)
+    # Ship the raw lock: the TracedLock proxy is deliberately unpicklable;
+    # each worker re-wraps its copy in adopt_slot.
+    return (slot.value, slot.generation, lock_san.unwrap_lock(slot.lock))
 
 
 def adopt_slot(handles: tuple | None) -> None:
@@ -200,7 +212,12 @@ def adopt_slot(handles: tuple | None) -> None:
     if handles is None:
         return
     value, generation, lock = handles
-    _SLOT = _Slot(value=value, generation=generation, lock=lock, pid=os.getpid())
+    _SLOT = _Slot(
+        value=value,
+        generation=generation,
+        lock=lock_san.wrap_lock(lock, "incumbent.slot"),
+        pid=os.getpid(),
+    )
 
 
 def activate(seed: float) -> IncumbentToken:

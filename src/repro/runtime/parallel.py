@@ -72,7 +72,9 @@ import pickle
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
+from .. import sanitize
 from .._env import env_flag
+from ..sanitize import det_san
 from . import incumbent as incumbent_module
 from . import pool as pool_module
 from . import shm as shm_module
@@ -147,9 +149,13 @@ def _init_worker(
     payload: Any,
     incumbent_handles: tuple | None = None,
     incumbent_token: Any = None,
+    sanitizer_names: tuple[str, ...] = (),
 ) -> None:
     global _WORKER_PAYLOAD, _WORKER_TASK, _WORKER_TOKEN
     pool_module._mark_in_worker()
+    # Sanitizers first, so adopt_slot wraps the incumbent lock when LOCK-SAN
+    # is on (same ordering as pool._init_pool_worker).
+    sanitize.set_enabled(sanitizer_names)
     incumbent_module.adopt_slot(incumbent_handles)
     _WORKER_PAYLOAD = payload
     _WORKER_TASK = task
@@ -189,7 +195,7 @@ def _map_with_fresh_pool(
     with context.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(task, payload, handles, incumbent_token),
+        initargs=(task, payload, handles, incumbent_token, sanitize.enabled_names()),
     ) as process_pool:
         return process_pool.map(_run_item, items, chunksize=1)
 
@@ -251,8 +257,19 @@ def parallel_map(
     """
     items = list(items)
     workers = effective_workers(workers, len(items), min_items)
+    pruned = incumbent_seed is not None
+
+    def _audited(results: list[R], used_workers: int) -> list[R]:
+        # DET-SAN fingerprints per-chunk results of un-pruned maps so a
+        # workers=1 vs workers=N divergence is caught at the first
+        # differing chunk; no-op unless REPRO_SANITIZE enables ``det``.
+        det_san.record_map(
+            task, items, payload, results, workers=used_workers, pruned=pruned
+        )
+        return results
+
     if workers <= 1:
-        return _serial_map(task, items, payload, incumbent_seed)
+        return _audited(_serial_map(task, items, payload, incumbent_seed), 1)
 
     incumbent_token = (
         incumbent_module.activate(incumbent_seed) if incumbent_seed is not None else None
@@ -285,13 +302,19 @@ def parallel_map(
             # Large payload without shared memory: a per-call pool with fork
             # inheritance beats pickling the payload into every dispatch
             # tuple.
-            return _map_with_fresh_pool(task, items, payload, workers, incumbent_token)
+            return _audited(
+                _map_with_fresh_pool(task, items, payload, workers, incumbent_token),
+                workers,
+            )
     try:
-        return pool_module.executor().map(task, items, spec, workers, incumbent_token)
+        return _audited(
+            pool_module.executor().map(task, items, spec, workers, incumbent_token),
+            workers,
+        )
     except BrokenProcessPool:
         # A worker died mid-map (crash, OOM kill).  The pool was shut down;
         # finish the job serially — identical results, degraded wall clock.
-        return _serial_map(task, items, payload, incumbent_seed)
+        return _audited(_serial_map(task, items, payload, incumbent_seed), 1)
     finally:
         if call_lease is not None:
             call_lease.close()

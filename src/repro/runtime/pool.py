@@ -60,6 +60,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable
 
+from .. import sanitize
 from . import incumbent as incumbent_module
 from . import shm as shm_module
 
@@ -82,9 +83,19 @@ def _mark_in_worker() -> None:
     _IN_WORKER = True
 
 
-def _init_pool_worker(incumbent_handles: tuple | None) -> None:
-    """Persistent-pool initializer: mark the worker, adopt the incumbent slot."""
+def _init_pool_worker(
+    incumbent_handles: tuple | None, sanitizer_names: tuple[str, ...] = ()
+) -> None:
+    """Persistent-pool initializer: mark the worker, adopt the incumbent slot.
+
+    Sanitizer names ride the initargs channel like the incumbent handles do
+    (spawned workers do inherit ``REPRO_SANITIZE`` via the environment, but
+    the explicit handoff also covers sanitizers enabled programmatically
+    with :func:`repro.sanitize.set_enabled` after import).  Enabling must
+    happen *before* adopt_slot so the worker's incumbent lock gets wrapped.
+    """
     _mark_in_worker()
+    sanitize.set_enabled(sanitizer_names)
     incumbent_module.adopt_slot(incumbent_handles)
 
 
@@ -193,7 +204,7 @@ class PersistentPool:
                 max_workers=workers,
                 mp_context=_pool_context(),
                 initializer=_init_pool_worker,
-                initargs=(incumbent_handles,),
+                initargs=(incumbent_handles, sanitize.enabled_names()),
             )
             self._workers = workers
             self._pid = os.getpid()

@@ -70,6 +70,7 @@ import numpy as np
 
 from ..cost.context import CostContext, _RankMergeTables
 from ..cost.expected import AssignedCostEvaluator
+from ..sanitize import shm_san
 from ..uncertain.dataset import UncertainDataset
 from ..uncertain.point import UncertainPoint
 
@@ -114,6 +115,7 @@ def _untracked():
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without tracker registration."""
+    shm_san.record_attach(name)
     try:
         return shared_memory.SharedMemory(name=name, track=False)  # Python 3.13+
     except TypeError:
@@ -127,12 +129,17 @@ class SegmentLease:
     ``close()`` is idempotent and both closes the mapping and unlinks the
     name, so the segment disappears from the system namespace immediately;
     workers still attached keep their mapping alive until they close it.
+
+    Leases are only ever constructed creator-side (workers use
+    :func:`_attach_segment`), so construction and :meth:`close` are exactly
+    the create/unlink events SHM-SAN audits.
     """
 
-    def __init__(self, segment: shared_memory.SharedMemory):
+    def __init__(self, segment: shared_memory.SharedMemory, origin: str = "SegmentLease"):
         self.segment = segment
         self.name = segment.name
         self._open = True
+        shm_san.record_create(self.name, origin)
 
     @property
     def open(self) -> bool:
@@ -142,6 +149,7 @@ class SegmentLease:
         if not self._open:
             return
         self._open = False
+        shm_san.record_unlink(self.name)
         try:
             self.segment.close()
         finally:
@@ -189,7 +197,7 @@ def pack_arrays(arrays: dict[str, np.ndarray]) -> tuple[SegmentDescriptor, Segme
     # The lease must exist before anything else can raise: an exception
     # between create and lease would orphan the segment in /dev/shm with
     # nothing owning its unlink (SHM-LIFECYCLE).
-    lease = SegmentLease(segment)
+    lease = SegmentLease(segment, origin="pack_arrays")
     try:
         for spec, (key, array) in zip(specs, arrays.items()):
             array = np.ascontiguousarray(array)
@@ -581,7 +589,7 @@ def publish_blob(blob: bytes) -> tuple[BlobDescriptor, SegmentLease]:
     segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, len(blob)))
     # Lease immediately: a failed buffer write must not orphan the segment
     # (SHM-LIFECYCLE, same rule as pack_arrays).
-    lease = SegmentLease(segment)
+    lease = SegmentLease(segment, origin="publish_blob")
     try:
         segment.buf[: len(blob)] = blob
     except BaseException:

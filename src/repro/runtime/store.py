@@ -67,6 +67,7 @@ import numpy as np
 
 from .._env import env_number, env_str
 from ..cost.context import CostContext
+from ..sanitize import det_san
 from ..uncertain.dataset import UncertainDataset
 
 #: Default number of contexts a store keeps before evicting least-recently-used.
@@ -314,6 +315,13 @@ class ContextStore:
         entry = self._load_spilled(spill_path)
         if entry is not None:
             self.disk_hits += 1
+            # The disk tier trusts filenames; DET-SAN (when enabled)
+            # re-derives both fingerprints from the loaded context and
+            # reports a corrupted or cross-wired spill file instead of
+            # silently serving a wrong-but-plausible cost surface.
+            det_san.verify_context_fingerprints(
+                entry, key[0], key[1], origin=str(spill_path)
+            )
         else:
             self.misses += 1
             entry = CostContext(dataset, candidates, pin_supports=pin_supports)

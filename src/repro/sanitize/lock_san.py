@@ -1,0 +1,170 @@
+"""LOCK-SAN: dynamic lock acquisition-order checking.
+
+The static LOCK-ORDER rule proves the *visible* acquisition graph is
+acyclic; this sanitizer watches the orders that actually execute —
+including ones assembled dynamically through callbacks the static pass
+cannot resolve.  :func:`wrap_lock` returns a :class:`TracedLock` proxy
+(the raw primitive stays reachable via ``.raw`` so it can still be handed
+to ``multiprocessing`` internals such as ``Value(..., lock=...)`` and
+shipped through pool initargs); every acquire pushes onto a per-thread
+held stack and adds held-top -> new edges to a process-wide order graph.
+Two checks fire at the offending ``acquire`` call:
+
+* **re-acquisition** — the same traced lock taken while already held by
+  this thread (multiprocessing locks are not reentrant: self-deadlock);
+* **order inversion** — the new edge closes a cycle in the order graph,
+  i.e. some earlier execution acquired these locks in the opposite order.
+
+Violations are recorded via :func:`repro.sanitize.report_violation`; the
+instrumented acquire itself always proceeds, because the sanitizer's job
+is to *report* the deadlock-in-waiting, not to inject one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from . import enabled, report_violation
+
+#: Acquisition-order edges actually observed: (held, acquired) pairs.
+_edges: set[tuple[str, str]] = set()
+_local = threading.local()
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def _find_path(start: str, goal: str) -> list[str] | None:
+    """DFS path ``start .. goal`` through the observed-order graph."""
+    adjacency: dict[str, set[str]] = {}
+    for source, target in _edges:
+        adjacency.setdefault(source, set()).add(target)
+    frontier: list[tuple[str, list[str]]] = [(start, [start])]
+    visited: set[str] = set()
+    while frontier:
+        node, path = frontier.pop()
+        if node == goal:
+            return path
+        if node in visited:
+            continue
+        visited.add(node)
+        for successor in sorted(adjacency.get(node, ())):
+            frontier.append((successor, [*path, successor]))
+    return None
+
+
+def note_acquire(name: str) -> None:
+    """Record that this thread acquired ``name``; check both invariants."""
+    stack = _held_stack()
+    if name in stack:
+        report_violation(
+            "lock",
+            f"lock '{name}' acquired while already held by this thread"
+            " (multiprocessing locks are not reentrant: self-deadlock)",
+        )
+    elif stack:
+        edge = (stack[-1], name)
+        if edge not in _edges:
+            inverse = _find_path(name, stack[-1])
+            _edges.add(edge)
+            if inverse is not None:
+                cycle = " -> ".join([stack[-1], *inverse])
+                report_violation(
+                    "lock",
+                    f"lock-order inversion: acquired '{name}' while holding"
+                    f" '{stack[-1]}', but an earlier execution ordered"
+                    f" {cycle} — interleaved processes can deadlock",
+                )
+    stack.append(name)
+
+
+def note_release(name: str) -> None:
+    stack = _held_stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index] == name:
+            del stack[index]
+            break
+
+
+class TracedLock:
+    """Order-checking proxy around a threading/multiprocessing lock.
+
+    Supports the context-manager protocol and explicit
+    ``acquire``/``release``; everything else should use :attr:`raw` —
+    notably anything that crosses a process boundary, since the proxy is
+    deliberately not picklable (each process wraps its own copy via
+    :func:`wrap_lock` after adoption).
+    """
+
+    __slots__ = ("raw", "name")
+
+    def __init__(self, raw: Any, name: str):
+        self.raw = raw
+        self.name = name
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = bool(self.raw.acquire(*args, **kwargs))
+        if acquired:
+            note_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        note_release(self.name)
+        self.raw.release()
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __reduce__(self) -> str:
+        raise TypeError(
+            "TracedLock must not cross process boundaries; ship .raw and"
+            " re-wrap with repro.sanitize.lock_san.wrap_lock on the far side"
+        )
+
+
+def wrap_lock(raw: Any, name: str) -> Any:
+    """Wrap ``raw`` in a :class:`TracedLock` when LOCK-SAN is enabled.
+
+    With the sanitizer off this returns ``raw`` unchanged, so the runtime
+    pays nothing and pickling behavior is identical to pre-sanitizer code.
+    """
+    if not enabled("lock"):
+        return raw
+    if isinstance(raw, TracedLock):
+        return raw
+    return TracedLock(raw, name)
+
+
+def unwrap_lock(lock: Any) -> Any:
+    """The raw primitive behind a possibly-traced lock."""
+    return lock.raw if isinstance(lock, TracedLock) else lock
+
+
+def observed_edges() -> Iterator[tuple[str, str]]:
+    return iter(sorted(_edges))
+
+
+def reset() -> None:
+    _edges.clear()
+    _local.stack = []
+
+
+__all__ = [
+    "TracedLock",
+    "note_acquire",
+    "note_release",
+    "observed_edges",
+    "reset",
+    "unwrap_lock",
+    "wrap_lock",
+]

@@ -483,7 +483,12 @@ class TestEngineAndReporters:
         assert document["schema"] == "repro-lint/1"
         assert document["files"] == 1
         assert document["exit_code"] == 1
-        assert document["counts"] == {"error": 1, "warning": 0, "suppressed": 1}
+        assert document["counts"] == {
+            "error": 1,
+            "warning": 0,
+            "suppressed": 1,
+            "baselined": 0,
+        }
         (finding,) = document["findings"]
         assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
         assert finding["rule"] == "FLOAT-SORT-HOTPATH"

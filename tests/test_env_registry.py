@@ -36,6 +36,7 @@ class TestRegistry:
             "REPRO_CONTEXT_SPILL",
             "REPRO_CONTEXT_SPILL_MAX",
             "REPRO_CONTEXT_SPILL_MAX_AGE",
+            "REPRO_SANITIZE",
         }
         for variable in REGISTRY.values():
             assert isinstance(variable, EnvVar)

@@ -122,7 +122,7 @@ class TestBenchRunner:
 
     def test_document_records_audit_metadata(self):
         document = run_bench(None, cases=["batch_cost_kernel"])
-        assert document["pr"] == "PR6"
+        assert document["pr"] == "PR7"
         # ISO timestamp parses and matches the unix stamp it sits next to.
         import datetime
 
@@ -162,7 +162,7 @@ class TestBenchCompare:
             )
             == 0
         )
-        assert json.loads(output.read_text())["pr"] == "PR6"
+        assert json.loads(output.read_text())["pr"] == "PR7"
 
     def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
         from repro.runtime.bench import compare_documents
@@ -246,3 +246,58 @@ class TestBenchCompare:
         new = {"cases": {"a": {"x_seconds": 5e-6}}}
         _, regressions = compare_documents(new, old)
         assert regressions == []
+
+    def test_compare_spec_is_per_case(self):
+        """`CASE_COMPARE` pins the per-case floor/tolerance overrides.
+
+        The µs-scale kernel cases gate from 10 µs with 2x headroom; the
+        whole-tree lint cases allow 50% for organic tree growth; every
+        unregistered case (notably ``batch_cost_kernel``) keeps the
+        historical 1 ms floor + 20% tolerance byte-for-byte, so the older
+        compare tests in this file double as the default-spec pin.
+        """
+        from repro.runtime.bench import (
+            REGRESSION_FLOOR_SECONDS,
+            REGRESSION_TOLERANCE,
+            compare_documents,
+            compare_spec,
+        )
+
+        spec = compare_spec("unassigned_rank_merge")
+        assert (spec.floor_seconds, spec.tolerance) == (1e-5, 2.0)
+        assert compare_spec("lint_dataflow_full_tree").tolerance == 1.5
+        default = compare_spec("batch_cost_kernel")
+        assert default.floor_seconds == REGRESSION_FLOOR_SECONDS == 1e-3
+        assert default.tolerance == REGRESSION_TOLERANCE == 1.2
+
+        # A 4x slowdown at 50 µs: invisible to the global 1 ms floor, but
+        # the rank-merge case's lowered floor flags it.
+        old = {"cases": {"unassigned_rank_merge": {"merge_seconds": 5e-5}}}
+        new = {"cases": {"unassigned_rank_merge": {"merge_seconds": 2e-4}}}
+        _, regressions = compare_documents(new, old)
+        assert len(regressions) == 1
+        # ...while a 1.8x wobble stays inside the widened 2x tolerance,
+        new = {"cases": {"unassigned_rank_merge": {"merge_seconds": 9e-5}}}
+        _, regressions = compare_documents(new, old)
+        assert regressions == []
+        # ...and timings under the 10 µs floor still never gate.
+        old = {"cases": {"unassigned_rank_merge": {"merge_seconds": 5e-6}}}
+        new = {"cases": {"unassigned_rank_merge": {"merge_seconds": 5e-5}}}
+        _, regressions = compare_documents(new, old)
+        assert regressions == []
+
+        # The same 4x-at-50µs regression on an unregistered case is below
+        # the default floor — reported, never flagged (the historical rule).
+        old = {"cases": {"batch_cost_kernel": {"batch_seconds": 5e-5}}}
+        new = {"cases": {"batch_cost_kernel": {"batch_seconds": 2e-4}}}
+        _, regressions = compare_documents(new, old)
+        assert regressions == []
+
+        # Lint cases: 1.4x growth is organic, 1.6x gates.
+        old = {"cases": {"lint_dataflow_full_tree": {"lint_dataflow_full_tree_seconds": 0.10}}}
+        new = {"cases": {"lint_dataflow_full_tree": {"lint_dataflow_full_tree_seconds": 0.14}}}
+        _, regressions = compare_documents(new, old)
+        assert regressions == []
+        new = {"cases": {"lint_dataflow_full_tree": {"lint_dataflow_full_tree_seconds": 0.16}}}
+        _, regressions = compare_documents(new, old)
+        assert len(regressions) == 1
