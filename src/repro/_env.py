@@ -78,6 +78,11 @@ REGISTRY: dict[str, EnvVar] = {
             usage="`REPRO_SANITIZE=shm,lock,det`",
             effect="Enable runtime sanitizers (shm lifecycle, lock order, chunk determinism)",
         ),
+        EnvVar(
+            name="REPRO_FAULTS",
+            usage="`REPRO_FAULTS=crash:p=0.05,slow:p=0.1:ms=200,shm_attach,spill_corrupt`",
+            effect="Arm deterministic fault injection (worker crashes, slow chunks, shm attach failures, spill corruption)",
+        ),
     )
 }
 

@@ -5,7 +5,9 @@
 * :mod:`.determinism` — bit-determinism of solver paths and the hot-path
   no-float-sort rule;
 * :mod:`.hygiene` — env-var registry routing, bound-docstring citations and
-  the spill-tier access boundary.
+  the spill-tier access boundary;
+* :mod:`.faultpoints` — fault-injection sites (PR 8): registered kinds only,
+  runtime-owned, reachable from a public entry point.
 
 :func:`all_rules` instantiates one of each in stable (report) order; the
 engine treats rules as plugins, so a new invariant is one subclass plus a
@@ -17,6 +19,7 @@ from __future__ import annotations
 from ..core import Rule
 from .concurrency import LockDisciplineRule, ShmLifecycleRule, SyncInDispatchRule
 from .determinism import FloatSortHotpathRule, NondetRule
+from .faultpoints import FaultPointRule
 from .hygiene import BoundAdmissibleDocRule, EnvRegistryRule, SpillPathRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -28,6 +31,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     EnvRegistryRule,
     BoundAdmissibleDocRule,
     SpillPathRule,
+    FaultPointRule,
 )
 
 

@@ -198,25 +198,61 @@ def _seed_restricted_incumbent(
     scores: np.ndarray | None,
     policy: AssignmentPolicy,
     k: int,
-) -> float:
+) -> tuple[float, np.ndarray, np.ndarray]:
     """Exact cost of the greedy seed subset under the call's assignment rule.
 
     Evaluated through the same kernels the enumeration uses, so the value is
     achieved by a feasible enumeration row — the exactness requirement for
-    every incumbent value.
+    every incumbent value.  Returns ``(cost, columns, candidate_indices)``:
+    the full feasible solution, not just its cost, because a
+    ``time_budget`` run whose deadline expires before any chunk completes
+    falls back to returning the seed solution (with its certificate).
     """
     columns = _greedy_seed_columns(context, k)
     if scores is not None:
         candidate_indices = context.score_assignments(scores, columns[None, :])[0]
-        return float(context.assigned_costs(candidate_indices[None, :])[0])
+        cost = float(context.assigned_costs(candidate_indices[None, :])[0])
+        return cost, columns, candidate_indices
     centers = context.candidates[columns]
     labels = np.asarray(policy(context.dataset, centers), dtype=int)
-    return float(context.evaluator.cost(columns[labels]))
+    candidate_indices = columns[labels]
+    return float(context.evaluator.cost(candidate_indices)), columns, candidate_indices
 
 
-def _seed_unassigned_incumbent(context: CostContext, k: int) -> float:
-    """Exact unassigned cost of the greedy seed subset."""
-    return float(context.unassigned_cost(_greedy_seed_columns(context, k)))
+def _seed_unassigned_incumbent(context: CostContext, k: int) -> tuple[float, np.ndarray]:
+    """Exact unassigned cost of the greedy seed subset, with the subset."""
+    columns = _greedy_seed_columns(context, k)
+    return float(context.unassigned_cost(columns)), columns
+
+
+def _deadline_certificate(best_cost: float, skipped_bounds: list[float]) -> dict:
+    """``(cost, lower_bound, gap)`` certificate for a deadline-truncated run.
+
+    ``best_cost`` is achieved by a feasible solution (an upper bound on the
+    enumeration optimum ``C*``), and every skipped chunk contributes the
+    minimum of its admissible per-row lower bounds, so
+    ``lower_bound = min(best_cost, min over skipped chunks)`` satisfies
+    ``lower_bound <= C* <= cost`` — rows pruned inside *completed* chunks
+    had ``cost > threshold >= best_cost`` by the branch-and-bound exactness
+    argument, so they can never undercut it.  Folded chunk bounds are
+    relaxed by the same floating-point slack the pruning layer grants
+    (:func:`~repro.bounds.lower_bounds.prune_margin`): the bound kernels
+    batch differently than the cost kernels, so a mathematically tight
+    bound can land an ulp *above* the achievable cost.  A run that
+    completes every chunk certifies ``gap = 0``.
+    """
+    cost = float(best_cost)
+    lower_bound = cost
+    for bound in skipped_bounds:
+        if bound < lower_bound:
+            lower_bound = bound
+    if skipped_bounds:
+        lower_bound -= prune_margin(lower_bound)
+    if lower_bound > 0:
+        gap = (cost - lower_bound) / lower_bound
+    else:
+        gap = 0.0 if cost == lower_bound else float("inf")
+    return {"cost": cost, "lower_bound": float(lower_bound), "gap": float(gap)}
 
 
 def _prune_mask(bounds: np.ndarray, threshold: float) -> np.ndarray | None:
@@ -456,6 +492,7 @@ def brute_force_restricted_assigned(
     store: "ContextStore | None" = None,
     shm: bool | None = None,
     prune: bool = True,
+    time_budget: float | None = None,
 ) -> UncertainKCenterResult:
     """Best candidate centers under a fixed restricted assignment rule.
 
@@ -467,6 +504,16 @@ def brute_force_restricted_assigned(
     same (dataset, candidates) pair.  ``prune=False`` disables the
     branch-and-bound layer (the CLI's ``--no-prune``) — results are
     bit-identical either way, pruning only skips provably losing rows.
+
+    ``time_budget`` (seconds) turns the call into an **anytime** solve: the
+    enumeration stops when the budget expires and the best solution found so
+    far is returned — never worse than the greedy seed, which is evaluated
+    up front exactly so an expired budget still yields a feasible answer —
+    together with a ``certificate`` metadata entry,
+    ``(cost, lower_bound, gap)``, where the lower bound folds the admissible
+    chunk bounds of every subset chunk the deadline skipped
+    (:func:`_deadline_certificate`'s exactness argument).  ``None`` (the
+    default) never truncates and adds no metadata.
     """
     k = check_positive_int(k, name="k")
     policy = assignment or ExpectedDistanceAssignment()
@@ -482,24 +529,30 @@ def brute_force_restricted_assigned(
     else:
         scores = policy.candidate_scores(dataset, candidates)
 
-    seed = _seed_restricted_incumbent(context, scores, policy, k) if prune else None
+    seed_solution = (
+        _seed_restricted_incumbent(context, scores, policy, k)
+        if prune or time_budget is not None
+        else None
+    )
+    seed = seed_solution[0] if prune and seed_solution is not None else None
     total_rows = _checked_subset_count(candidates.shape[0], k)
     pruned_rows = 0
     evaluated_rows = 0
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     best_assignment: np.ndarray | None = None
-    chunks = _iter_subset_chunks(candidates.shape[0], k, chunk_rows)
+    chunk_list = list(_iter_subset_chunks(candidates.shape[0], k, chunk_rows))
     if scores is not None:
         if workers > 1:
             context.evaluator  # build sorted columns once, ship to workers
         results = parallel_map(
             _restricted_chunk_task,
-            chunks,
+            chunk_list,
             payload=(context, scores, chunk_rows),
             workers=workers,
             shm=shm,
             incumbent_seed=seed,
+            time_budget=time_budget,
         )
         best_candidate_indices: np.ndarray | None = None
         for cost, subset_row, candidate_indices, pruned, evaluated in results:
@@ -509,6 +562,16 @@ def brute_force_restricted_assigned(
                 best_cost = float(cost)
                 best_subset = tuple(int(c) for c in subset_row)
                 best_candidate_indices = candidate_indices
+        if seed_solution is not None and time_budget is not None:
+            # Anytime fallback: the seed is a feasible solution evaluated by
+            # the same kernels; it can only win when the deadline skipped
+            # every chunk that would have beaten it (a completed run always
+            # contains the seed's own row, so the strict < is a no-op there).
+            seed_cost, seed_columns, seed_indices = seed_solution
+            if best_subset is None or seed_cost < best_cost:
+                best_cost = float(seed_cost)
+                best_subset = tuple(int(c) for c in seed_columns)
+                best_candidate_indices = seed_indices
         assert best_subset is not None and best_candidate_indices is not None
         best_assignment = np.searchsorted(np.asarray(best_subset), best_candidate_indices)
     else:
@@ -520,11 +583,12 @@ def brute_force_restricted_assigned(
         context.evaluator
         results = parallel_map(
             _blackbox_chunk_task,
-            chunks,
+            chunk_list,
             payload=(context, policy),
             workers=workers,
             shm=shm,
             incumbent_seed=seed,
+            time_budget=time_budget,
         )
         for cost, columns, labels, pruned, evaluated in results:
             pruned_rows += pruned
@@ -533,7 +597,33 @@ def brute_force_restricted_assigned(
                 best_cost = float(cost)
                 best_subset = tuple(int(c) for c in columns)
                 best_assignment = labels
+        if seed_solution is not None and time_budget is not None:
+            seed_cost, seed_columns, seed_indices = seed_solution
+            if best_subset is None or seed_cost < best_cost:
+                best_cost = float(seed_cost)
+                best_subset = tuple(int(c) for c in seed_columns)
+                best_assignment = np.searchsorted(seed_columns, seed_indices)
     assert best_subset is not None and best_assignment is not None
+    metadata = {
+        "algorithm": "brute-force-restricted",
+        "candidate_count": int(candidates.shape[0]),
+        "workers": int(workers),
+        **k_metadata,
+        "prune": bool(prune),
+        "total_rows": int(total_rows),
+        "evaluated_rows": int(evaluated_rows),
+        "pruned_rows": int(pruned_rows),
+    }
+    if time_budget is not None:
+        skipped = chunk_list[len(results):]
+        metadata["time_budget"] = float(time_budget)
+        metadata["deadline_hit"] = bool(skipped)
+        metadata["chunks_total"] = len(chunk_list)
+        metadata["chunks_completed"] = len(results)
+        metadata["certificate"] = _deadline_certificate(
+            best_cost,
+            [float(context.subset_assigned_lower_bounds(chunk).min()) for chunk in skipped],
+        )
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
         expected_cost=float(best_cost),
@@ -541,16 +631,7 @@ def brute_force_restricted_assigned(
         assignment=np.asarray(best_assignment, dtype=int),
         assignment_policy=policy.name,
         guaranteed_factor=None,
-        metadata={
-            "algorithm": "brute-force-restricted",
-            "candidate_count": int(candidates.shape[0]),
-            "workers": int(workers),
-            **k_metadata,
-            "prune": bool(prune),
-            "total_rows": int(total_rows),
-            "evaluated_rows": int(evaluated_rows),
-            "pruned_rows": int(pruned_rows),
-        },
+        metadata=metadata,
     )
 
 
@@ -732,8 +813,16 @@ def brute_force_unassigned(
     store: "ContextStore | None" = None,
     shm: bool | None = None,
     prune: bool = True,
+    time_budget: float | None = None,
 ) -> UncertainKCenterResult:
-    """Best candidate centers for the unassigned expected cost (exact over the set)."""
+    """Best candidate centers for the unassigned expected cost (exact over the set).
+
+    ``time_budget`` makes the call anytime, exactly like
+    :func:`brute_force_restricted_assigned`: a ``certificate`` metadata
+    entry reports ``(cost, lower_bound, gap)`` with the lower bound folded
+    over the E[min]-based chunk bounds of every skipped chunk, and an
+    expired budget still returns the greedy seed subset.
+    """
     k = check_positive_int(k, name="k")
     if candidates is None:
         candidates = default_candidates(dataset)
@@ -744,19 +833,24 @@ def brute_force_unassigned(
     context = _build_context(dataset, candidates, store)
     if workers > 1:
         context._rank_merge_tables()  # built once, published to every worker
-    seed = _seed_unassigned_incumbent(context, k) if prune else None
+    seed_solution = (
+        _seed_unassigned_incumbent(context, k) if prune or time_budget is not None else None
+    )
+    seed = seed_solution[0] if prune and seed_solution is not None else None
     total_rows = _checked_subset_count(candidates.shape[0], k)
     pruned_rows = 0
     evaluated_rows = 0
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
+    chunk_list = list(_iter_subset_chunks(candidates.shape[0], k, chunk_rows))
     results = parallel_map(
         _unassigned_chunk_task,
-        _iter_subset_chunks(candidates.shape[0], k, chunk_rows),
+        chunk_list,
         payload=(context, chunk_rows),
         workers=workers,
         shm=shm,
         incumbent_seed=seed,
+        time_budget=time_budget,
     )
     for cost, subset_row, pruned, evaluated in results:
         pruned_rows += pruned
@@ -764,20 +858,36 @@ def brute_force_unassigned(
         if cost < best_cost:
             best_cost = float(cost)
             best_subset = tuple(int(c) for c in subset_row)
+    if seed_solution is not None and time_budget is not None:
+        seed_cost, seed_columns = seed_solution
+        if best_subset is None or seed_cost < best_cost:
+            best_cost = float(seed_cost)
+            best_subset = tuple(int(c) for c in seed_columns)
     assert best_subset is not None
+    metadata = {
+        "algorithm": "brute-force-unassigned",
+        "candidate_count": int(candidates.shape[0]),
+        "workers": int(workers),
+        **k_metadata,
+        "prune": bool(prune),
+        "total_rows": int(total_rows),
+        "evaluated_rows": int(evaluated_rows),
+        "pruned_rows": int(pruned_rows),
+    }
+    if time_budget is not None:
+        skipped = chunk_list[len(results):]
+        metadata["time_budget"] = float(time_budget)
+        metadata["deadline_hit"] = bool(skipped)
+        metadata["chunks_total"] = len(chunk_list)
+        metadata["chunks_completed"] = len(results)
+        metadata["certificate"] = _deadline_certificate(
+            best_cost,
+            [float(context.subset_unassigned_lower_bounds(chunk).min()) for chunk in skipped],
+        )
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
         expected_cost=float(best_cost),
         objective="unassigned",
         guaranteed_factor=None,
-        metadata={
-            "algorithm": "brute-force-unassigned",
-            "candidate_count": int(candidates.shape[0]),
-            "workers": int(workers),
-            **k_metadata,
-            "prune": bool(prune),
-            "total_rows": int(total_rows),
-            "evaluated_rows": int(evaluated_rows),
-            "pruned_rows": int(pruned_rows),
-        },
+        metadata=metadata,
     )

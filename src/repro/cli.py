@@ -14,7 +14,7 @@ Sub-commands
     Run the outlier / support-size sensitivity sweeps (E13a/E13b).
 ``bench``
     Execute the machine-readable benchmark suite and write its JSON document
-    (``--out``, ``BENCH_PR7.json`` by default) — the perf trajectory future
+    (``--out``, ``BENCH_PR8.json`` by default) — the perf trajectory future
     PRs compare against.  ``--compare BENCH_PR5.json`` prints a per-case
     speedup delta table against an earlier document; exit code 3 flags >20%
     regressions (other nonzero codes are crashes).  ``--quick`` runs the
@@ -53,6 +53,15 @@ default (admissible lower bounds against a shared incumbent — see
 ``--no-prune`` as an escape hatch that forces the exhaustive scans instead;
 results are bit-identical either way (pruning only skips provably losing
 rows), so the flag exists for debugging and for measuring the pruning win.
+
+Deadlines
+---------
+``table1`` and ``all`` accept ``--time-budget SECONDS`` to cap each
+brute-force reference solve.  A reference that exhausts its budget returns
+the best incumbent found so far together with a ``(cost, lower_bound,
+gap)`` optimality certificate derived from the admissible chunk bounds of
+the subsets it never scanned — the anytime contract documented in
+:mod:`repro.baselines.brute_force`.
 """
 
 from __future__ import annotations
@@ -104,6 +113,21 @@ def _add_no_prune_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_time_budget_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per brute-force reference solve; an exhausted "
+            "reference returns its best incumbent plus a (cost, lower_bound, "
+            "gap) optimality certificate instead of the exact optimum "
+            "(default: run to completion)"
+        ),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="uncertain-kcenter",
@@ -116,6 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--output", type=Path, default=None, help="also write the report to this file")
     _add_workers_argument(table1)
     _add_no_prune_argument(table1)
+    _add_time_budget_argument(table1)
 
     everything = subparsers.add_parser(
         "all", help="run every experiment (Table 1, scaling, ablations, sensitivity)"
@@ -124,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--output", type=Path, default=None, help="also write the report to this file")
     _add_workers_argument(everything)
     _add_no_prune_argument(everything)
+    _add_time_budget_argument(everything)
 
     scaling = subparsers.add_parser("scaling", help="running-time scaling experiment (E11)")
     scaling.add_argument("--quick", action="store_true")
@@ -146,8 +172,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         dest="out",
         type=Path,
-        default=Path("BENCH_PR7.json"),
-        help="JSON document to write (default: BENCH_PR7.json)",
+        default=Path("BENCH_PR8.json"),
+        help="JSON document to write (default: BENCH_PR8.json)",
     )
     bench.add_argument(
         "--compare",
@@ -248,7 +274,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     settings = Table1Settings.quick() if args.quick else Table1Settings()
-    settings = replace(settings, workers=args.workers, prune=not args.no_prune)
+    settings = replace(
+        settings,
+        workers=args.workers,
+        prune=not args.no_prune,
+        time_budget=args.time_budget,
+    )
     report = render_records(run_all_table1(settings))
     print(report)
     if args.output is not None:
@@ -258,9 +289,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     if args.quick:
-        records = run_quick(workers=args.workers, prune=not args.no_prune)
+        records = run_quick(
+            workers=args.workers, prune=not args.no_prune, time_budget=args.time_budget
+        )
     else:
-        records = run_everything(workers=args.workers, prune=not args.no_prune)
+        records = run_everything(
+            workers=args.workers, prune=not args.no_prune, time_budget=args.time_budget
+        )
     report = render_full_report(records)
     print(report)
     if args.output is not None:

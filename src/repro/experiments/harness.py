@@ -16,7 +16,7 @@ from dataclasses import replace
 from typing import Sequence
 
 from .ablation import AblationSettings, run_assignment_ablation, run_representative_ablation
-from .records import ExperimentRecord
+from .records import ExperimentRecord, track_runtime_health
 from .report import render_records
 from .scaling import ScalingSettings, run_scaling
 from .sensitivity import (
@@ -38,6 +38,7 @@ def run_everything(
     include_sensitivity: bool = True,
     workers: int | None = None,
     prune: bool | None = None,
+    time_budget: float | None = None,
 ) -> Sequence[ExperimentRecord]:
     """Run every experiment in DESIGN.md's index (E1..E13).
 
@@ -47,6 +48,14 @@ def run_everything(
     the fitted exponents / growth verdicts).  ``prune`` (the CLI's
     ``--no-prune`` maps to ``False``) toggles branch-and-bound pruning in
     the brute-force references; records are bit-identical either way.
+    ``time_budget`` (the CLI's ``--time-budget``, seconds) caps each
+    brute-force reference solve; exhausted references report their best
+    incumbent plus an optimality certificate instead of the exact optimum.
+
+    Every record carries a ``"runtime_health"`` summary entry when the
+    runtime degraded during its experiment (pool rebuilds, chunk retries,
+    deadline hits, serial fallbacks — see :mod:`repro.runtime.health`);
+    clean runs report nothing, keeping records byte-stable.
     """
     table1_settings = table1_settings or Table1Settings()
     ablation_settings = ablation_settings or AblationSettings()
@@ -57,20 +66,25 @@ def run_everything(
         sensitivity_settings = replace(sensitivity_settings, workers=workers)
     if prune is not None:
         table1_settings = replace(table1_settings, prune=prune)
+    if time_budget is not None:
+        table1_settings = replace(table1_settings, time_budget=time_budget)
     records = list(run_all_table1(table1_settings))
     if include_scaling:
-        records.append(run_scaling(scaling_settings))
+        records.append(track_runtime_health(run_scaling, scaling_settings))
     if include_ablation:
-        records.append(run_representative_ablation(ablation_settings))
-        records.append(run_assignment_ablation(ablation_settings))
+        records.append(track_runtime_health(run_representative_ablation, ablation_settings))
+        records.append(track_runtime_health(run_assignment_ablation, ablation_settings))
     if include_sensitivity:
-        records.append(run_outlier_sensitivity(sensitivity_settings))
-        records.append(run_support_size_sensitivity(sensitivity_settings))
+        records.append(track_runtime_health(run_outlier_sensitivity, sensitivity_settings))
+        records.append(track_runtime_health(run_support_size_sensitivity, sensitivity_settings))
     return tuple(records)
 
 
 def run_quick(
-    *, workers: int | None = None, prune: bool | None = None
+    *,
+    workers: int | None = None,
+    prune: bool | None = None,
+    time_budget: float | None = None,
 ) -> Sequence[ExperimentRecord]:
     """Lightweight run used by the CLI's ``--quick`` flag and smoke tests."""
     return run_everything(
@@ -80,6 +94,7 @@ def run_quick(
         sensitivity_settings=SensitivitySettings.quick(),
         workers=workers,
         prune=prune,
+        time_budget=time_budget,
     )
 
 

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, Sequence
+
+from ..runtime import health
 
 
 @dataclass(frozen=True)
@@ -47,3 +49,24 @@ class ExperimentRecord:
         """Smallest value of ``key`` across the rows."""
         values = [row.measured[key] for row in self.rows if key in row.measured]
         return min(values) if values else float("nan")
+
+
+def track_runtime_health(
+    run: Callable[..., ExperimentRecord], *args: Any, **kwargs: Any
+) -> ExperimentRecord:
+    """Run one experiment and attach the runtime-health delta to its record.
+
+    Snapshots :mod:`repro.runtime.health` around the call; if any degradation
+    counter moved (pool rebuilds, chunk retries, transport fallbacks, deadline
+    hits, serial fallbacks), the delta lands in the record's summary under
+    ``"runtime_health"``.  Fault-free runs report nothing, so existing records
+    stay byte-stable.
+    """
+    before = health.snapshot()
+    record = run(*args, **kwargs)
+    delta = health.delta(before)
+    if not delta.any():
+        return record
+    summary = dict(record.summary)
+    summary["runtime_health"] = delta.as_dict()
+    return replace(record, summary=summary)

@@ -49,7 +49,7 @@ from ..assignments.policies import ExpectedDistanceAssignment, ExpectedPointAssi
 from ..runtime.parallel import parallel_map
 from ..workloads.graphs import graph_uncertain_workload
 from ..workloads.synthetic import gaussian_clusters, heavy_tailed, line_workload, uniform_cloud
-from .records import ExperimentRecord, ExperimentRow
+from .records import ExperimentRecord, ExperimentRow, track_runtime_health
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,13 @@ class Table1Settings:
     #: ``--no-prune`` clears it).  Pruned and unpruned references are
     #: bit-identical; the flag exists to measure/debug the pruning layer.
     prune: bool = True
+    #: Wall-clock budget in seconds for each brute-force reference solve
+    #: (the CLI's ``--time-budget``).  ``None`` (the default) runs to
+    #: completion.  With a budget, a reference that runs out of time
+    #: returns its best incumbent plus a ``(cost, lower_bound, gap)``
+    #: certificate instead of the exact optimum — see
+    #: :mod:`repro.baselines.brute_force`.
+    time_budget: float | None = None
 
     @classmethod
     def quick(cls) -> "Table1Settings":
@@ -142,7 +149,11 @@ def _restricted_case(payload, item) -> tuple[list[ExperimentRow], dict[str, floa
     settings, assignment, policy_cls = payload
     dataset, spec = item
     reference = brute_force_restricted_assigned(
-        dataset, settings.k, assignment=policy_cls(), prune=settings.prune
+        dataset,
+        settings.k,
+        assignment=policy_cls(),
+        prune=settings.prune,
+        time_budget=settings.time_budget,
     )
     lower_bound = assigned_cost_lower_bound(dataset, settings.k)
     denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)
@@ -417,12 +428,15 @@ def run_e10_baseline_comparison(settings: Table1Settings | None = None) -> Exper
 def run_all_table1(settings: Table1Settings | None = None) -> Sequence[ExperimentRecord]:
     """Run every Table-1 experiment and return the records in order."""
     settings = settings or Table1Settings()
-    return (
-        run_e1_one_center(settings),
-        run_e2_e3_restricted_expected_distance(settings),
-        run_e4_e5_restricted_expected_point(settings),
-        run_e6_e7_unrestricted_euclidean(settings),
-        run_e8_one_dimensional(settings),
-        run_e9_general_metric(settings),
-        run_e10_baseline_comparison(settings),
+    return tuple(
+        track_runtime_health(run, settings)
+        for run in (
+            run_e1_one_center,
+            run_e2_e3_restricted_expected_distance,
+            run_e4_e5_restricted_expected_point,
+            run_e6_e7_unrestricted_euclidean,
+            run_e8_one_dimensional,
+            run_e9_general_metric,
+            run_e10_baseline_comparison,
+        )
     )

@@ -2,7 +2,7 @@
 
 Times the repo's hot execution paths — including the PR-6 addition: the
 ``repro lint`` static checker over the whole tree, which gates CI ahead of
-tier-1 — and writes one JSON document (``BENCH_PR7.json`` by default) so
+tier-1 — and writes one JSON document (``BENCH_PR8.json`` by default) so
 future PRs have a perf trajectory to compare against instead of anecdotes.
 ``--compare`` diffs a run against an earlier document (e.g. the checked-in
 ``BENCH_PR5.json``): shared ``*_seconds`` metrics get a delta line, cases
@@ -48,6 +48,11 @@ Cases
 ``lint_full_tree``
     ``repro lint`` wall clock over ``src/repro`` (the CI gate's latency) and
     the self-check that the tree lints clean (``findings`` must be 0).
+``fault_recovery``
+    The PR-8 acceptance case: the restricted brute force under injected
+    worker crashes (``crash:p=0.1``) against the fault-free run — results
+    bit-identical, completed chunks never recomputed (health-counter
+    audit), recovery overhead < 2x.
 
 Every case reports best-of-``repeats`` seconds; timings are environment
 dependent by nature, so the document also records the Python/NumPy versions,
@@ -82,7 +87,7 @@ from .parallel import available_workers, set_oversubscribe
 from .store import ContextStore
 
 #: Default output path for the checked-in benchmark trajectory.
-DEFAULT_OUTPUT = "BENCH_PR7.json"
+DEFAULT_OUTPUT = "BENCH_PR8.json"
 #: Wall-clock speedup the pruned restricted brute force targets.
 PRUNE_SPEEDUP_TARGET = 3.0
 #: Fraction of subset rows the acceptance instance must prune.
@@ -532,6 +537,92 @@ def bench_context_store(repeats: int = 3) -> dict:
     }
 
 
+#: Wall-clock overhead bound for crash recovery (faulted / fault-free).
+FAULT_RECOVERY_OVERHEAD_TARGET = 2.0
+#: Fault spec the recovery bench arms: every ~10th chunk dispatch kills its
+#: worker (deterministic draws — see :mod:`repro.faults`).
+FAULT_RECOVERY_SPEC = "crash:p=0.1:seed=10"
+
+
+def bench_fault_recovery(repeats: int = 1) -> dict:
+    """Crash-injected vs fault-free brute force (PR 8): identical results.
+
+    Runs the PR-5 acceptance instance (n=12, m=16, k=4; 29 shared-memory
+    chunk dispatches at ``chunk_rows=64``) twice from a cold pool: once
+    clean, once with :data:`FAULT_RECOVERY_SPEC` armed so worker processes
+    deterministically die mid-map.  The recovery contract under test:
+
+    * costs, centers and assignment are **bit-identical** to the fault-free
+      run (chunk-granular recovery preserves submission-order reduction and
+      incumbent-token determinism);
+    * completed chunks are never recomputed — audited via the health-counter
+      identity ``chunks_submitted == chunks_completed + retries`` (every
+      pool submission either completes exactly once or is requeued and
+      counted as a retry; the old behavior, a full serial re-run, breaks
+      the identity because completed chunks get re-executed);
+    * recovery overhead stays under
+      :data:`FAULT_RECOVERY_OVERHEAD_TARGET` x the fault-free wall clock.
+
+    Both legs pay pool startup (cold pool each run) so the comparison is
+    spawn-fair; oversubscription is enabled so 1-CPU boxes still exercise a
+    real 2-worker pool.
+    """
+    from .. import faults
+    from . import health
+
+    dataset, _ = gaussian_clusters(n=12, z=12, dimension=2, k_true=4, seed=9)
+    candidates = dataset.all_locations()[:16]
+    kwargs = dict(candidates=candidates, chunk_rows=64, workers=2, prune=False)
+    previous_oversubscribe = set_oversubscribe(True)
+    previous_spec = faults.enabled_spec()
+    try:
+
+        def cold_run():
+            pool_module.shutdown()
+            return brute_force_restricted_assigned(dataset, 4, **kwargs)
+
+        fault_free = cold_run()
+        fault_free_seconds = _best_of(cold_run, repeats)
+
+        faults.set_enabled(FAULT_RECOVERY_SPEC)
+        before = health.snapshot()
+        faulted = cold_run()
+        recovery = health.delta(before)
+        faulted_seconds = _best_of(cold_run, repeats)
+    finally:
+        faults.set_enabled(previous_spec or None)
+        set_oversubscribe(previous_oversubscribe)
+        pool_module.shutdown()
+
+    assert faulted.expected_cost == fault_free.expected_cost  # recovery contract
+    assert np.array_equal(faulted.centers, fault_free.centers)
+    assert np.array_equal(faulted.assignment, fault_free.assignment)
+    counters = recovery.as_dict()
+    chunk_audit_ok = bool(
+        recovery.chunks_submitted == recovery.chunks_completed + recovery.retries
+    )
+    overhead = faulted_seconds / max(fault_free_seconds, 1e-12)
+    return {
+        "fault_spec": FAULT_RECOVERY_SPEC,
+        "fault_free_seconds": fault_free_seconds,
+        "faulted_seconds": faulted_seconds,
+        "recovery_overhead": overhead,
+        "bit_identical": True,  # asserted above; a mismatch raises
+        "chunk_audit_ok": chunk_audit_ok,
+        **{f"health_{key}": value for key, value in counters.items()},
+        "target": FAULT_RECOVERY_OVERHEAD_TARGET,
+        "target_met": bool(
+            chunk_audit_ok
+            and recovery.pool_rebuilds >= 1
+            and overhead < FAULT_RECOVERY_OVERHEAD_TARGET
+        ),
+        "note": (
+            "crash-injected run is bit-identical to fault-free; completed "
+            "chunks are never resubmitted (submitted == completed + retries)"
+        ),
+    }
+
+
 def bench_lint_full_tree(repeats: int = 3) -> dict:
     """``repro lint`` wall-clock over the whole ``src/repro`` tree (PR 6).
 
@@ -598,6 +689,7 @@ CASES: dict[str, Callable[[], dict]] = {
     "batch_cost_kernel": bench_batch_cost_kernel,
     "local_search_sweep": bench_local_search_sweep,
     "context_store_memoization": bench_context_store,
+    "fault_recovery": bench_fault_recovery,
     "lint_full_tree": bench_lint_full_tree,
     "lint_dataflow_full_tree": bench_lint_dataflow_full_tree,
 }
@@ -668,7 +760,7 @@ def run_bench(
     revision, dirty = _git_state()
     document = {
         "schema": "repro-bench/1",
-        "pr": "PR7",
+        "pr": "PR8",
         "quick": bool(quick and not cases),
         "created_unix": now,
         "created_iso": datetime.datetime.fromtimestamp(

@@ -1,0 +1,95 @@
+"""Process-wide degradation telemetry for the crash-tolerant runtime.
+
+PR 8 gave the runtime graceful-degradation paths — chunk-granular crash
+recovery with pool rebuilds, per-call transport fallback after a failed
+shared-memory attach, deadline-truncated maps, last-resort serial
+completion.  Degrading *silently* would be worse than crashing: a solve
+that quietly ran serially after five pool rebuilds looks identical to a
+healthy one in its results (that is the determinism contract working as
+designed) while being 10x slower and masking an environment problem.
+
+This module is the flight recorder: a process-wide :class:`RuntimeHealth`
+counter block that every recovery path increments through :func:`record`.
+The experiment harness snapshots it around each run and attaches the
+*delta* to the record summary when anything fired, and the
+``fault_recovery`` bench family uses the same counters to prove completed
+chunks are not recomputed after an injected crash
+(``chunks_submitted == chunks + retries``).
+
+Counters only ever increase; :func:`snapshot` + :func:`delta` give
+callers interval views without resetting global state under anyone
+else's feet (:func:`reset` exists for tests and benchmarks that own the
+whole interval).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass
+class RuntimeHealth:
+    """Counters for every degradation event the runtime can survive."""
+
+    #: Executor rebuilds after a ``BrokenProcessPool`` (one per crash round).
+    pool_rebuilds: int = 0
+    #: Chunk resubmissions of any kind (crash requeues + transport fallbacks).
+    retries: int = 0
+    #: In-flight chunk results lost to a pool break and recomputed.
+    lost_chunks: int = 0
+    #: Per-call downgrades from shm/blob transport to ``("pickled", ...)``.
+    transport_fallbacks: int = 0
+    #: Maps truncated by a ``time_budget`` deadline (partial results returned).
+    deadline_hits: int = 0
+    #: Maps that exhausted pool retries and completed serially in the parent.
+    serial_fallbacks: int = 0
+    #: Chunk dispatches submitted to the pool (includes resubmissions).
+    chunks_submitted: int = 0
+    #: Chunk results harvested from the pool (completed work kept).
+    chunks_completed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def any(self) -> bool:
+        """Whether any degradation fired (submission/completion traffic aside)."""
+        return any(
+            getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name not in ("chunks_submitted", "chunks_completed")
+        )
+
+
+_HEALTH = RuntimeHealth()
+
+
+def record(**counts: int) -> None:
+    """Increment named counters; an unknown name is a programming error."""
+    for name, amount in counts.items():
+        setattr(_HEALTH, name, getattr(_HEALTH, name) + amount)
+
+
+def snapshot() -> RuntimeHealth:
+    """An immutable-by-convention copy of the counters right now."""
+    return dataclasses.replace(_HEALTH)
+
+
+def delta(since: RuntimeHealth) -> RuntimeHealth:
+    """Counter movement between ``since`` (an earlier snapshot) and now."""
+    current = snapshot()
+    return RuntimeHealth(
+        **{
+            field.name: getattr(current, field.name) - getattr(since, field.name)
+            for field in dataclasses.fields(RuntimeHealth)
+        }
+    )
+
+
+def reset() -> None:
+    """Zero every counter (tests/benchmarks that own the whole interval)."""
+    for field in dataclasses.fields(RuntimeHealth):
+        setattr(_HEALTH, field.name, 0)
+
+
+__all__ = ["RuntimeHealth", "delta", "record", "reset", "snapshot"]

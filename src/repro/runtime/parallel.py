@@ -24,9 +24,27 @@ process pool, choosing the cheapest transport for the payload:
 
 The pool itself is persistent (:mod:`repro.runtime.pool`): lazily spawned,
 grown on demand, reused across brute-force calls and experiment trials, and
-shut down explicitly (or at exit).  If a worker dies mid-map the pool is
-rebuilt and the map falls back to serial execution — results are identical
-by the determinism contract below.
+shut down explicitly (or at exit).  If a worker dies mid-map, recovery is
+**chunk-granular**: completed chunk results are kept, the pool is rebuilt
+with bounded retries and backoff, and only the lost chunks are resubmitted;
+a map that exhausts its rebuild budget finishes the *remainder* serially in
+the parent (:class:`~repro.runtime.pool.PoolDegradedError` carries the
+completed work).  Results are identical under every degradation path by the
+determinism contract below, every recovery event is counted in
+:mod:`repro.runtime.health`, and all of it can be driven deterministically
+via :mod:`repro.faults`.
+
+Deadlines (the anytime-solver plumbing)
+---------------------------------------
+``time_budget=SECONDS`` turns a map into an anytime computation: chunk
+submission stops once the monotonic deadline passes, in-flight work drains,
+and the longest completed prefix of results comes back (a short list is how
+callers detect truncation — they pair the prefix with an admissible lower
+bound over the chunks never run to certify ``(cost, lower_bound, gap)``;
+see :mod:`repro.baselines.brute_force`).  Deadline-truncated maps are
+exempt from ``det`` fingerprinting the same way pruned maps are: *which*
+prefix completes is timing-dependent by design, while each returned chunk
+value is still bit-identical.
 
 Serial fallback (never slower than ``workers=1``)
 -------------------------------------------------
@@ -69,12 +87,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
-from .. import sanitize
+from .. import faults, sanitize
 from .._env import env_flag
 from ..sanitize import det_san
+from . import health
 from . import incumbent as incumbent_module
 from . import pool as pool_module
 from . import shm as shm_module
@@ -150,12 +170,14 @@ def _init_worker(
     incumbent_handles: tuple | None = None,
     incumbent_token: Any = None,
     sanitizer_names: tuple[str, ...] = (),
+    fault_spec: str = "",
 ) -> None:
     global _WORKER_PAYLOAD, _WORKER_TASK, _WORKER_TOKEN
     pool_module._mark_in_worker()
     # Sanitizers first, so adopt_slot wraps the incumbent lock when LOCK-SAN
     # is on (same ordering as pool._init_pool_worker).
     sanitize.set_enabled(sanitizer_names)
+    faults.set_enabled(fault_spec)
     incumbent_module.adopt_slot(incumbent_handles)
     _WORKER_PAYLOAD = payload
     _WORKER_TASK = task
@@ -195,7 +217,14 @@ def _map_with_fresh_pool(
     with context.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(task, payload, handles, incumbent_token, sanitize.enabled_names()),
+        initargs=(
+            task,
+            payload,
+            handles,
+            incumbent_token,
+            sanitize.enabled_names(),
+            faults.enabled_spec(),
+        ),
     ) as process_pool:
         return process_pool.map(_run_item, items, chunksize=1)
 
@@ -209,6 +238,7 @@ def parallel_map(
     shm: bool | None = None,
     min_items: int = DEFAULT_MIN_ITEMS,
     incumbent_seed: float | None = None,
+    time_budget: float | None = None,
 ) -> list[R]:
     """``[task(payload, item) for item in items]``, optionally across processes.
 
@@ -248,6 +278,13 @@ def parallel_map(
         and tasks see no incumbent.  Pruning changes *which* rows tasks
         evaluate, never the reduced result — see the exactness contract in
         :mod:`repro.baselines.brute_force`.
+    time_budget:
+        Wall-clock budget in seconds for the whole map.  When it runs out,
+        submission stops, in-flight chunks drain, and the longest completed
+        *prefix* of results is returned — possibly empty, always shorter
+        than ``items`` (which is how callers detect truncation).  ``None``
+        (the default) never truncates.  See the module docstring's deadline
+        section for the anytime-certificate pattern built on this.
 
     Notes
     -----
@@ -258,18 +295,27 @@ def parallel_map(
     items = list(items)
     workers = effective_workers(workers, len(items), min_items)
     pruned = incumbent_seed is not None
+    deadline = None if time_budget is None else time.monotonic() + float(time_budget)
 
-    def _audited(results: list[R], used_workers: int) -> list[R]:
+    def _audited(results: list[R], used_workers: int, *, partial: bool = False) -> list[R]:
         # DET-SAN fingerprints per-chunk results of un-pruned maps so a
         # workers=1 vs workers=N divergence is caught at the first
         # differing chunk; no-op unless REPRO_SANITIZE enables ``det``.
-        det_san.record_map(
-            task, items, payload, results, workers=used_workers, pruned=pruned
-        )
+        # Deadline-truncated maps are exempt like pruned ones: a shorter
+        # result list under the same (task, items, payload) key would
+        # false-positive against a completed run.
+        if not partial:
+            det_san.record_map(
+                task, items, payload, results, workers=used_workers, pruned=pruned
+            )
         return results
 
     if workers <= 1:
-        return _audited(_serial_map(task, items, payload, incumbent_seed), 1)
+        serial_results = _serial_map(task, items, payload, incumbent_seed, deadline)
+        if len(serial_results) < len(items):
+            health.record(deadline_hits=1)
+            return _audited(serial_results, 1, partial=True)
+        return _audited(serial_results, 1)
 
     incumbent_token = (
         incumbent_module.activate(incumbent_seed) if incumbent_seed is not None else None
@@ -306,15 +352,54 @@ def parallel_map(
                 _map_with_fresh_pool(task, items, payload, workers, incumbent_token),
                 workers,
             )
+    fallback_spec: Callable[[], tuple] | None = None
+    if spec[0] in ("shm", "blob"):
+
+        def _pickled_fallback() -> tuple:
+            # Lazily built (at most once per map) when a worker reports a
+            # failed segment attach: that one chunk re-rides as plain
+            # pickle bytes instead of poisoning the whole pool.
+            import hashlib
+
+            fallback_blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            return ("pickled", hashlib.sha1(fallback_blob).hexdigest(), fallback_blob)
+
+        fallback_spec = _pickled_fallback
     try:
-        return _audited(
-            pool_module.executor().map(task, items, spec, workers, incumbent_token),
+        pooled = pool_module.executor().map(
+            task,
+            items,
+            spec,
             workers,
+            incumbent_token,
+            fallback_spec=fallback_spec,
+            deadline=deadline,
         )
+        if len(pooled) < len(items):
+            return _audited(pooled, workers, partial=True)
+        return _audited(pooled, workers)
+    except pool_module.PoolDegradedError as degraded:
+        # The pool broke more times than the retry budget allows.  Keep
+        # every chunk that did complete and finish only the remainder
+        # serially in the parent — identical results by the determinism
+        # contract, degraded wall clock, all of it counted.
+        health.record(serial_fallbacks=1)
+        merged = _complete_serially(
+            task, items, payload, dict(degraded.completed), incumbent_token, deadline
+        )
+        if len(merged) < len(items):
+            health.record(deadline_hits=1)
+            return _audited(merged, workers, partial=True)
+        return _audited(merged, workers)
     except BrokenProcessPool:
-        # A worker died mid-map (crash, OOM kill).  The pool was shut down;
-        # finish the job serially — identical results, degraded wall clock.
-        return _audited(_serial_map(task, items, payload, incumbent_seed), 1)
+        # Last-resort net (e.g. the executor broke before the map loop
+        # could take over): rerun the whole map serially.
+        health.record(serial_fallbacks=1)
+        serial_results = _serial_map(task, items, payload, incumbent_seed, deadline)
+        if len(serial_results) < len(items):
+            health.record(deadline_hits=1)
+            return _audited(serial_results, 1, partial=True)
+        return _audited(serial_results, 1)
     finally:
         if call_lease is not None:
             call_lease.close()
@@ -325,16 +410,66 @@ def _serial_map(
     items: list[T],
     payload: Any,
     incumbent_seed: float | None,
+    deadline: float | None = None,
 ) -> list[R]:
     """The in-process chunk loop, with the incumbent threaded through.
 
     Serial pruning is deterministic: chunks run in submission order and each
-    sees exactly the improvements of its predecessors.
+    sees exactly the improvements of its predecessors.  A ``deadline``
+    (monotonic instant) truncates the loop between chunks, returning the
+    completed prefix.
     """
     if incumbent_seed is None:
-        return [task(payload, item) for item in items]
+        return _serial_loop(task, items, payload, deadline)
     with incumbent_module.serial_incumbent(incumbent_seed):
+        return _serial_loop(task, items, payload, deadline)
+
+
+def _serial_loop(
+    task: Callable[[Any, T], R], items: list[T], payload: Any, deadline: float | None
+) -> list[R]:
+    if deadline is None:
         return [task(payload, item) for item in items]
+    results: list[R] = []
+    for item in items:
+        if time.monotonic() >= deadline:
+            break
+        results.append(task(payload, item))
+    return results
+
+
+def _complete_serially(
+    task: Callable[[Any, T], R],
+    items: list[T],
+    payload: Any,
+    completed: dict[int, R],
+    incumbent_token: Any,
+    deadline: float | None,
+) -> list[R]:
+    """Finish a degraded map in the parent, reusing completed chunk results.
+
+    The parent owns the incumbent slot (it activated it), so binding the
+    token threads the *same* shared incumbent through the serial remainder
+    that the pooled chunks used — the skip-set may differ, the reduced
+    result cannot (the callers' exactness contract).
+    """
+    missing = [index for index in range(len(items)) if index not in completed]
+    if incumbent_token is not None:
+        incumbent_module.bind_token(incumbent_token)
+    try:
+        for index in missing:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            completed[index] = task(payload, items[index])
+    finally:
+        if incumbent_token is not None:
+            incumbent_module.bind_token(None)
+    prefix: list[R] = []
+    for index in range(len(items)):
+        if index not in completed:
+            break
+        prefix.append(completed[index])
+    return prefix
 
 
 def iter_chunk_bounds(total: int, chunk_rows: int) -> Iterator[tuple[int, int]]:

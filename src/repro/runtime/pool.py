@@ -13,12 +13,33 @@ startup dominated (the ``BENCH_PR3.json`` 0.76x case).  This module keeps
   fresh one instead of deadlocking on inherited pipes;
 * safe against nesting: pool workers mark themselves via :func:`in_worker`
   and any parallel request made inside one degrades to serial;
-* safe against worker death: a :class:`BrokenProcessPool` marks the
-  executor dead (it is rebuilt lazily) and the caller falls back to running
-  the map serially — results are identical by the determinism contract;
+* safe against worker death: on :class:`BrokenProcessPool`,
+  :meth:`PersistentPool.map` keeps every chunk result already harvested
+  (futures that completed before the break retain their values), rebuilds
+  the executor with exponential backoff, and resubmits **only the lost
+  chunks** — bounded by :data:`MAP_MAX_RETRIES` rounds before raising
+  :class:`PoolDegradedError` carrying the completed work, so the caller can
+  finish the remainder serially instead of recomputing everything (results
+  are identical either way by the determinism contract);
+* bounded in time: an optional monotonic ``deadline`` stops chunk
+  submission when it passes and returns the longest completed prefix — the
+  plumbing the anytime-solver ``time_budget`` stands on;
+* degradable per transport: a worker that cannot attach a shared-memory
+  segment (injected or real) returns a :class:`_TransportFailure` marker
+  instead of poisoning the pool, and the chunk is resubmitted on the
+  caller-provided ``("pickled", ...)`` fallback spec;
 * shut down explicitly via :func:`shutdown` (also registered ``atexit``),
   which closes the executor *and* unlinks every cached shared-memory
-  publication.
+  publication, tolerating workers the OS already reaped (a crashed or
+  OOM-killed worker must not print a spurious traceback at interpreter
+  exit).
+
+Every recovery event increments :mod:`repro.runtime.health` counters, and
+every degradation path can be driven deterministically in CI through
+:mod:`repro.faults` (``REPRO_FAULTS=crash:p=0.05,...``): the injection
+points in :func:`_dispatch` fire on a pure hash of the chunk's
+``(index, attempt)`` key, so retries re-roll instead of re-crashing
+forever.
 
 Dispatch protocol
 -----------------
@@ -55,17 +76,58 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-from .. import sanitize
+from .. import faults, sanitize
+from . import health
 from . import incumbent as incumbent_module
 from . import shm as shm_module
 
 #: Materialized payloads a worker keeps before evicting least-recently-used.
 WORKER_PAYLOAD_CACHE = 4
+
+#: Pool-rebuild rounds a single map survives before degrading to serial.
+MAP_MAX_RETRIES = 3
+
+#: First rebuild backoff in seconds; doubles per round up to the cap.  A
+#: crashed worker usually died for an environmental reason (OOM pressure,
+#: cgroup kill) that an immediate respawn would hit again — but a fork
+#: respawn itself is cheap, so the first retry is near-immediate and only
+#: repeated failures earn the long sleeps.
+MAP_BACKOFF_INITIAL = 0.01
+MAP_BACKOFF_CAP = 1.0
+
+
+class PoolDegradedError(RuntimeError):
+    """A map exhausted its pool-rebuild budget.
+
+    Carries ``completed`` — every chunk result harvested before giving up,
+    keyed by item index — so the caller finishes only the remainder
+    serially instead of recomputing work that already succeeded.
+    """
+
+    def __init__(self, message: str, completed: dict[int, Any]) -> None:
+        super().__init__(message)
+        self.completed = completed
+
+
+@dataclass(frozen=True)
+class _TransportFailure:
+    """Worker-side marker: the payload transport failed, the pool is fine.
+
+    A failed shared-memory attach must not look like a task error (which
+    would abort the whole map) or kill the worker (which would cost a pool
+    rebuild): the worker reports the failure as an ordinary *result* and
+    the parent resubmits the chunk on the pickled fallback transport.
+    """
+
+    kind: str
+    error: str
 
 # -- worker-side state -------------------------------------------------------
 
@@ -84,18 +146,22 @@ def _mark_in_worker() -> None:
 
 
 def _init_pool_worker(
-    incumbent_handles: tuple | None, sanitizer_names: tuple[str, ...] = ()
+    incumbent_handles: tuple | None,
+    sanitizer_names: tuple[str, ...] = (),
+    fault_spec: str = "",
 ) -> None:
     """Persistent-pool initializer: mark the worker, adopt the incumbent slot.
 
-    Sanitizer names ride the initargs channel like the incumbent handles do
-    (spawned workers do inherit ``REPRO_SANITIZE`` via the environment, but
-    the explicit handoff also covers sanitizers enabled programmatically
-    with :func:`repro.sanitize.set_enabled` after import).  Enabling must
-    happen *before* adopt_slot so the worker's incumbent lock gets wrapped.
+    Sanitizer names and the armed fault spec ride the initargs channel like
+    the incumbent handles do (spawned workers do inherit ``REPRO_SANITIZE``
+    / ``REPRO_FAULTS`` via the environment, but the explicit handoff also
+    covers anything enabled programmatically with ``set_enabled`` after
+    import).  Enabling sanitizers must happen *before* adopt_slot so the
+    worker's incumbent lock gets wrapped.
     """
     _mark_in_worker()
     sanitize.set_enabled(sanitizer_names)
+    faults.set_enabled(fault_spec)
     incumbent_module.adopt_slot(incumbent_handles)
 
 
@@ -144,10 +210,25 @@ def _resolve_payload(spec: tuple) -> Any:
 
 
 def _dispatch(args: tuple) -> Any:
-    task, spec, item, incumbent_token = args
+    task, spec, item, incumbent_token, fault_key = args
+    # Injection points for the chaos harness: the crash fires before any
+    # work happens (the honest worst case — the whole chunk is lost) and
+    # both draws are keyed by the chunk's (index, attempt) so a chunk that
+    # crashed at attempt 0 re-rolls at attempt 1 instead of killing every
+    # rebuilt pool forever.
+    faults.inject("crash", "pool.dispatch", token=fault_key)
+    faults.inject("slow", "pool.dispatch", token=fault_key)
     incumbent_module.bind_token(incumbent_token)
     try:
-        return task(_resolve_payload(spec), item)
+        try:
+            payload = _resolve_payload(spec)
+        except (faults.FaultInjected, OSError) as error:
+            if spec[0] in ("shm", "blob"):
+                # A failed segment attach degrades this one call to the
+                # pickled transport instead of poisoning the pool.
+                return _TransportFailure(kind=spec[0], error=repr(error))
+            raise
+        return task(payload, item)
     finally:
         incumbent_module.bind_token(None)
 
@@ -175,6 +256,7 @@ class PersistentPool:
         self._executor: ProcessPoolExecutor | None = None
         self._workers = 0
         self._pid: int | None = None
+        self._config: tuple = ()
 
     @property
     def started(self) -> bool:
@@ -193,7 +275,13 @@ class PersistentPool:
             # worker processes) and spawn fresh ones.
             self._executor = None
             self._workers = 0
-        if self._executor is not None and workers > self._workers:
+        # Sanitizers and fault specs reach workers through initargs, i.e.
+        # they are frozen at spawn time: a pool that outlives a
+        # set_enabled() call would silently keep the old configuration, so
+        # config drift forces a respawn (tests and the chaos bench arm
+        # faults programmatically between maps and rely on this).
+        config = (sanitize.enabled_names(), faults.enabled_spec())
+        if self._executor is not None and (workers > self._workers or config != self._config):
             self.shutdown()
         if self._executor is None:
             # The incumbent slot must exist before the workers do: fork
@@ -204,10 +292,11 @@ class PersistentPool:
                 max_workers=workers,
                 mp_context=_pool_context(),
                 initializer=_init_pool_worker,
-                initargs=(incumbent_handles, sanitize.enabled_names()),
+                initargs=(incumbent_handles, sanitize.enabled_names(), faults.enabled_spec()),
             )
             self._workers = workers
             self._pid = os.getpid()
+            self._config = config
         return self._executor
 
     def map(
@@ -217,48 +306,149 @@ class PersistentPool:
         spec: tuple,
         workers: int,
         incumbent_token: Any = None,
+        *,
+        fallback_spec: Callable[[], tuple] | None = None,
+        deadline: float | None = None,
     ) -> list[Any]:
         """``[task(payload, item) for item in items]`` across the pool.
 
-        Results come back in submission order (the determinism contract).
-        The pool is grow-only, so it may hold more processes than this call
+        Results come back in item order (the determinism contract).  The
+        pool is grow-only, so it may hold more processes than this call
         requested; at most ``workers`` items are kept in flight regardless,
         keeping ``workers`` a real concurrency cap per call.
         ``incumbent_token`` (from :func:`repro.runtime.incumbent.activate`)
         rides in every dispatch tuple so chunk tasks of a pruned enumeration
-        share one branch-and-bound incumbent.  Raises
-        :class:`BrokenProcessPool` after marking the pool for rebuild when a
-        worker dies mid-map; task-level exceptions propagate as-is.
+        share one branch-and-bound incumbent.
+
+        Crash recovery is chunk-granular: when a worker dies mid-map
+        (:class:`BrokenProcessPool`), every future that already completed
+        keeps its result, only the lost in-flight chunks are requeued (with
+        a bumped attempt counter, so injected crashes re-roll), and the
+        executor is rebuilt with exponential backoff.  After
+        :data:`MAP_MAX_RETRIES` rebuild rounds the map raises
+        :class:`PoolDegradedError` carrying the completed results so the
+        caller can finish the remainder serially.
+
+        ``fallback_spec`` (lazily called at most once) provides the
+        ``("pickled", ...)`` spec a chunk is resubmitted on when its worker
+        reports a failed shared-memory attach (:class:`_TransportFailure`).
+        ``deadline`` (a ``time.monotonic`` instant) stops chunk submission
+        once passed; in-flight work is drained and the longest completed
+        prefix is returned — a short list, which is how callers detect
+        truncation.  Task-level exceptions propagate as-is.
         """
+        workers = max(1, int(workers))
         executor = self.ensure(workers)
         items = list(items)
-        results: list[Any] = [None] * len(items)
-        window: "deque[tuple[int, Any]]" = deque()
-        try:
-            for index, item in enumerate(items):
-                while len(window) >= workers:
-                    done_index, future = window.popleft()
-                    results[done_index] = future.result()
-                window.append(
-                    (index, executor.submit(_dispatch, (task, spec, item, incumbent_token)))
-                )
-            while window:
-                done_index, future = window.popleft()
-                results[done_index] = future.result()
-            return results
-        except BrokenProcessPool:
-            self.shutdown()
-            raise
+        total = len(items)
+        results: dict[int, Any] = {}
+        #: (index, attempt, spec) triples not yet in flight.
+        pending: "deque[tuple[int, int, tuple]]" = deque((i, 0, spec) for i in range(total))
+        window: "deque[tuple[int, int, tuple, Any]]" = deque()
+        rebuilds = 0
+        backoff = MAP_BACKOFF_INITIAL
+        resolved_fallback: tuple | None = None
+        deadline_hit = False
+        while pending or window:
+            try:
+                while pending and len(window) < workers:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        deadline_hit = True
+                        break
+                    index, attempt, item_spec = pending.popleft()
+                    # Counted before submit(): a broken pool can surface as
+                    # a submit-time BrokenProcessPool, and the popped chunk
+                    # is then requeued as a retry — the audit identity
+                    # (submitted == completed + retries) needs the attempt
+                    # on the books either way.
+                    health.record(chunks_submitted=1)
+                    future = executor.submit(
+                        _dispatch,
+                        (task, item_spec, items[index], incumbent_token, (index, attempt)),
+                    )
+                    window.append((index, attempt, item_spec, future))
+                if not window:
+                    break  # deadline stopped submission with nothing in flight
+                index, attempt, item_spec, future = window.popleft()
+                value = future.result()
+            except BrokenProcessPool:
+                # Harvest what survived: completed futures keep their
+                # results even after the executor breaks.  Everything else
+                # is requeued at the front with a bumped attempt.
+                lost = [(index, attempt + 1, item_spec)]
+                while window:
+                    s_index, s_attempt, s_spec, s_future = window.popleft()
+                    if s_future.done() and s_future.exception() is None:
+                        results[s_index] = s_future.result()
+                        health.record(chunks_completed=1)
+                    else:
+                        lost.append((s_index, s_attempt + 1, s_spec))
+                pending.extendleft(reversed(lost))
+                rebuilds += 1
+                health.record(pool_rebuilds=1, lost_chunks=len(lost), retries=len(lost))
+                self.shutdown()
+                if rebuilds > MAP_MAX_RETRIES:
+                    raise PoolDegradedError(
+                        f"pool broke {rebuilds} times during one map"
+                        f" ({len(results)}/{total} chunks completed); degrading to serial",
+                        dict(results),
+                    ) from None
+                time.sleep(backoff)
+                backoff = min(backoff * 2.0, MAP_BACKOFF_CAP)
+                executor = self.ensure(workers)
+                continue
+            if isinstance(value, _TransportFailure):
+                if fallback_spec is None:
+                    raise RuntimeError(
+                        f"payload transport ({value.kind}) failed in a worker with no"
+                        f" fallback available: {value.error}"
+                    )
+                if resolved_fallback is None:
+                    resolved_fallback = fallback_spec()
+                pending.appendleft((index, attempt + 1, resolved_fallback))
+                health.record(transport_fallbacks=1, retries=1)
+                continue
+            results[index] = value
+            health.record(chunks_completed=1)
+        if deadline_hit or pending:
+            health.record(deadline_hits=1)
+        if len(results) == total:
+            return [results[i] for i in range(total)]
+        prefix: list[Any] = []
+        for i in range(total):
+            if i not in results:
+                break
+            prefix.append(results[i])
+        return prefix
 
     def shutdown(self) -> None:
-        """Stop the workers (idempotent).  Cached publications are separate."""
-        if self._executor is not None:
-            try:
-                self._executor.shutdown(wait=True, cancel_futures=True)
-            except Exception:  # pragma: no cover - interpreter teardown races
-                pass
-            self._executor = None
-            self._workers = 0
+        """Stop the workers (idempotent).  Cached publications are separate.
+
+        Must tolerate workers the OS already reaped: after an injected
+        crash (``os._exit``) or an OOM kill, the executor's process table
+        still lists the corpse, and a naive teardown at interpreter exit
+        prints a spurious traceback.  State is detached *first* so a
+        failure during teardown can never wedge the pool in a half-dead
+        state, then any processes the executor failed to reap are
+        terminated and joined individually, swallowing races with the OS.
+        """
+        executor, self._executor = self._executor, None
+        self._workers = 0
+        if executor is None:
+            return
+        workers = list((getattr(executor, "_processes", None) or {}).values())
+        try:
+            executor.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            # Executor-level teardown failed (broken pool, interpreter
+            # teardown race): reap whatever is still reapable ourselves.
+            for process in workers:
+                try:
+                    if process.is_alive():
+                        process.terminate()
+                    process.join(timeout=1.0)
+                except (OSError, ValueError, AssertionError):  # pragma: no cover
+                    pass  # already reaped by the OS — exactly the tolerated case
 
 
 _POOL = PersistentPool()

@@ -68,6 +68,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .. import faults
 from ..cost.context import CostContext, _RankMergeTables
 from ..cost.expected import AssignedCostEvaluator
 from ..sanitize import shm_san
@@ -115,6 +116,9 @@ def _untracked():
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without tracker registration."""
+    # Chaos-harness injection point: a worker whose attach "fails" here is
+    # what drives the per-call pickled-transport fallback in the pool.
+    faults.inject("shm_attach", "shm.attach_segment", token=name)
     shm_san.record_attach(name)
     try:
         return shared_memory.SharedMemory(name=name, track=False)  # Python 3.13+

@@ -28,11 +28,14 @@ variable, which becomes the default for every store) to enable it:
 
 * every in-memory miss that builds a context also writes it through to
   ``<spill_dir>/<dataset-fp>-<candidate-fp>-<pin>.ctx`` (atomic
-  write-then-rename, version-tagged pickle);
+  write-then-rename; version-tagged pickle carrying a **content checksum**
+  over the pickled context bytes);
 * a later miss — in this process after eviction, or in a brand-new process —
-  loads the spilled context instead of rebuilding (``disk_hits`` counts
-  these); a stale, corrupt or version-mismatched file is ignored and
-  overwritten by a fresh build;
+  verifies the checksum and loads the spilled context instead of rebuilding
+  (``disk_hits`` counts these); a truncated, corrupt, stale or
+  version-mismatched file is **deleted and treated as a miss** — the
+  context is rebuilt and re-spilled, never raised mid-solve (a torn write
+  from a killed process must not poison every later run);
 * invalidation is free: any changed dataset/candidate byte changes the
   fingerprint and therefore the filename.
 
@@ -65,6 +68,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import faults
 from .._env import env_number, env_str
 from ..cost.context import CostContext
 from ..sanitize import det_san
@@ -83,8 +87,9 @@ SPILL_MAX_ENV = "REPRO_CONTEXT_SPILL_MAX"
 SPILL_MAX_AGE_ENV = "REPRO_CONTEXT_SPILL_MAX_AGE"
 
 #: Bumped whenever the pickled context layout changes; mismatched spill
-#: files are ignored and rebuilt.
-SPILL_FORMAT = 1
+#: files are deleted and rebuilt.  Version 2 added the content checksum
+#: over the pickled context bytes.
+SPILL_FORMAT = 2
 
 
 def _hash_array(hasher: "hashlib._Hash", array: np.ndarray) -> None:
@@ -180,16 +185,36 @@ class ContextStore:
         dataset_key, candidate_key, pin = key
         return self.spill_dir / f"{dataset_key}-{candidate_key}-{int(pin)}.ctx"
 
-    def _load_spilled(self, path: Path | None) -> CostContext | None:
-        """Best-effort disk load; anything suspicious falls back to a rebuild."""
+    def _load_spilled(
+        self, path: Path | None, *, discard_corrupt: bool = True
+    ) -> CostContext | None:
+        """Checksum-verified disk load; anything suspicious is a miss.
+
+        A file that fails *any* check — unreadable, truncated pickle, wrong
+        tag, stale :data:`SPILL_FORMAT`, content checksum mismatch, wrong
+        payload type — is deleted on the spot (unless ``discard_corrupt``
+        is off, for :meth:`scan_spill_dir`'s own accounting) and ``None``
+        is returned so the caller rebuilds: corruption costs one rebuild,
+        never an exception mid-solve and never a poisoned future run.
+        """
         if path is None or not path.is_file():
             return None
         try:
             with path.open("rb") as handle:
-                tag, version, context = pickle.load(handle)
+                tag, version, checksum, blob = pickle.load(handle)
+            if tag != "repro-context" or version != SPILL_FORMAT:
+                raise ValueError("stale or foreign spill header")
+            if not isinstance(blob, bytes) or hashlib.sha1(blob).hexdigest() != checksum:
+                raise ValueError("spill content checksum mismatch")
+            context = pickle.loads(blob)
+            if not isinstance(context, CostContext):
+                raise ValueError("spill payload is not a CostContext")
         except Exception:
-            return None
-        if tag != "repro-context" or version != SPILL_FORMAT or not isinstance(context, CostContext):
+            if discard_corrupt:
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - raced with another process
+                    pass
             return None
         return context
 
@@ -200,9 +225,15 @@ class ContextStore:
         temporary = path.with_suffix(f".tmp{os.getpid()}")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+            checksum = hashlib.sha1(blob).hexdigest()
+            if faults.inject("spill_corrupt", "store.write_spill", token=path.name):
+                # Chaos harness: persist a truncated payload whose checksum
+                # no longer matches — the read path must treat it as a miss.
+                blob = blob[: len(blob) // 2]
             with temporary.open("wb") as handle:
                 pickle.dump(
-                    ("repro-context", SPILL_FORMAT, context),
+                    ("repro-context", SPILL_FORMAT, checksum, blob),
                     handle,
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
@@ -276,16 +307,19 @@ class ContextStore:
     def scan_spill_dir(self) -> dict[str, int]:
         """Deep-scan the spill directory, deleting files that cannot load.
 
-        Every ``.ctx`` file is pushed through the same version-tag check the
-        read path applies (:meth:`_load_spilled`): truncated pickles, wrong
-        tags and stale ``SPILL_FORMAT`` versions are removed so cross-process
-        consumers stop re-stat'ing garbage.  Returns
+        Every ``.ctx`` file is pushed through the same checksum-verified
+        load the read path applies (:meth:`_load_spilled`): truncated
+        pickles, wrong tags, stale ``SPILL_FORMAT`` versions and content
+        checksum mismatches are removed so cross-process consumers stop
+        re-stat'ing garbage.  (The read path now deletes corrupt files
+        itself on first touch; the scan remains the way to recondition a
+        shared directory *eagerly*, without waiting for misses.)  Returns
         ``{"kept": ..., "removed": ...}``.
         """
         kept = 0
         removed = 0
         for _, _, path in self._spill_files():
-            if self._load_spilled(path) is None:
+            if self._load_spilled(path, discard_corrupt=False) is None:
                 self._evict_spill_file(path)
                 removed += 1
             else:

@@ -38,6 +38,7 @@ from repro.analysis.rules.concurrency import (
     SyncInDispatchRule,
 )
 from repro.analysis.rules.determinism import FloatSortHotpathRule, NondetRule
+from repro.analysis.rules.faultpoints import FAULT_KINDS as LINT_FAULT_KINDS, FaultPointRule
 from repro.analysis.rules.hygiene import (
     BoundAdmissibleDocRule,
     EnvRegistryRule,
@@ -457,9 +458,121 @@ class TestSuppressions:
         assert len(report.suppressed) == 1
 
 
+class TestFaultPointRule:
+    def test_registered_reachable_runtime_site_is_clean(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "runtime/pool.py",
+            """
+            from .. import faults
+
+            def _dispatch(args):
+                faults.inject("crash", "pool.dispatch", token=args)
+                return args
+
+            def run(executor, items):
+                return executor.submit(_dispatch, items)
+            """,
+            FaultPointRule(),
+        )
+        assert report.findings == []
+
+    def test_unregistered_kind_is_flagged(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "runtime/pool.py",
+            """
+            from .. import faults
+
+            def run(args):
+                faults.inject("meteor", "pool.dispatch")
+                return args
+            """,
+            FaultPointRule(),
+        )
+        assert rule_ids(report) == ["FAULT-POINT"]
+        assert "unregistered" in report.findings[0].message
+
+    def test_non_literal_kind_is_flagged(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "runtime/pool.py",
+            """
+            from .. import faults
+
+            def run(kind, args):
+                faults.inject(kind, "pool.dispatch")
+                return args
+            """,
+            FaultPointRule(),
+        )
+        assert rule_ids(report) == ["FAULT-POINT"]
+        assert "string literal" in report.findings[0].message
+
+    def test_site_outside_runtime_is_flagged(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "cost/kernel.py",
+            """
+            from .. import faults
+
+            def sweep(values):
+                faults.inject("slow", "cost.sweep")
+                return values
+            """,
+            FaultPointRule(),
+        )
+        assert rule_ids(report) == ["FAULT-POINT"]
+        assert "outside repro/runtime" in report.findings[0].message
+
+    def test_unreachable_site_is_flagged(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "runtime/pool.py",
+            """
+            from .. import faults
+
+            def _orphan(args):
+                faults.inject("crash", "pool.orphan")
+                return args
+
+            def run(items):
+                return list(items)
+            """,
+            FaultPointRule(),
+        )
+        assert rule_ids(report) == ["FAULT-POINT"]
+        assert "not reachable" in report.findings[0].message
+
+    def test_bare_inject_import_is_recognized(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "runtime/shm.py",
+            """
+            from ..faults import inject
+
+            def attach(name):
+                inject("meteor", "shm.attach")
+                return name
+            """,
+            FaultPointRule(),
+        )
+        assert rule_ids(report) == ["FAULT-POINT"]
+
+    def test_kinds_mirror_pins_the_faults_registry(self):
+        """The linter's stdlib-only mirror must track repro.faults.FAULT_KINDS."""
+        from repro.faults import FAULT_KINDS
+
+        assert LINT_FAULT_KINDS == FAULT_KINDS
+
+    def test_shipped_injection_sites_are_reachable_and_registered(self):
+        report = lint_paths([REPO_ROOT / "src" / "repro" / "runtime"], rules=[FaultPointRule()])
+        assert report.findings == []
+
+
 class TestEngineAndReporters:
     def test_every_rule_ships_with_id_summary_and_motivation(self):
-        assert len(RULE_CLASSES) == 8
+        assert len(RULE_CLASSES) == 9
         seen = set()
         for rule in all_rules():
             assert rule.id and rule.id not in seen

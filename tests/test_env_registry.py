@@ -37,6 +37,7 @@ class TestRegistry:
             "REPRO_CONTEXT_SPILL_MAX",
             "REPRO_CONTEXT_SPILL_MAX_AGE",
             "REPRO_SANITIZE",
+            "REPRO_FAULTS",
         }
         for variable in REGISTRY.values():
             assert isinstance(variable, EnvVar)
