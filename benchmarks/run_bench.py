@@ -2,7 +2,7 @@
 """Standalone entry point for the machine-readable benchmark runner.
 
 Equivalent to ``python -m repro bench``; see :mod:`repro.runtime.bench` for
-the case registry.  Writes ``BENCH_PR8.json`` (override with ``--out``) so
+the case registry.  Writes ``BENCH_PR9.json`` (override with ``--out``) so
 every PR leaves a comparable perf trajectory, and ``--compare`` diffs the
 fresh run against an earlier document (cases present in only one document
 are listed, not errors), exiting with code 3 on >20% regressions — distinct
@@ -23,7 +23,7 @@ import sys
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", "--output", dest="out", default="BENCH_PR8.json", help="JSON document to write"
+        "--out", "--output", dest="out", default="BENCH_PR9.json", help="JSON document to write"
     )
     parser.add_argument(
         "--compare",

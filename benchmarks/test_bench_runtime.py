@@ -8,7 +8,7 @@ descriptor-vs-payload dispatch bytes, pool amortization, rank-merge win) and
 the wall-clock targets where the hardware can express them — the parallel
 speedup target needs >= 2 physical CPUs and is skipped honestly below that
 (the 2-vCPU CI runners execute it).  ``python -m repro bench`` records the
-same cases (plus environment metadata) to ``BENCH_PR7.json`` for the
+same cases (plus environment metadata) to ``BENCH_PR9.json`` for the
 cross-PR trajectory; ``--compare BENCH_PR5.json`` diffs documents.
 """
 

@@ -80,8 +80,23 @@ REGISTRY: dict[str, EnvVar] = {
         ),
         EnvVar(
             name="REPRO_FAULTS",
-            usage="`REPRO_FAULTS=crash:p=0.05,slow:p=0.1:ms=200,shm_attach,spill_corrupt`",
-            effect="Arm deterministic fault injection (worker crashes, slow chunks, shm attach failures, spill corruption)",
+            usage="`REPRO_FAULTS=crash:p=0.05,slow:p=0.1:ms=200,shm_attach,spill_corrupt,serve_reject:p=0.2`",
+            effect="Arm deterministic fault injection (worker crashes, slow chunks, shm attach failures, spill corruption, admission-path 503s)",
+        ),
+        EnvVar(
+            name="REPRO_SERVE_MAX_INFLIGHT",
+            usage="`REPRO_SERVE_MAX_INFLIGHT=N`",
+            effect="Default concurrent-request cap for `repro serve` (excess gets 429 + Retry-After)",
+        ),
+        EnvVar(
+            name="REPRO_SERVE_MAX_BYTES",
+            usage="`REPRO_SERVE_MAX_BYTES=BYTES`",
+            effect="Default per-request body bound for `repro serve` (oversized requests get 413)",
+        ),
+        EnvVar(
+            name="REPRO_SERVE_DRAIN_SECONDS",
+            usage="`REPRO_SERVE_DRAIN_SECONDS=SECONDS`",
+            effect="Default SIGTERM/SIGINT drain budget for `repro serve` before the runtime shuts down",
         ),
     )
 }

@@ -6,8 +6,9 @@
   no-float-sort rule;
 * :mod:`.hygiene` — env-var registry routing, bound-docstring citations and
   the spill-tier access boundary;
-* :mod:`.faultpoints` — fault-injection sites (PR 8): registered kinds only,
-  runtime-owned, reachable from a public entry point.
+* :mod:`.faultpoints` — fault-injection sites (PR 8/PR 9): registered kinds
+  only, owned by the runtime or serve tier, reachable from a public entry
+  point.
 
 :func:`all_rules` instantiates one of each in stable (report) order; the
 engine treats rules as plugins, so a new invariant is one subclass plus a

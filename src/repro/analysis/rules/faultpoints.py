@@ -12,11 +12,16 @@ from ..core import Finding, ModuleContext, Rule, Severity
 #: the numpy-heavy package in CI), so the kinds are pinned here and a tier-1
 #: test asserts this tuple equals ``repro.faults.FAULT_KINDS`` — drift fails
 #: the suite, not the lint run.
-FAULT_KINDS = ("crash", "slow", "shm_attach", "spill_corrupt")
+FAULT_KINDS = ("crash", "slow", "shm_attach", "spill_corrupt", "serve_reject")
 
 #: The module that owns the injection machinery (its own ``inject`` calls
 #: are the implementation, not injection sites).
 FAULTS_OWNER = "repro/faults.py"
+
+#: Directories allowed to carry injection sites: the runtime tier the fault
+#: harness models (worker dispatch, shm attach, spill writes) and — since
+#: PR 9 — the serve tier (admission-path rejections driving client retry).
+FAULT_TIERS = ("runtime", "serve")
 
 
 class FaultPointRule(Rule):
@@ -29,16 +34,17 @@ class FaultPointRule(Rule):
     actually perturbed; a site buried in dead code is the same lie in a
     different place.  This rule keeps every ``faults.inject(...)`` call
     honest: the kind must be a string literal drawn from the registered
-    :data:`FAULT_KINDS`, the site must live in the ``runtime/`` tier the
-    fault harness models (worker dispatch, shm attach, spill writes), and
-    the enclosing function must be reachable — through the module's own
-    call graph — from a public entry point of its module, so armed faults
-    provably sit on live runtime paths.
+    :data:`FAULT_KINDS`, the site must live in one of the :data:`FAULT_TIERS`
+    directories the fault harness models (``runtime/`` — worker dispatch,
+    shm attach, spill writes — and, since PR 9, ``serve/`` for the
+    admission-path rejection fault), and the enclosing function must be
+    reachable — through the module's own call graph — from a public entry
+    point of its module, so armed faults provably sit on live paths.
     """
 
     id = "FAULT-POINT"
     severity = Severity.ERROR
-    summary = "faults.inject() sites: registered kind, runtime-owned, reachable"
+    summary = "faults.inject() sites: registered kind, runtime/serve-owned, reachable"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if module.path_endswith(FAULTS_OWNER):
@@ -47,7 +53,7 @@ class FaultPointRule(Rule):
         if not inject_calls:
             return
         reachable = self._reachable_functions(module)
-        in_runtime = module.in_directory("runtime")
+        in_fault_tier = any(module.in_directory(tier) for tier in FAULT_TIERS)
         for call in inject_calls:
             kind = call.args[0] if call.args else None
             if not (isinstance(kind, ast.Constant) and isinstance(kind.value, str)):
@@ -66,14 +72,15 @@ class FaultPointRule(Rule):
                     " An unknown kind never fires, so the chaos job would"
                     " exercise nothing here (PR 8)",
                 )
-            if not in_runtime:
+            if not in_fault_tier:
                 yield self.finding(
                     module,
                     call,
-                    "fault injection outside repro/runtime — the fault"
-                    " harness models runtime failures (worker crashes, shm"
-                    " attach, spill corruption); inject at the runtime"
-                    " boundary instead (PR 8)",
+                    "fault injection outside repro/runtime and repro/serve —"
+                    " the fault harness models runtime and admission failures"
+                    " (worker crashes, shm attach, spill corruption, serve"
+                    " rejects); inject at those tier boundaries instead"
+                    " (PR 8/PR 9)",
                 )
             function = self._outermost_function(module, call)
             if function is not None and function.name not in reachable:

@@ -14,7 +14,7 @@ Sub-commands
     Run the outlier / support-size sensitivity sweeps (E13a/E13b).
 ``bench``
     Execute the machine-readable benchmark suite and write its JSON document
-    (``--out``, ``BENCH_PR8.json`` by default) — the perf trajectory future
+    (``--out``, ``BENCH_PR9.json`` by default) — the perf trajectory future
     PRs compare against.  ``--compare BENCH_PR5.json`` prints a per-case
     speedup delta table against an earlier document; exit code 3 flags >20%
     regressions (other nonzero codes are crashes).  ``--quick`` runs the
@@ -32,6 +32,13 @@ Sub-commands
 ``demo``
     Generate a synthetic workload and solve it end to end, printing the
     solution summary (a smoke test that exercises the whole pipeline).
+``serve``
+    Run the long-lived crash-tolerant solve/score HTTP server
+    (:mod:`repro.serve`): JSON endpoints ``/v1/solve``, ``/v1/score``,
+    ``/v1/assign`` plus ``/healthz``, ``/readyz`` and ``/stats``, with
+    admission control (429/413), per-request ``deadline_ms`` mapped onto
+    the anytime ``time_budget``, a circuit breaker over runtime
+    degradation, and SIGTERM/SIGINT drain.
 
 Parallelism
 -----------
@@ -172,8 +179,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         dest="out",
         type=Path,
-        default=Path("BENCH_PR8.json"),
-        help="JSON document to write (default: BENCH_PR8.json)",
+        default=Path("BENCH_PR9.json"),
+        help="JSON document to write (default: BENCH_PR9.json)",
     )
     bench.add_argument(
         "--compare",
@@ -269,6 +276,59 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("-z", type=int, default=4, help="locations per point")
     demo.add_argument("-k", type=int, default=3, help="number of centers")
     demo.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the crash-tolerant solve/score HTTP server"
+    )
+    serve.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None, help="TCP port (default 8765; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes a solve may use (default 1 = serial)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="concurrent-request cap; excess queues briefly then gets 429 + Retry-After"
+        " (default 4, or REPRO_SERVE_MAX_INFLIGHT)",
+    )
+    serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="request-body bound; oversized requests get 413 before any work"
+        " (default 8 MiB, or REPRO_SERVE_MAX_BYTES)",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=None,
+        help="budget for draining in-flight requests on SIGTERM/SIGINT"
+        " (default 10, or REPRO_SERVE_DRAIN_SECONDS)",
+    )
+    serve.add_argument(
+        "--store-size",
+        type=int,
+        default=None,
+        help="cost contexts kept hot in the shared store (default 16)",
+    )
+    serve.add_argument(
+        "--prewarm",
+        action="append",
+        type=Path,
+        default=None,
+        metavar="DATASET.json",
+        help="dataset file whose default-candidate context is built before serving"
+        " (repeatable; single-flight, so duplicates are free)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
     return parser
 
 
@@ -412,6 +472,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ReproServer, ServeConfig
+
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=8765 if args.port is None else args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_body_bytes=args.max_bytes,
+        drain_seconds=args.drain_seconds,
+        store_size=args.store_size,
+    )
+    server = ReproServer(config, verbose=args.verbose)
+    if args.prewarm:
+        datasets = [UncertainDataset.load_json(path) for path in args.prewarm]
+        built = server.prewarm(datasets)
+        print(f"prewarmed {built} context(s) for {len(datasets)} dataset(s)", file=sys.stderr)
+    return server.run()
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "all": _cmd_all,
@@ -422,6 +502,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "solve": _cmd_solve,
     "demo": _cmd_demo,
+    "serve": _cmd_serve,
 }
 
 

@@ -51,22 +51,48 @@ class ExperimentRecord:
         return min(values) if values else float("nan")
 
 
+def runtime_health_summary(
+    since: health.RuntimeHealth, *, always: bool = False
+) -> dict[str, int] | None:
+    """The runtime-health window since ``since``, or ``None`` when clean.
+
+    ``always=False`` (the record-attaching default) reports only when a
+    degradation counter moved, keeping clean experiment records byte-stable.
+    ``always=True`` reports the window unconditionally — zeroed counters
+    included — which is what a monitoring surface wants: the server's
+    ``/stats`` endpoint uses this so "no degradation" is an explicit row of
+    zeros rather than an absent key.  Reset-generation handling comes from
+    :func:`repro.runtime.health.delta`: a global reset inside the window
+    re-baselines at zero instead of producing negative counts.
+    """
+    delta = health.delta(since)
+    if not always and not delta.any():
+        return None
+    return delta.as_dict()
+
+
 def track_runtime_health(
-    run: Callable[..., ExperimentRecord], *args: Any, **kwargs: Any
+    run: Callable[..., ExperimentRecord],
+    *args: Any,
+    always: bool = False,
+    **kwargs: Any,
 ) -> ExperimentRecord:
     """Run one experiment and attach the runtime-health delta to its record.
 
     Snapshots :mod:`repro.runtime.health` around the call; if any degradation
     counter moved (pool rebuilds, chunk retries, transport fallbacks, deadline
     hits, serial fallbacks), the delta lands in the record's summary under
-    ``"runtime_health"``.  Fault-free runs report nothing, so existing records
-    stay byte-stable.
+    ``"runtime_health"``.  Fault-free runs report nothing by default, so
+    existing records stay byte-stable; ``always=True`` attaches the (possibly
+    all-zero) delta unconditionally for callers that want clean runs to say
+    so explicitly.  ``always`` is consumed here — it is never forwarded to
+    ``run``.
     """
     before = health.snapshot()
     record = run(*args, **kwargs)
-    delta = health.delta(before)
-    if not delta.any():
+    summary_delta = runtime_health_summary(before, always=always)
+    if summary_delta is None:
         return record
     summary = dict(record.summary)
-    summary["runtime_health"] = delta.as_dict()
+    summary["runtime_health"] = summary_delta
     return replace(record, summary=summary)

@@ -18,7 +18,10 @@ with injection points inside ``runtime/pool.py``, ``runtime/shm.py`` and
   :class:`FaultInjected`, driving the per-call fallback to the
   ``("pickled", ...)`` transport;
 * ``spill_corrupt`` — a context spill write truncates its payload, driving
-  the checksum-verified read path's delete-and-rebuild recovery.
+  the checksum-verified read path's delete-and-rebuild recovery;
+* ``serve_reject`` — the server's admission path (PR 9, :mod:`repro.serve`)
+  rejects the request with a 503 + ``Retry-After`` as if overloaded,
+  driving the client's retry/backoff machinery deterministically.
 
 Determinism
 -----------
@@ -49,7 +52,13 @@ from typing import Iterable
 from ._env import env_str
 
 #: Every fault kind this module can inject, in REPRO_FAULTS spelling.
-FAULT_KINDS: tuple[str, ...] = ("crash", "slow", "shm_attach", "spill_corrupt")
+FAULT_KINDS: tuple[str, ...] = (
+    "crash",
+    "slow",
+    "shm_attach",
+    "spill_corrupt",
+    "serve_reject",
+)
 
 #: Exit status an injected crash dies with (any nonzero breaks the pool;
 #: a recognizable value keeps post-mortems honest about who killed whom).
@@ -188,10 +197,11 @@ def inject(kind: str, site: str, token: object = None) -> bool:
 
     Zero-cost when nothing is armed (one empty-dict lookup).  Returns
     ``True`` when the fault fired and execution continues (``slow``,
-    ``spill_corrupt`` — the caller applies the corruption itself so the
-    fault model stays next to the format it corrupts); ``crash`` never
-    returns and ``shm_attach`` raises :class:`FaultInjected`.  ``token``
-    identifies the unit of work so retries re-roll deterministically.
+    ``spill_corrupt``, ``serve_reject`` — the caller applies the corruption
+    or rejection itself so the fault model stays next to the path it
+    perturbs); ``crash`` never returns and ``shm_attach`` raises
+    :class:`FaultInjected`.  ``token`` identifies the unit of work so
+    retries re-roll deterministically.
     """
     spec = _armed.get(kind)
     if spec is None:

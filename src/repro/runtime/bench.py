@@ -2,7 +2,7 @@
 
 Times the repo's hot execution paths — including the PR-6 addition: the
 ``repro lint`` static checker over the whole tree, which gates CI ahead of
-tier-1 — and writes one JSON document (``BENCH_PR8.json`` by default) so
+tier-1 — and writes one JSON document (``BENCH_PR9.json`` by default) so
 future PRs have a perf trajectory to compare against instead of anecdotes.
 ``--compare`` diffs a run against an earlier document (e.g. the checked-in
 ``BENCH_PR5.json``): shared ``*_seconds`` metrics get a delta line, cases
@@ -53,6 +53,11 @@ Cases
     worker crashes (``crash:p=0.1``) against the fault-free run — results
     bit-identical, completed chunks never recomputed (health-counter
     audit), recovery overhead < 2x.
+``serve_latency``
+    The PR-9 server over a real socket: p50/p95 service time and req/s for
+    ``/v1/solve`` and ``/v1/score``, plus the single-flight contract — N
+    concurrent first-touch solves of one instance cost exactly one context
+    build and return bit-identical costs.
 
 Every case reports best-of-``repeats`` seconds; timings are environment
 dependent by nature, so the document also records the Python/NumPy versions,
@@ -87,7 +92,7 @@ from .parallel import available_workers, set_oversubscribe
 from .store import ContextStore
 
 #: Default output path for the checked-in benchmark trajectory.
-DEFAULT_OUTPUT = "BENCH_PR8.json"
+DEFAULT_OUTPUT = "BENCH_PR9.json"
 #: Wall-clock speedup the pruned restricted brute force targets.
 PRUNE_SPEEDUP_TARGET = 3.0
 #: Fraction of subset rows the acceptance instance must prune.
@@ -623,6 +628,96 @@ def bench_fault_recovery(repeats: int = 1) -> dict:
     }
 
 
+#: Concurrent first-touch requests the single-flight leg fires.
+SERVE_SINGLE_FLIGHT_CLIENTS = 8
+
+#: Sequential requests the latency legs time per endpoint.
+SERVE_LATENCY_REQUESTS = 25
+
+
+def bench_serve_latency(repeats: int = 1) -> dict:
+    """End-to-end ``repro serve`` latency over a real socket (PR 9).
+
+    Three legs against one in-process server on an ephemeral port:
+
+    * **single-flight** — :data:`SERVE_SINGLE_FLIGHT_CLIENTS` concurrent
+      first-touch solves of the same instance; the contract under test is
+      that the shared context is built exactly **once** (the followers wait
+      on the builder instead of duplicating the build) and every client
+      gets the bit-identical cost;
+    * **solve latency** — :data:`SERVE_LATENCY_REQUESTS` sequential warm
+      solves; reports the server-observed p50/p95 service time and the
+      client-observed requests/second (socket + JSON overhead included);
+    * **score latency** — the same for the cheap ``/v1/score`` path, which
+      bounds the HTTP floor of the stack.
+
+    Admission is sized so nothing is rejected (``max_inflight`` covers the
+    concurrent leg); a 429 here would mean the gate, not the solver, was
+    measured.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..serve import ReproServer, ServeClient, ServeConfig
+
+    dataset, _ = gaussian_clusters(n=8, z=3, dimension=2, k_true=2, seed=11)
+    config = ServeConfig(port=0, max_inflight=SERVE_SINGLE_FLIGHT_CLIENTS, workers=1)
+    server = ReproServer(config)
+    server.start()
+    try:
+        def first_touch(index: int) -> float:
+            client = ServeClient(server.url, max_retries=2, seed=index)
+            return float(client.solve(dataset, 2)["expected_cost"])
+
+        with ThreadPoolExecutor(max_workers=SERVE_SINGLE_FLIGHT_CLIENTS) as executor:
+            costs = list(executor.map(first_touch, range(SERVE_SINGLE_FLIGHT_CLIENTS)))
+        context_builds = server.state.contexts.builds
+        single_flight_ok = context_builds == 1 and len(set(costs)) == 1
+
+        client = ServeClient(server.url, max_retries=2)
+        centers = client.solve(dataset, 2)["centers"]
+
+        def timed_leg(request: Callable[[], object]) -> float:
+            started = time.perf_counter()
+            for _ in range(SERVE_LATENCY_REQUESTS):
+                request()
+            return time.perf_counter() - started
+
+        solve_seconds = min(
+            timed_leg(lambda: client.solve(dataset, 2)) for _ in range(repeats)
+        )
+        score_seconds = min(
+            timed_leg(lambda: client.score(dataset, centers)) for _ in range(repeats)
+        )
+        stats = server.state.latency
+        solve_window = stats["/v1/solve"].as_dict()
+        score_window = stats["/v1/score"].as_dict()
+    finally:
+        server.stop()
+    return {
+        "single_flight_clients": SERVE_SINGLE_FLIGHT_CLIENTS,
+        "single_flight_context_builds": context_builds,
+        "single_flight_ok": bool(single_flight_ok),
+        "bit_identical_costs": len(set(costs)) == 1,
+        "solve_latency_seconds": solve_seconds,
+        "solve_requests_per_second": SERVE_LATENCY_REQUESTS / max(solve_seconds, 1e-12),
+        "solve_p50_ms": solve_window["p50_ms"],
+        "solve_p95_ms": solve_window["p95_ms"],
+        "score_latency_seconds": score_seconds,
+        "score_requests_per_second": SERVE_LATENCY_REQUESTS / max(score_seconds, 1e-12),
+        "score_p50_ms": score_window["p50_ms"],
+        "score_p95_ms": score_window["p95_ms"],
+        "requests": solve_window["count"] + score_window["count"],
+        "errors": solve_window["errors"] + score_window["errors"],
+        "rejected": solve_window["rejected"] + score_window["rejected"],
+        "target_met": bool(single_flight_ok and solve_window["errors"] == 0),
+        "note": (
+            "one context build for N concurrent first-touch solves "
+            "(single-flight); p50/p95 are server-observed service times, "
+            "req/s is client-observed over a real socket"
+        ),
+    }
+
+
 def bench_lint_full_tree(repeats: int = 3) -> dict:
     """``repro lint`` wall-clock over the whole ``src/repro`` tree (PR 6).
 
@@ -690,6 +785,7 @@ CASES: dict[str, Callable[[], dict]] = {
     "local_search_sweep": bench_local_search_sweep,
     "context_store_memoization": bench_context_store,
     "fault_recovery": bench_fault_recovery,
+    "serve_latency": bench_serve_latency,
     "lint_full_tree": bench_lint_full_tree,
     "lint_dataflow_full_tree": bench_lint_dataflow_full_tree,
 }
@@ -705,6 +801,7 @@ QUICK_CASES: tuple[str, ...] = (
     "wang_zhang_column_splice",
     "batch_cost_kernel",
     "context_store_memoization",
+    "serve_latency",
     "lint_full_tree",
     "lint_dataflow_full_tree",
 )
@@ -760,7 +857,7 @@ def run_bench(
     revision, dirty = _git_state()
     document = {
         "schema": "repro-bench/1",
-        "pr": "PR8",
+        "pr": "PR9",
         "quick": bool(quick and not cases),
         "created_unix": now,
         "created_iso": datetime.datetime.fromtimestamp(

@@ -20,6 +20,16 @@ Counters only ever increase; :func:`snapshot` + :func:`delta` give
 callers interval views without resetting global state under anyone
 else's feet (:func:`reset` exists for tests and benchmarks that own the
 whole interval).
+
+Long-lived processes (PR 9's ``repro serve``) hold snapshots open for
+minutes — a sliding-window circuit breaker and a ``/stats`` endpoint each
+keep their own baseline — while tests and benchmarks sharing the process
+may call :func:`reset` at any time.  A reset between a window's
+``snapshot()`` and its ``delta()`` used to produce *negative* deltas and a
+broken audit identity (``submitted == completed + retries`` no longer
+held per window).  Snapshots therefore carry a **reset generation**: when
+the generation moved, :func:`delta` knows the counters restarted from
+zero and re-baselines instead of subtracting a stale snapshot.
 """
 
 from __future__ import annotations
@@ -60,8 +70,25 @@ class RuntimeHealth:
             if field.name not in ("chunks_submitted", "chunks_completed")
         )
 
+    def audit_ok(self) -> bool:
+        """The audit identity: every submission completed or was retried.
+
+        Holds at quiescence for the whole process and for any
+        generation-consistent window (:func:`delta`): a chunk submitted to
+        the pool either comes back (``chunks_completed``) or is requeued
+        and counted (``retries``).  A map with chunks still in flight is
+        legitimately mid-identity, so callers should evaluate this between
+        maps — the server's ``/healthz`` does it when no request holds the
+        pool.
+        """
+        return self.chunks_submitted == self.chunks_completed + self.retries
+
 
 _HEALTH = RuntimeHealth()
+
+#: Bumped by every :func:`reset`; snapshots remember the generation they
+#: were taken in so :func:`delta` can detect a restart-from-zero.
+_GENERATION = 0
 
 
 def record(**counts: int) -> None:
@@ -70,26 +97,55 @@ def record(**counts: int) -> None:
         setattr(_HEALTH, name, getattr(_HEALTH, name) + amount)
 
 
+def generation() -> int:
+    """The current reset generation (monotone; moves only on :func:`reset`)."""
+    return _GENERATION
+
+
 def snapshot() -> RuntimeHealth:
-    """An immutable-by-convention copy of the counters right now."""
-    return dataclasses.replace(_HEALTH)
+    """An immutable-by-convention copy of the counters right now.
+
+    The copy is tagged with the current reset generation so a later
+    :func:`delta` against it survives an interleaved :func:`reset`.
+    """
+    copy = dataclasses.replace(_HEALTH)
+    copy._generation = _GENERATION  # type: ignore[attr-defined]
+    return copy
 
 
 def delta(since: RuntimeHealth) -> RuntimeHealth:
-    """Counter movement between ``since`` (an earlier snapshot) and now."""
+    """Counter movement between ``since`` (an earlier snapshot) and now.
+
+    If a :func:`reset` happened after ``since`` was taken, the counters
+    restarted from zero: the stale baseline is discarded and the delta is
+    everything accumulated in the current generation — never negative, and
+    the per-window audit identity (:meth:`RuntimeHealth.audit_ok`) keeps
+    holding.  Snapshots from before this API existed carry no generation
+    tag and are trusted as current-generation baselines.
+    """
     current = snapshot()
-    return RuntimeHealth(
+    if getattr(since, "_generation", _GENERATION) != _GENERATION:
+        since = RuntimeHealth()
+    movement = RuntimeHealth(
         **{
             field.name: getattr(current, field.name) - getattr(since, field.name)
             for field in dataclasses.fields(RuntimeHealth)
         }
     )
+    movement._generation = _GENERATION  # type: ignore[attr-defined]
+    return movement
 
 
 def reset() -> None:
-    """Zero every counter (tests/benchmarks that own the whole interval)."""
+    """Zero every counter (tests/benchmarks that own the whole interval).
+
+    Bumps the reset generation, so windows opened before the reset
+    re-baseline at zero instead of going negative (see :func:`delta`).
+    """
+    global _GENERATION
+    _GENERATION += 1
     for field in dataclasses.fields(RuntimeHealth):
         setattr(_HEALTH, field.name, 0)
 
 
-__all__ = ["RuntimeHealth", "delta", "record", "reset", "snapshot"]
+__all__ = ["RuntimeHealth", "delta", "generation", "record", "reset", "snapshot"]

@@ -1,0 +1,27 @@
+"""Crash-tolerant solve/score HTTP server (PR 9).
+
+``python -m repro serve`` runs a long-lived process exposing the exact
+solvers over JSON endpoints, built on the PR 8 crash-tolerant runtime:
+
+* admission control and backpressure (bounded queue, 429 + Retry-After,
+  413 before any context build) — :mod:`.state`, :mod:`.config`;
+* per-request deadlines mapped onto the anytime ``time_budget`` (timed-out
+  solves answer 200 with a sound certificate) — :mod:`.server`;
+* a circuit breaker over runtime degradation events (pool rebuilds,
+  serial fallbacks) flipping ``/readyz`` while the pool is crashing —
+  :mod:`.state`;
+* graceful drain on SIGTERM/SIGINT ending in
+  :func:`repro.runtime.shutdown_runtime` — :class:`.server.ReproServer`;
+* a retrying client honoring Retry-After — :mod:`.client`.
+"""
+
+from .client import ServeClient, ServeError
+from .config import ServeConfig
+from .server import ReproServer
+
+__all__ = [
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+]

@@ -1,0 +1,242 @@
+"""Retrying JSON client for ``repro serve`` (stdlib :mod:`urllib` only).
+
+The server's admission control is designed around clients that back off:
+a 429 or 503 means the request was rejected *before execution* (the
+admission path answers before the body is even parsed), so retrying it is
+always safe — the retry budget and backoff here exist to spread those
+retries out rather than hammering a loaded server.  The two retryable
+situations are deliberately distinct:
+
+* **Rejections (429/503)** — side-effect-free by the server's contract;
+  retried for every method, sleeping the server's ``Retry-After`` hint
+  when present, otherwise exponential backoff with jitter.
+* **Transport errors** (connection refused/reset, timeouts) — the request
+  *may* have executed, so only idempotent requests are retried.  Every
+  ``GET`` is idempotent; the solve/score/assign ``POST`` bodies are pure
+  functions of their payload (the runtime's determinism contract), so they
+  are idempotent too and marked as such — but a custom caller posting to a
+  hypothetical mutating endpoint must pass ``idempotent=False``.
+
+Jitter is drawn from a client-owned ``random.Random`` seeded at
+construction, keeping retry schedules reproducible in tests without
+touching global random state.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from ..uncertain.dataset import UncertainDataset
+
+#: Statuses that mean "rejected before execution; retry is always safe".
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+#: Default retry budget (initial attempt + this many retries).
+DEFAULT_MAX_RETRIES = 4
+
+
+class ServeError(RuntimeError):
+    """A server response that survived the retry budget, or a hard failure."""
+
+    def __init__(self, message: str, *, status: int | None = None, payload: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Client for one server, carrying the retry/backoff policy."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_seconds: float = 0.1,
+        backoff_cap_seconds: float = 5.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_seconds = float(backoff_seconds)
+        self.backoff_cap_seconds = float(backoff_cap_seconds)
+        self.jitter = max(0.0, float(jitter))
+        self._rng = random.Random(seed)
+        #: Attempts beyond the first, across the client's lifetime (tests
+        #: assert the serve_reject chaos run actually exercised retries).
+        self.retries_used = 0
+
+    # -- endpoints ----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness payload; a 503 (draining/breaker-open) is *returned*,
+        not raised and not retried — callers poll readiness, they don't
+        back off on it."""
+        try:
+            return self.request("GET", "/readyz", retry_rejections=False)
+        except ServeError as error:
+            if error.status == 503 and isinstance(error.payload, dict):
+                return error.payload
+            raise
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def solve(
+        self,
+        dataset: UncertainDataset | Mapping[str, Any],
+        k: int,
+        *,
+        objective: str = "unassigned",
+        assignment: str | None = None,
+        candidates: Any = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        payload: dict[str, Any] = {"dataset": _dataset_payload(dataset), "k": k, "objective": objective}
+        if assignment is not None:
+            payload["assignment"] = assignment
+        if candidates is not None:
+            payload["candidates"] = _listify(candidates)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request("POST", "/v1/solve", payload)
+
+    def score(
+        self,
+        dataset: UncertainDataset | Mapping[str, Any],
+        centers: Any,
+        *,
+        objective: str = "unassigned",
+        assignment: Any = None,
+    ) -> dict:
+        payload: dict[str, Any] = {
+            "dataset": _dataset_payload(dataset),
+            "centers": _listify(centers),
+            "objective": objective,
+        }
+        if assignment is not None:
+            payload["assignment"] = _listify(assignment)
+        return self.request("POST", "/v1/score", payload)
+
+    def assign(self, dataset: UncertainDataset | Mapping[str, Any], centers: Any) -> dict:
+        payload = {"dataset": _dataset_payload(dataset), "centers": _listify(centers)}
+        return self.request("POST", "/v1/assign", payload)
+
+    # -- transport ----------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        *,
+        idempotent: bool | None = None,
+        retry_rejections: bool = True,
+    ) -> dict:
+        """One logical request, retried per the policy in the module docstring.
+
+        ``idempotent`` defaults to ``True`` (every shipped endpoint is a pure
+        function of its payload); pass ``False`` to disable transport-error
+        retries for a request that may have side effects.
+        """
+        if idempotent is None:
+            idempotent = True
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        last_error: ServeError | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.retries_used += 1
+            try:
+                return self._once(method, path, body)
+            except ServeError as error:
+                last_error = error
+                retryable = (
+                    retry_rejections and error.status in RETRYABLE_STATUSES
+                    if error.status is not None
+                    else idempotent
+                )
+                if not retryable or attempt >= self.max_retries:
+                    raise
+                time.sleep(self._delay(attempt, error.retry_after))
+        raise last_error if last_error is not None else ServeError("retry budget exhausted")
+
+    def _once(self, method: str, path: str, body: bytes | None) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return _decode(response.read())
+        except urllib.error.HTTPError as error:
+            payload = _decode(error.read())
+            message = payload.get("error") if isinstance(payload, dict) else None
+            failure = ServeError(
+                f"{method} {path} -> {error.code}: {message or error.reason}",
+                status=error.code,
+                payload=payload,
+            )
+            failure.retry_after = _parse_retry_after(error.headers.get("Retry-After"))
+            raise failure from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+            failure = ServeError(f"{method} {path} failed: {error}")
+            failure.retry_after = None
+            raise failure from None
+
+    def _delay(self, attempt: int, retry_after: float | None) -> float:
+        """Server hint when offered, else capped exponential backoff; both
+        spread by multiplicative jitter so synchronized clients desync."""
+        if retry_after is not None:
+            base = retry_after
+        else:
+            base = min(self.backoff_cap_seconds, self.backoff_seconds * (2**attempt))
+        return base * (1.0 + self.jitter * self._rng.random())
+
+
+def _dataset_payload(dataset: UncertainDataset | Mapping[str, Any]) -> Mapping[str, Any]:
+    if isinstance(dataset, UncertainDataset):
+        return dataset.to_dict()
+    return dataset
+
+
+def _listify(value: Any) -> Any:
+    return value.tolist() if hasattr(value, "tolist") else value
+
+
+def _decode(raw: bytes) -> dict:
+    try:
+        decoded = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return {"error": raw.decode("utf-8", errors="replace")}
+    return decoded if isinstance(decoded, dict) else {"value": decoded}
+
+
+def _parse_retry_after(raw: str | None) -> float | None:
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "RETRYABLE_STATUSES",
+    "ServeClient",
+    "ServeError",
+]

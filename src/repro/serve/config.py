@@ -1,0 +1,127 @@
+"""Configuration for the solve/score server (:mod:`repro.serve`).
+
+Every knob has a conservative default, an optional environment override
+(declared in :mod:`repro._env` like every other variable the package
+reads), and a CLI flag on ``python -m repro serve``.  Precedence is
+CLI > environment > default, implemented by building the config through
+:meth:`ServeConfig.from_env` and then :func:`dataclasses.replace`-ing the
+explicit flags in — the server itself only ever sees a frozen config.
+
+The admission bounds exist so that an oversized or over-concurrent request
+is rejected *before* the server commits memory or pool time to it:
+
+* ``max_inflight`` / ``queue_limit`` bound concurrency (429 + Retry-After
+  past them);
+* ``max_body_bytes`` bounds the raw request body (413 before the body is
+  even read, judged on ``Content-Length``);
+* ``max_cells`` bounds the parsed instance (total support locations x
+  dimension — proportional to every pinned array a context build would
+  allocate) and ``max_enumeration_rows`` bounds the subset enumeration a
+  solve would schedule; both reject with 413 **before any context build**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._env import env_number
+
+#: Fallback concurrency cap when neither flag nor env var names one.
+DEFAULT_MAX_INFLIGHT = 4
+
+#: Fallback request-body bound (8 MiB of JSON is a very large instance).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Fallback drain budget after SIGTERM/SIGINT.
+DEFAULT_DRAIN_SECONDS = 10.0
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Frozen server configuration (see module docstring for precedence)."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (tests, benchmarks).
+    port: int = 0
+
+    # -- admission control ---------------------------------------------------
+    #: Requests allowed to execute concurrently; excess waits in the bounded
+    #: queue and is rejected with 429 past it.
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    #: Requests allowed to *wait* for an execution slot (``None`` =
+    #: ``2 * max_inflight``); beyond it admission rejects immediately.
+    queue_limit: int | None = None
+    #: Longest a queued request waits for a slot before giving up with 429.
+    queue_wait_seconds: float = 2.0
+    #: Raw body bound, enforced on ``Content-Length`` before reading.
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    #: Parsed-instance bound: total support locations x dimension.
+    max_cells: int = 250_000
+    #: Candidate-center bound for solve requests.
+    max_candidates: int = 64
+    #: Subset-enumeration bound (``C(m, k)`` rows) for solve requests.
+    max_enumeration_rows: int = 2_000_000
+
+    # -- execution -----------------------------------------------------------
+    #: Worker processes a solve may use (1 = serial; the pool is shared, so
+    #: concurrent solves that miss the pool gate run serially instead).
+    workers: int = 1
+    #: Cost contexts kept hot in the shared store.
+    store_size: int = 16
+
+    # -- lifecycle -----------------------------------------------------------
+    #: Budget for draining in-flight requests on SIGTERM/SIGINT.
+    drain_seconds: float = DEFAULT_DRAIN_SECONDS
+
+    # -- circuit breaker -----------------------------------------------------
+    #: Sliding window the breaker counts degradation events over.
+    breaker_window_seconds: float = 30.0
+    #: Degradation events within the window that trip the breaker.
+    breaker_threshold: int = 3
+    #: How long the breaker stays open before a half-open probe.
+    breaker_cooldown_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.drain_seconds < 0:
+            raise ValueError("drain_seconds must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+
+    @property
+    def effective_queue_limit(self) -> int:
+        return 2 * self.max_inflight if self.queue_limit is None else self.queue_limit
+
+    @classmethod
+    def from_env(cls, **overrides: object) -> "ServeConfig":
+        """A config with environment defaults applied, then ``overrides``.
+
+        Only overrides actually provided (not ``None``) win, so CLI code can
+        pass its argparse namespace straight through without re-implementing
+        the precedence rule.
+        """
+        values: dict[str, object] = {}
+        max_inflight = env_number("REPRO_SERVE_MAX_INFLIGHT", int)
+        if max_inflight is not None:
+            values["max_inflight"] = max_inflight
+        max_bytes = env_number("REPRO_SERVE_MAX_BYTES", int)
+        if max_bytes is not None:
+            values["max_body_bytes"] = max_bytes
+        drain = env_number("REPRO_SERVE_DRAIN_SECONDS", float)
+        if drain is not None:
+            values["drain_seconds"] = drain
+        values.update({key: value for key, value in overrides.items() if value is not None})
+        return cls(**values)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "DEFAULT_DRAIN_SECONDS",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_INFLIGHT",
+    "ServeConfig",
+]

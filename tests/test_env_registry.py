@@ -38,6 +38,9 @@ class TestRegistry:
             "REPRO_CONTEXT_SPILL_MAX_AGE",
             "REPRO_SANITIZE",
             "REPRO_FAULTS",
+            "REPRO_SERVE_MAX_INFLIGHT",
+            "REPRO_SERVE_MAX_BYTES",
+            "REPRO_SERVE_DRAIN_SECONDS",
         }
         for variable in REGISTRY.values():
             assert isinstance(variable, EnvVar)

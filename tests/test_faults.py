@@ -70,12 +70,13 @@ def _micro_instance(n: int = 10, m: int = 12, k: int = 3, seed: int = 4):
 
 class TestSpecParsing:
     def test_full_spec_round_trips(self):
-        specs = faults.parse_spec("crash:p=0.05,slow:p=0.1:ms=200,shm_attach,spill_corrupt")
+        specs = faults.parse_spec("crash:p=0.05,slow:p=0.1:ms=200,shm_attach,spill_corrupt,serve_reject:p=0.2")
         assert [spec.kind for spec in specs] == list(faults.FAULT_KINDS)
-        crash, slow, attach, corrupt = specs
+        crash, slow, attach, corrupt, reject = specs
         assert crash.probability == 0.05
         assert slow.probability == 0.1 and slow.delay_ms == 200
         assert attach.probability == 1.0 and corrupt.probability == 1.0
+        assert reject.probability == 0.2
         faults.set_enabled(specs)
         assert faults.parse_spec(faults.enabled_spec()) == specs
 
