@@ -74,6 +74,11 @@ REGISTRY: dict[str, EnvVar] = {
             effect="Evict spill files older than this",
         ),
         EnvVar(
+            name="REPRO_CONTEXT_DTYPE",
+            usage="`REPRO_CONTEXT_DTYPE=float32`",
+            effect="Publish float32 bound/cost tables to worker shm segments (survivors re-scored in float64; results bit-identical)",
+        ),
+        EnvVar(
             name="REPRO_SANITIZE",
             usage="`REPRO_SANITIZE=shm,lock,det`",
             effect="Enable runtime sanitizers (shm lifecycle, lock order, chunk determinism)",

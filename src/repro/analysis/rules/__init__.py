@@ -8,7 +8,10 @@
   the spill-tier access boundary;
 * :mod:`.faultpoints` — fault-injection sites (PR 8/PR 9): registered kinds
   only, owned by the runtime or serve tier, reachable from a public entry
-  point.
+  point;
+* :mod:`.anytime` — the PR 10 anytime contract: solvers accepting
+  ``gap_target`` must fold a ``(cost, lower_bound, gap)`` certificate into
+  the results they construct.
 
 :func:`all_rules` instantiates one of each in stable (report) order; the
 engine treats rules as plugins, so a new invariant is one subclass plus a
@@ -18,6 +21,7 @@ registry entry here.
 from __future__ import annotations
 
 from ..core import Rule
+from .anytime import GapCertificateRule
 from .concurrency import LockDisciplineRule, ShmLifecycleRule, SyncInDispatchRule
 from .determinism import FloatSortHotpathRule, NondetRule
 from .faultpoints import FaultPointRule
@@ -33,6 +37,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     BoundAdmissibleDocRule,
     SpillPathRule,
     FaultPointRule,
+    GapCertificateRule,
 )
 
 

@@ -1,0 +1,89 @@
+"""Anytime-contract rule: gap-targeted solvers must emit certificates."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleContext, Rule, Severity
+
+#: The result type whose construction marks a solver entry point.
+RESULT_TYPE = "UncertainKCenterResult"
+
+
+class GapCertificateRule(Rule):
+    """``GAP-CERTIFICATE`` — gap-targeted solvers must build a certificate.
+
+    Motivation: PR 10's ``gap_target`` stop is only *sound* because every
+    early-stopped solve ships a ``(cost, lower_bound, gap)`` certificate
+    derived from the admissible bounds of the work it skipped — the
+    certificate is the proof the caller paid for when it traded exactness
+    for speed.  A solver that accepts ``gap_target`` but returns a bare
+    result would silently downgrade "certified within 1%" to "trust me",
+    and nothing at runtime would catch it (the result object carries no
+    mandatory certificate field precisely so exact solves stay lean).
+    This rule closes that hole statically: any function taking a
+    ``gap_target`` parameter that constructs an ``UncertainKCenterResult``
+    must also reference a ``*certificate*``-named callable — the shared
+    certificate fold, not an ad-hoc metadata dict, so the exactness
+    argument stays in one reviewed place.
+    """
+
+    id = "GAP-CERTIFICATE"
+    severity = Severity.ERROR
+    summary = "gap_target solvers constructing results must call a *certificate* fold"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in module.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+            if not self._takes_gap_target(node):
+                continue
+            if not self._constructs_result(module, node):
+                continue
+            if not self._references_certificate(module, node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.name}() takes gap_target and constructs an"
+                    f" {RESULT_TYPE} but never references a *certificate*"
+                    " helper — an early-stopped solve without a (cost,"
+                    " lower_bound, gap) certificate is an unverifiable"
+                    " answer (PR 10 anytime contract)",
+                )
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _takes_gap_target(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        arguments = node.args
+        return any(
+            argument.arg == "gap_target"
+            for argument in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            )
+        )
+
+    @staticmethod
+    def _constructs_result(
+        module: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = module.call_name(sub)
+            if name is not None and name.split(".")[-1] == RESULT_TYPE:
+                return True
+        return False
+
+    @staticmethod
+    def _references_certificate(
+        module: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = module.call_name(sub)
+            if name is not None and "certificate" in name.split(".")[-1].lower():
+                return True
+        return False

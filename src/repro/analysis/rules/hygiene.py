@@ -89,18 +89,42 @@ class BoundAdmissibleDocRule(Rule):
     rule requires every public function defined in ``bounds/lower_bounds.py``
     to carry a docstring containing a lemma citation (``Lemma <n>.<m>``) or
     an explicit admissibility statement.
+
+    Since PR 10 the bound *kernels* live on :class:`~repro.cost.context.
+    CostContext` (the ``bounds`` module delegates so the bound can read the
+    context's cached tables), so the same requirement applies to every
+    public ``*_lower_bounds``-named method in ``cost/context.py`` — moving
+    a bound behind a method must not move it out from under review.
     """
 
     id = "BOUND-ADMISSIBLE-DOC"
     severity = Severity.ERROR
-    summary = "public functions in bounds/lower_bounds.py need lemma citations"
+    summary = "exported bounds (lower_bounds.py functions, context *_lower_bounds methods) need lemma citations"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
-        if not module.path_endswith("bounds/lower_bounds.py"):
-            return
+        if module.path_endswith("bounds/lower_bounds.py"):
+            yield from self._check_functions(module, self._top_level_functions(module))
+        elif module.path_endswith("cost/context.py"):
+            yield from self._check_functions(module, self._bound_methods(module))
+
+    @staticmethod
+    def _top_level_functions(module: ModuleContext):
         for node in module.tree.body:
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _bound_methods(module: ModuleContext):
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
                 continue
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if child.name.endswith("_lower_bounds"):
+                        yield child
+
+    def _check_functions(self, module: ModuleContext, nodes) -> Iterator[Finding]:
+        for node in nodes:
             if node.name.startswith("_"):
                 continue
             docstring = ast.get_docstring(node)

@@ -14,11 +14,15 @@ uncertain point is assigned to.
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .._validation import as_point_array
 from ..uncertain.dataset import UncertainDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (context imports cost)
+    from ..cost.context import CostContext
 
 
 class AssignmentPolicy(abc.ABC):
@@ -44,6 +48,35 @@ class AssignmentPolicy(abc.ABC):
         local-search optimal assignment) return ``None``.
         """
         return None
+
+    def chunk_assignments(self, context: "CostContext", subset_rows: np.ndarray) -> np.ndarray:
+        """Batched assignments for a ``(B, kk)`` chunk of candidate subsets.
+
+        Returns a ``(B, n)`` array of **global candidate indices** (columns
+        of ``context.candidates``): row ``b`` assigns point ``i`` to
+        candidate ``out[b, i]`` drawn from ``subset_rows[b]``.  The
+        brute-force black-box shards call this once per chunk instead of
+        once per subset, so score-matrix rules pay one
+        :meth:`candidate_scores` evaluation for thousands of subsets.
+
+        The default covers both policy shapes: an ``(n, m)`` score matrix
+        becomes one batched argmin through
+        :meth:`repro.cost.context.CostContext.score_assignments`; a
+        score-less rule falls back to per-row :meth:`assign` calls over the
+        subset's candidate locations (bit-identical to the unbatched path —
+        the same ``assign`` on the same centers), translating local labels
+        back to global columns.  Subclasses whose rule has cheaper batch
+        structure (e.g. local search over a shared evaluator) may override.
+        """
+        subset_rows = np.atleast_2d(np.asarray(subset_rows, dtype=int))
+        scores = self.candidate_scores(context.dataset, context.candidates)
+        if scores is not None:
+            return context.score_assignments(scores, subset_rows)
+        out = np.empty((subset_rows.shape[0], context.size), dtype=int)
+        for row_index, columns in enumerate(subset_rows):
+            labels = self(context.dataset, context.candidates[columns])
+            out[row_index] = columns[labels]
+        return out
 
     def __call__(self, dataset: UncertainDataset, centers: np.ndarray) -> np.ndarray:
         centers = as_point_array(centers, name="centers")

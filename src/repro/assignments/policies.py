@@ -158,6 +158,47 @@ class OptimalAssignment(AssignmentPolicy):
                 break
         return assignment
 
+    def chunk_assignments(self, context: CostContext, subset_rows: np.ndarray) -> np.ndarray:
+        """Batched local search sharing one evaluator across the whole chunk.
+
+        The unbatched path builds a fresh ``CostContext`` (metric pass +
+        sorted-column build) per subset; here every subset's local search
+        runs over the *shared* full-candidate evaluator — its incremental
+        machinery takes global column indices, so restricting moves to
+        ``subset_rows[b]`` is just passing that row as the candidate set.
+        The ED seed for all rows comes from one batched argmin.  Per row
+        this is the same single-point-move loop as :meth:`assign` (same
+        seed, same round cap, same relative tolerance, same strict-decrease
+        acceptance), so the labels are bit-identical to the unbatched
+        policy called on a context restricted to the row's candidates.
+        """
+        subset_rows = np.atleast_2d(np.asarray(subset_rows, dtype=int))
+        assignments = context.ed_assignments(subset_rows)  # (B, n) global columns
+        if subset_rows.shape[1] == 1 or context.size == 1:
+            return assignments
+        evaluator = context.evaluator
+        for row_index, columns in enumerate(subset_rows):
+            assignment = assignments[row_index]
+            sweep = evaluator.local_search_sweep(assignment)
+            best_cost = sweep.cost()
+            for _ in range(self.max_rounds):
+                improved = False
+                for point_index in range(context.size):
+                    current = int(assignment[point_index])
+                    profile = sweep.rest_profile(point_index)
+                    costs = evaluator.move_costs(profile, columns)
+                    best_local = int(np.argmin(costs))
+                    best_column = int(columns[best_local])
+                    tolerance = 1e-12 * max(1.0, abs(best_cost))
+                    if best_column != current and costs[best_local] < best_cost - tolerance:
+                        assignment[point_index] = best_column
+                        sweep.apply_move(point_index, best_column)
+                        best_cost = float(costs[best_local])
+                        improved = True
+                if not improved:
+                    break
+        return assignments
+
 
 #: Registry used by the CLI and the experiment harness.
 ASSIGNMENT_POLICIES: dict[str, type[AssignmentPolicy]] = {

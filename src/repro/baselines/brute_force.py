@@ -95,11 +95,17 @@ from .._validation import as_point_array, check_positive_int
 from ..algorithms.result import UncertainKCenterResult
 from ..assignments.base import AssignmentPolicy
 from ..assignments.policies import ExpectedDistanceAssignment
-from ..bounds.lower_bounds import prune_margin
+from ..bounds.lower_bounds import FLOAT32_SLACK, PRUNE_SLACK, prune_margin
 from ..cost.context import DEFAULT_CHUNK_ROWS, CostContext
 from ..exceptions import ValidationError
 from ..runtime import incumbent as incumbent_module
-from ..runtime.parallel import iter_chunk_bounds, parallel_map, resolve_workers
+from ..runtime.parallel import (
+    MapOutcome,
+    iter_chunk_bounds,
+    parallel_map,
+    parallel_map_ordered,
+    resolve_workers,
+)
 from ..uncertain.dataset import UncertainDataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -255,19 +261,141 @@ def _deadline_certificate(best_cost: float, skipped_bounds: list[float]) -> dict
     return {"cost": cost, "lower_bound": float(lower_bound), "gap": float(gap)}
 
 
-def _prune_mask(bounds: np.ndarray, threshold: float) -> np.ndarray | None:
+def _prune_mask(
+    bounds: np.ndarray, threshold: float, slack: float = PRUNE_SLACK
+) -> np.ndarray | None:
     """Keep-mask for one chunk, or ``None`` when nothing can be pruned.
 
     A row survives unless its lower bound exceeds the incumbent by more than
     the floating-point slack — so bound-kernel rounding can only reduce
-    pruning, never drop a row that ties the optimum.
+    pruning, never drop a row that ties the optimum.  Float32 contexts pass
+    :data:`~repro.bounds.lower_bounds.FLOAT32_SLACK` so the wider cast drift
+    is absorbed the same way.
     """
     if not np.isfinite(threshold):
         return None
-    keep = bounds <= threshold + prune_margin(threshold)
+    keep = bounds <= threshold + prune_margin(threshold, slack)
     if keep.all():
         return None
     return keep
+
+
+def _two_level_prune(
+    context: CostContext,
+    subset_rows: np.ndarray,
+    threshold: float,
+    *,
+    objective: str = "assigned",
+    slack: float = PRUNE_SLACK,
+) -> np.ndarray | None:
+    """Staged two-level keep-mask for one chunk of candidate subsets.
+
+    Level 1 (one vectorized gather over the expected matrix, or the E[min]
+    kernel for the unassigned objective) prunes the bulk; the tighter — but
+    pricier — two-point subset bound
+    (:meth:`~repro.cost.context.CostContext.subset_pair_lower_bounds`) then
+    runs only on level-1 survivors.  Both levels are admissible, so the
+    staged mask prunes a superset of level 1 alone while keeping the
+    branch-and-bound exactness argument untouched.
+    """
+    if not np.isfinite(threshold):
+        return None
+    level1 = (
+        context.subset_assigned_lower_bounds(subset_rows)
+        if objective == "assigned"
+        else context.subset_unassigned_lower_bounds(subset_rows)
+    )
+    cut = threshold + prune_margin(threshold, slack)
+    keep = level1 <= cut
+    survivors = np.flatnonzero(keep)
+    if survivors.size:
+        pair = context.subset_pair_lower_bounds(subset_rows[survivors])
+        keep[survivors[pair > cut]] = False
+    if keep.all():
+        return None
+    return keep
+
+
+def _chunk_lower_bounds(
+    context: CostContext, chunks: list[np.ndarray], objective: str
+) -> list[float]:
+    """Certificate-grade admissible lower bound per chunk, computed up front.
+
+    One two-level bound pass over every chunk *before* submission gives the
+    best-first scheduler its priorities, the gap tracker its outstanding
+    bound, and the anytime certificate its fold — all from the same float64
+    numbers, so a gap the tracker certifies is the gap the metadata reports.
+
+    The value per chunk is the exact two-level min — ``min_r max(l1_r, p_r)``
+    — but the quadratic pair expectation ``p_r`` is evaluated lazily: a row
+    whose first-level bound already meets or exceeds the running chunk min
+    satisfies ``max(l1_r, p_r) >= l1_r >= best`` and can never lower it, so
+    its pair term is skipped.  Two batched rounds suffice for exactness:
+    the argmin-``l1`` row of every chunk (one pair call for all chunks),
+    then every row with ``l1`` strictly below its chunk's round-one value
+    (one more).  Rows never evaluated are dominated by construction, so the
+    result matches the eager per-row ``subset_two_level`` pass to the ulp
+    (cross-chunk batching may reorder a BLAS reduction; the prune margins
+    absorb that) at a fraction of the gather traffic — and is a
+    deterministic function of the chunk list, which is what the schedule
+    and the certificate replay on.
+    """
+    if not chunks:
+        return []
+    level1_kernel = (
+        context.subset_assigned_lower_bounds
+        if objective == "assigned"
+        else context.subset_unassigned_lower_bounds
+    )
+    sizes = [chunk.shape[0] for chunk in chunks]
+    splits = np.cumsum(sizes)[:-1]
+    all_rows = np.concatenate(chunks, axis=0)
+    level1 = level1_kernel(all_rows)
+    level1_per_chunk = np.split(level1, splits)
+    offsets = np.concatenate([[0], splits])
+
+    # Round one: the argmin-l1 row of each chunk, pair-evaluated in a batch.
+    seed_rows = np.array(
+        [offset + int(np.argmin(l1)) for offset, l1 in zip(offsets, level1_per_chunk)]
+    )
+    seed_pair = context.subset_pair_lower_bounds(all_rows[seed_rows])
+    best = np.maximum(level1[seed_rows], seed_pair)
+
+    # Round two: rows that could still lower a chunk's min, in one batch.
+    candidate_mask = level1 < np.repeat(best, sizes)
+    candidate_mask[seed_rows] = False
+    candidates = np.flatnonzero(candidate_mask)
+    if candidates.size:
+        pair = context.subset_pair_lower_bounds(all_rows[candidates])
+        two_level = np.maximum(level1[candidates], pair)
+        chunk_of = np.searchsorted(splits, candidates, side="right")
+        np.minimum.at(best, chunk_of, two_level)
+    return [float(value) for value in best]
+
+
+def _best_first_order(chunk_bounds: list[float]) -> list[int]:
+    """Ascending-bound submission order; ties keep enumeration order.
+
+    Stability matters for reproducibility of the *schedule* (results are
+    order-independent by the reduction contract): equal-bound chunks submit
+    in their enumeration positions at every worker count.
+    """
+    return sorted(range(len(chunk_bounds)), key=lambda index: (chunk_bounds[index], index))
+
+
+def _check_gap_target(gap_target: float | None, prune: bool) -> float | None:
+    """Validate the anytime gap target: needs bounds, hence pruning."""
+    if gap_target is None:
+        return None
+    if not prune:
+        raise ValidationError(
+            "gap_target needs prune=True: the certified gap is measured against "
+            "the admissible chunk bounds the pruning layer computes"
+        )
+    gap_target = float(gap_target)
+    if not gap_target >= 0.0:
+        raise ValidationError("gap_target must be a non-negative relative gap")
+    return gap_target
 
 
 def _assignment_prefix_bound(
@@ -316,12 +444,23 @@ def _restricted_chunk_task(payload, subset_rows: np.ndarray):
 
     Returns ``(cost, subset, assignment, pruned, evaluated)``; a fully
     pruned chunk returns ``(inf, None, None, total, 0)``.
+
+    On a float32 context (``REPRO_CONTEXT_DTYPE=float32``) the chunk runs
+    the **survivor protocol** instead: prune margins widen by
+    :data:`~repro.bounds.lower_bounds.FLOAT32_SLACK`, the incumbent proposal
+    is inflated by the same margin (so it stays an upper bound on the
+    winner's exact cost), and the task returns
+    ``(None, survivor_rows, None, pruned, evaluated)`` — every row whose
+    float32 cost lands within the margin of the chunk minimum.  The parent
+    re-scores survivors through the exact float64 kernels, which is what
+    keeps final results bit-identical to the float64 path.
     """
     context, scores, chunk_rows = payload
     handle = incumbent_module.active()
     total = subset_rows.shape[0]
+    slack = FLOAT32_SLACK if context.float32 else PRUNE_SLACK
     if handle is not None:
-        keep = _prune_mask(context.subset_assigned_lower_bounds(subset_rows), handle.value())
+        keep = _two_level_prune(context, subset_rows, handle.value(), slack=slack)
         if keep is not None:
             subset_rows = subset_rows[keep]
     evaluated = subset_rows.shape[0]
@@ -329,6 +468,13 @@ def _restricted_chunk_task(payload, subset_rows: np.ndarray):
         return np.inf, None, None, total, 0
     candidate_index_rows = context.score_assignments(scores, subset_rows)
     costs = context.assigned_costs(candidate_index_rows, chunk_rows=chunk_rows)
+    if context.float32:
+        floor = float(costs.min())
+        margin = prune_margin(floor, FLOAT32_SLACK)
+        if handle is not None:
+            handle.propose(floor + margin)
+        survivors = np.flatnonzero(costs <= floor + margin)
+        return None, subset_rows[survivors], None, total - evaluated, evaluated
     winner, cost = _chunk_best(costs)
     if handle is not None:
         handle.propose(cost)
@@ -339,39 +485,33 @@ def _blackbox_chunk_task(payload, subset_rows: np.ndarray):
     """Score one chunk of subsets under a black-box assignment policy.
 
     The subset bound holds for *any* assignment into the subset, so pruning
-    here skips whole policy calls — the expensive part of this path.  The
-    chunk additionally tightens against its own improvements row by row
-    (achieved costs, so still exact).
+    here skips whole policy evaluations — the expensive part of this path.
+    Surviving rows go through **one**
+    :meth:`~repro.assignments.base.AssignmentPolicy.chunk_assignments` call
+    for the whole chunk (score-matrix rules pay a single
+    ``candidate_scores`` evaluation; local-search rules share one evaluator
+    across every row) and one batched exact cost kernel, instead of one
+    policy call and one single-row sweep per subset.  Returns
+    ``(cost, subset, labels, pruned, evaluated)``.
     """
     context, policy = payload
     handle = incumbent_module.active()
-    evaluator = context.evaluator
-    threshold = handle.value() if handle is not None else np.inf
-    bounds = (
-        context.subset_assigned_lower_bounds(subset_rows)
-        if handle is not None and np.isfinite(threshold)
-        else None
-    )
-    best: tuple[float, np.ndarray, np.ndarray] | None = None
-    pruned = 0
-    evaluated = 0
-    for index, columns in enumerate(subset_rows):
-        if bounds is not None and bounds[index] > threshold + prune_margin(threshold):
-            pruned += 1
-            continue
-        centers = context.candidates[columns]
-        labels = np.asarray(policy(context.dataset, centers), dtype=int)
-        cost = float(evaluator.cost(columns[labels]))
-        evaluated += 1
-        if best is None or cost < best[0]:
-            best = (cost, columns, labels)
-            if cost < threshold:
-                threshold = cost
-                if handle is not None:
-                    handle.propose(cost)
-    if best is None:
-        return np.inf, None, None, pruned, evaluated
-    return (*best, pruned, evaluated)
+    total = subset_rows.shape[0]
+    if handle is not None:
+        keep = _two_level_prune(context, subset_rows, handle.value())
+        if keep is not None:
+            subset_rows = subset_rows[keep]
+    evaluated = subset_rows.shape[0]
+    if evaluated == 0:
+        return np.inf, None, None, total, 0
+    candidate_index_rows = policy.chunk_assignments(context, subset_rows)
+    costs = context.assigned_costs(candidate_index_rows)
+    winner, cost = _chunk_best(costs)
+    if handle is not None:
+        handle.propose(cost)
+    columns = subset_rows[winner]
+    labels = np.searchsorted(columns, candidate_index_rows[winner])
+    return cost, columns, labels, total - evaluated, evaluated
 
 
 def _ed_scored_chunk_task(payload, subset_rows: np.ndarray):
@@ -391,7 +531,7 @@ def _ed_scored_chunk_task(payload, subset_rows: np.ndarray):
     total = subset_rows.shape[0]
     kept = None
     if handle is not None:
-        keep = _prune_mask(context.subset_assigned_lower_bounds(subset_rows), handle.value())
+        keep = _two_level_prune(context, subset_rows, handle.value())
         if keep is not None:
             kept = np.flatnonzero(keep)
             subset_rows = subset_rows[kept]
@@ -457,19 +597,32 @@ def _exhaustive_chunk_task(payload, item):
 def _unassigned_chunk_task(payload, subset_rows: np.ndarray):
     """Score one chunk of subsets on the unassigned objective.
 
-    Returns ``(cost, subset, pruned, evaluated)``.
+    Returns ``(cost, subset, pruned, evaluated)``; on a float32 context,
+    ``(None, survivor_rows, pruned, evaluated)`` for exact parent re-scoring.
     """
     context, chunk_rows = payload
     handle = incumbent_module.active()
     total = subset_rows.shape[0]
+    slack = FLOAT32_SLACK if context.float32 else PRUNE_SLACK
     if handle is not None:
-        keep = _prune_mask(context.subset_unassigned_lower_bounds(subset_rows), handle.value())
+        keep = _two_level_prune(
+            context, subset_rows, handle.value(), objective="unassigned", slack=slack
+        )
         if keep is not None:
             subset_rows = subset_rows[keep]
     evaluated = subset_rows.shape[0]
     if evaluated == 0:
         return np.inf, None, total, 0
     costs = context.unassigned_costs(subset_rows, chunk_rows=chunk_rows)
+    if context.float32:
+        # Survivor protocol (see _restricted_chunk_task): margin-zone rows
+        # go back for exact float64 re-scoring in the parent.
+        floor = float(costs.min())
+        margin = prune_margin(floor, FLOAT32_SLACK)
+        if handle is not None:
+            handle.propose(floor + margin)
+        survivors = np.flatnonzero(costs <= floor + margin)
+        return None, subset_rows[survivors], total - evaluated, evaluated
     winner, cost = _chunk_best(costs)
     if handle is not None:
         handle.propose(cost)
@@ -493,6 +646,7 @@ def brute_force_restricted_assigned(
     shm: bool | None = None,
     prune: bool = True,
     time_budget: float | None = None,
+    gap_target: float | None = None,
 ) -> UncertainKCenterResult:
     """Best candidate centers under a fixed restricted assignment rule.
 
@@ -505,15 +659,32 @@ def brute_force_restricted_assigned(
     branch-and-bound layer (the CLI's ``--no-prune``) — results are
     bit-identical either way, pruning only skips provably losing rows.
 
+    With pruning on, chunks are scheduled **best-first**: every chunk's
+    admissible two-level lower bound is computed up front and chunks are
+    submitted in ascending-bound order (:func:`_best_first_order`), so the
+    cheapest regions of the subset space are searched first and the
+    certified optimality gap shrinks as fast as the bounds allow — while
+    the final result stays bit-identical to submission order, because the
+    reduction walks completed chunks by enumeration index either way.
+
     ``time_budget`` (seconds) turns the call into an **anytime** solve: the
     enumeration stops when the budget expires and the best solution found so
     far is returned — never worse than the greedy seed, which is evaluated
     up front exactly so an expired budget still yields a feasible answer —
     together with a ``certificate`` metadata entry,
     ``(cost, lower_bound, gap)``, where the lower bound folds the admissible
-    chunk bounds of every subset chunk the deadline skipped
+    chunk bounds of every subset chunk never run
     (:func:`_deadline_certificate`'s exactness argument).  ``None`` (the
     default) never truncates and adds no metadata.
+
+    ``gap_target`` stops the same way on *precision* instead of time: once
+    ``(incumbent - min outstanding chunk bound) / lower <= gap_target``
+    (:func:`repro.runtime.incumbent.certified_gap`), no further chunks are
+    submitted and the result carries the same sound certificate plus a
+    ``gap_target_hit`` metadata flag.  Requires ``prune=True``;
+    combinable with ``time_budget`` (whichever fires first).  At
+    ``gap_target=0`` the stop never fires and results are bit-identical to
+    a full run.
     """
     k = check_positive_int(k, name="k")
     policy = assignment or ExpectedDistanceAssignment()
@@ -535,6 +706,8 @@ def brute_force_restricted_assigned(
         else None
     )
     seed = seed_solution[0] if prune and seed_solution is not None else None
+    gap_target = _check_gap_target(gap_target, prune)
+    anytime = time_budget is not None or gap_target is not None
     total_rows = _checked_subset_count(candidates.shape[0], k)
     pruned_rows = 0
     evaluated_rows = 0
@@ -542,31 +715,70 @@ def brute_force_restricted_assigned(
     best_subset: tuple[int, ...] | None = None
     best_assignment: np.ndarray | None = None
     chunk_list = list(_iter_subset_chunks(candidates.shape[0], k, chunk_rows))
+    chunk_bounds = _chunk_lower_bounds(context, chunk_list, "assigned") if prune else None
+    outcome: MapOutcome | None = None
     if scores is not None:
         if workers > 1:
             context.evaluator  # build sorted columns once, ship to workers
-        results = parallel_map(
-            _restricted_chunk_task,
-            chunk_list,
-            payload=(context, scores, chunk_rows),
-            workers=workers,
-            shm=shm,
-            incumbent_seed=seed,
-            time_budget=time_budget,
-        )
+        if prune:
+            assert seed is not None and chunk_bounds is not None
+            outcome = parallel_map_ordered(
+                _restricted_chunk_task,
+                chunk_list,
+                payload=(context, scores, chunk_rows),
+                workers=workers,
+                shm=shm,
+                incumbent_seed=seed,
+                time_budget=time_budget,
+                order=_best_first_order(chunk_bounds),
+                chunk_bounds=chunk_bounds,
+                gap_target=gap_target,
+                float32_ok=True,
+            )
+            results_by_index = outcome.results
+        else:
+            results_by_index = dict(
+                enumerate(
+                    parallel_map(
+                        _restricted_chunk_task,
+                        chunk_list,
+                        payload=(context, scores, chunk_rows),
+                        workers=workers,
+                        shm=shm,
+                        incumbent_seed=None,
+                        time_budget=time_budget,
+                    )
+                )
+            )
         best_candidate_indices: np.ndarray | None = None
-        for cost, subset_row, candidate_indices, pruned, evaluated in results:
+        for index in sorted(results_by_index):
+            cost, subset_row, candidate_indices, pruned, evaluated = results_by_index[index]
             pruned_rows += pruned
             evaluated_rows += evaluated
+            if cost is None:
+                # Float32 survivors: re-derive assignments and costs through
+                # the parent's exact float64 kernels.  np.argmin returns the
+                # first minimum, and the survivor rows preserve the chunk's
+                # enumeration order, so this is the same first-strict-minimum
+                # the float64 chunk task applies.
+                if subset_row.shape[0] == 0:
+                    continue
+                exact_assignments = context.score_assignments(scores, subset_row)
+                exact_costs = context.assigned_costs(exact_assignments, chunk_rows=chunk_rows)
+                winner = int(np.argmin(exact_costs))
+                cost = float(exact_costs[winner])
+                subset_row = subset_row[winner]
+                candidate_indices = exact_assignments[winner]
             if cost < best_cost:
                 best_cost = float(cost)
                 best_subset = tuple(int(c) for c in subset_row)
                 best_candidate_indices = candidate_indices
-        if seed_solution is not None and time_budget is not None:
+        if seed_solution is not None and anytime:
             # Anytime fallback: the seed is a feasible solution evaluated by
-            # the same kernels; it can only win when the deadline skipped
-            # every chunk that would have beaten it (a completed run always
-            # contains the seed's own row, so the strict < is a no-op there).
+            # the same kernels; it can only win when the deadline (or gap
+            # stop) skipped every chunk that would have beaten it (a
+            # completed run always contains the seed's own row, so the
+            # strict < is a no-op there).
             seed_cost, seed_columns, seed_indices = seed_solution
             if best_subset is None or seed_cost < best_cost:
                 best_cost = float(seed_cost)
@@ -575,29 +787,50 @@ def brute_force_restricted_assigned(
         assert best_subset is not None and best_candidate_indices is not None
         best_assignment = np.searchsorted(np.asarray(best_subset), best_candidate_indices)
     else:
-        # Black-box assignment rule: one policy call per subset, but the
-        # exact cost still comes from the shared evaluator's cached columns
-        # (built once up front and shipped to every worker — without this,
-        # every subset would fall back to the context's lazy single-score
-        # path and re-derive distances).
+        # Black-box assignment rule: one batched chunk_assignments call per
+        # chunk, with the exact costs still coming from the shared
+        # evaluator's cached columns (built once up front and shipped to
+        # every worker — without this, every subset would fall back to the
+        # context's lazy single-score path and re-derive distances).
         context.evaluator
-        results = parallel_map(
-            _blackbox_chunk_task,
-            chunk_list,
-            payload=(context, policy),
-            workers=workers,
-            shm=shm,
-            incumbent_seed=seed,
-            time_budget=time_budget,
-        )
-        for cost, columns, labels, pruned, evaluated in results:
+        if prune:
+            assert seed is not None and chunk_bounds is not None
+            outcome = parallel_map_ordered(
+                _blackbox_chunk_task,
+                chunk_list,
+                payload=(context, policy),
+                workers=workers,
+                shm=shm,
+                incumbent_seed=seed,
+                time_budget=time_budget,
+                order=_best_first_order(chunk_bounds),
+                chunk_bounds=chunk_bounds,
+                gap_target=gap_target,
+            )
+            results_by_index = outcome.results
+        else:
+            results_by_index = dict(
+                enumerate(
+                    parallel_map(
+                        _blackbox_chunk_task,
+                        chunk_list,
+                        payload=(context, policy),
+                        workers=workers,
+                        shm=shm,
+                        incumbent_seed=None,
+                        time_budget=time_budget,
+                    )
+                )
+            )
+        for index in sorted(results_by_index):
+            cost, columns, labels, pruned, evaluated = results_by_index[index]
             pruned_rows += pruned
             evaluated_rows += evaluated
             if cost < best_cost:
                 best_cost = float(cost)
                 best_subset = tuple(int(c) for c in columns)
                 best_assignment = labels
-        if seed_solution is not None and time_budget is not None:
+        if seed_solution is not None and anytime:
             seed_cost, seed_columns, seed_indices = seed_solution
             if best_subset is None or seed_cost < best_cost:
                 best_cost = float(seed_cost)
@@ -614,16 +847,29 @@ def brute_force_restricted_assigned(
         "evaluated_rows": int(evaluated_rows),
         "pruned_rows": int(pruned_rows),
     }
-    if time_budget is not None:
-        skipped = chunk_list[len(results):]
-        metadata["time_budget"] = float(time_budget)
-        metadata["deadline_hit"] = bool(skipped)
-        metadata["chunks_total"] = len(chunk_list)
-        metadata["chunks_completed"] = len(results)
-        metadata["certificate"] = _deadline_certificate(
-            best_cost,
-            [float(context.subset_assigned_lower_bounds(chunk).min()) for chunk in skipped],
+    if anytime:
+        skipped = [index for index in range(len(chunk_list)) if index not in results_by_index]
+        if time_budget is not None:
+            metadata["time_budget"] = float(time_budget)
+        metadata["deadline_hit"] = (
+            bool(outcome.deadline_hit) if outcome is not None else bool(skipped)
         )
+        if gap_target is not None:
+            assert outcome is not None
+            metadata["gap_target"] = float(gap_target)
+            metadata["gap_target_hit"] = bool(outcome.gap_target_hit)
+        metadata["chunks_total"] = len(chunk_list)
+        metadata["chunks_completed"] = len(results_by_index)
+        if chunk_bounds is not None:
+            skipped_bounds = [chunk_bounds[index] for index in skipped]
+        else:
+            skipped_bounds = [
+                float(
+                    context.subset_two_level_lower_bounds(chunk_list[index]).min()
+                )
+                for index in skipped
+            ]
+        metadata["certificate"] = _deadline_certificate(best_cost, skipped_bounds)
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
         expected_cost=float(best_cost),
@@ -663,7 +909,10 @@ def brute_force_unrestricted_assigned(
     top-``polish_top`` threshold (rows that provably cannot enter the
     polishing pool nor win the stage are skipped — the pool membership and
     order are preserved exactly) and the exhaustive stage under the stage-1
-    winner as incumbent with per-row and shared-prefix bounds.
+    winner as incumbent with per-row and shared-prefix bounds.  Both stages
+    submit their chunks best-first (ascending admissible bound), and the
+    local-search polish shares the same incumbent machinery: subsets whose
+    admissible bound exceeds the live incumbent skip the polish entirely.
 
     For an exact optimum over the candidate set pass
     ``polish_top >= C(m, k)`` together with ``exhaustive_assignment=True``
@@ -685,14 +934,31 @@ def brute_force_unrestricted_assigned(
     scored: list[tuple[float, tuple[int, ...], np.ndarray]] = []
     subset_chunks = list(_iter_subset_chunks(candidates.shape[0], k, chunk_rows))
     subset_total = sum(chunk.shape[0] for chunk in subset_chunks)
-    chunk_results = parallel_map(
-        _ed_scored_chunk_task,
-        subset_chunks,
-        payload=(context, chunk_rows, top_k),
-        workers=workers,
-        shm=shm,
-        incumbent_seed=np.inf if prune else None,
-    )
+    if prune:
+        # Best-first submission tightens the shared top-K threshold early:
+        # low-bound chunks hold the cheap subsets, so the threshold other
+        # shards prune against drops within the first few completions.
+        stage_bounds = _chunk_lower_bounds(context, subset_chunks, "assigned")
+        stage_outcome = parallel_map_ordered(
+            _ed_scored_chunk_task,
+            subset_chunks,
+            payload=(context, chunk_rows, top_k),
+            workers=workers,
+            shm=shm,
+            incumbent_seed=np.inf,
+            order=_best_first_order(stage_bounds),
+            chunk_bounds=stage_bounds,
+        )
+        chunk_results = [stage_outcome.results[index] for index in range(len(subset_chunks))]
+    else:
+        chunk_results = parallel_map(
+            _ed_scored_chunk_task,
+            subset_chunks,
+            payload=(context, chunk_rows, top_k),
+            workers=workers,
+            shm=shm,
+            incumbent_seed=None,
+        )
     subset_pruned = 0
     for subset_rows, (kept, costs, candidate_index_rows, pruned) in zip(
         subset_chunks, chunk_results
@@ -718,14 +984,33 @@ def brute_force_unrestricted_assigned(
             for _, subset, _ in scored[:polish_top]
             for start, stop in iter_chunk_bounds(k**n, chunk_rows)
         ]
-        results = parallel_map(
-            _exhaustive_chunk_task,
-            items,
-            payload=(context, n, chunk_rows),
-            workers=workers,
-            shm=shm,
-            incumbent_seed=best_cost if prune else None,
-        )
+        if prune:
+            # The same shared-prefix bound the shards prune with, computed
+            # up front per item, doubles as the best-first priority.
+            item_bounds = [
+                _assignment_prefix_bound(context, columns, start, stop)
+                for columns, start, stop in items
+            ]
+            exhaustive_outcome = parallel_map_ordered(
+                _exhaustive_chunk_task,
+                items,
+                payload=(context, n, chunk_rows),
+                workers=workers,
+                shm=shm,
+                incumbent_seed=best_cost,
+                order=_best_first_order(item_bounds),
+                chunk_bounds=item_bounds,
+            )
+            results = [exhaustive_outcome.results[index] for index in range(len(items))]
+        else:
+            results = parallel_map(
+                _exhaustive_chunk_task,
+                items,
+                payload=(context, n, chunk_rows),
+                workers=workers,
+                shm=shm,
+                incumbent_seed=None,
+            )
         for (columns, _, _), (cost, assignment_row, pruned, evaluated) in zip(items, results):
             assignment_pruned += pruned
             assignment_evaluated += evaluated
@@ -734,13 +1019,28 @@ def brute_force_unrestricted_assigned(
                 best_subset = tuple(int(c) for c in columns)
                 best_candidate_indices = assignment_row
     else:
-        for cost, subset, _ in scored[:polish_top]:
-            columns = np.asarray(subset, dtype=int)
-            candidate_indices = context.ed_assignment(subset)
-            candidate_indices = _single_move_polish(context, columns, candidate_indices)
-            candidate_cost = context.assigned_cost(candidate_indices)
-            if candidate_cost < best_cost:
-                best_cost, best_subset, best_candidate_indices = candidate_cost, subset, candidate_indices
+        # The polish stage shares the incumbent machinery with the
+        # enumeration stages: polishing a subset cannot beat its admissible
+        # lower bound, so candidates whose bound exceeds the live incumbent
+        # are skipped without paying the local search — and since a skipped
+        # subset's polished cost could never win the strict-< reduction, the
+        # result is identical to polishing all of them.
+        with incumbent_module.serial_incumbent(float(best_cost)) as handle:
+            for cost, subset, _ in scored[:polish_top]:
+                columns = np.asarray(subset, dtype=int)
+                if prune:
+                    threshold = handle.value()
+                    bound = float(
+                        context.subset_two_level_lower_bounds(columns[None, :])[0]
+                    )
+                    if bound > threshold + prune_margin(threshold):
+                        continue
+                candidate_indices = context.ed_assignment(subset)
+                candidate_indices = _single_move_polish(context, columns, candidate_indices)
+                candidate_cost = context.assigned_cost(candidate_indices)
+                handle.propose(float(candidate_cost))
+                if candidate_cost < best_cost:
+                    best_cost, best_subset, best_candidate_indices = candidate_cost, subset, candidate_indices
 
     columns = np.asarray(best_subset, dtype=int)
     labels = np.searchsorted(columns, best_candidate_indices)
@@ -814,14 +1114,16 @@ def brute_force_unassigned(
     shm: bool | None = None,
     prune: bool = True,
     time_budget: float | None = None,
+    gap_target: float | None = None,
 ) -> UncertainKCenterResult:
     """Best candidate centers for the unassigned expected cost (exact over the set).
 
-    ``time_budget`` makes the call anytime, exactly like
-    :func:`brute_force_restricted_assigned`: a ``certificate`` metadata
-    entry reports ``(cost, lower_bound, gap)`` with the lower bound folded
-    over the E[min]-based chunk bounds of every skipped chunk, and an
-    expired budget still returns the greedy seed subset.
+    ``time_budget`` and ``gap_target`` make the call anytime, exactly like
+    :func:`brute_force_restricted_assigned`: with pruning on, chunks run
+    best-first in ascending two-level-bound order, and a ``certificate``
+    metadata entry reports ``(cost, lower_bound, gap)`` with the lower
+    bound folded over the E[min]-based chunk bounds of every skipped chunk;
+    an expired budget still returns the greedy seed subset.
     """
     k = check_positive_int(k, name="k")
     if candidates is None:
@@ -837,28 +1139,63 @@ def brute_force_unassigned(
         _seed_unassigned_incumbent(context, k) if prune or time_budget is not None else None
     )
     seed = seed_solution[0] if prune and seed_solution is not None else None
+    gap_target = _check_gap_target(gap_target, prune)
+    anytime = time_budget is not None or gap_target is not None
     total_rows = _checked_subset_count(candidates.shape[0], k)
     pruned_rows = 0
     evaluated_rows = 0
     best_cost = np.inf
     best_subset: tuple[int, ...] | None = None
     chunk_list = list(_iter_subset_chunks(candidates.shape[0], k, chunk_rows))
-    results = parallel_map(
-        _unassigned_chunk_task,
-        chunk_list,
-        payload=(context, chunk_rows),
-        workers=workers,
-        shm=shm,
-        incumbent_seed=seed,
-        time_budget=time_budget,
-    )
-    for cost, subset_row, pruned, evaluated in results:
+    chunk_bounds = _chunk_lower_bounds(context, chunk_list, "unassigned") if prune else None
+    outcome: MapOutcome | None = None
+    if prune:
+        assert seed is not None and chunk_bounds is not None
+        outcome = parallel_map_ordered(
+            _unassigned_chunk_task,
+            chunk_list,
+            payload=(context, chunk_rows),
+            workers=workers,
+            shm=shm,
+            incumbent_seed=seed,
+            time_budget=time_budget,
+            order=_best_first_order(chunk_bounds),
+            chunk_bounds=chunk_bounds,
+            gap_target=gap_target,
+            float32_ok=True,
+        )
+        results_by_index = outcome.results
+    else:
+        results_by_index = dict(
+            enumerate(
+                parallel_map(
+                    _unassigned_chunk_task,
+                    chunk_list,
+                    payload=(context, chunk_rows),
+                    workers=workers,
+                    shm=shm,
+                    incumbent_seed=None,
+                    time_budget=time_budget,
+                )
+            )
+        )
+    for index in sorted(results_by_index):
+        cost, subset_row, pruned, evaluated = results_by_index[index]
         pruned_rows += pruned
         evaluated_rows += evaluated
+        if cost is None:
+            # Float32 survivors: exact re-scoring, first-minimum tie rule
+            # (see the restricted solver's reduction).
+            if subset_row.shape[0] == 0:
+                continue
+            exact_costs = context.unassigned_costs(subset_row, chunk_rows=chunk_rows)
+            winner = int(np.argmin(exact_costs))
+            cost = float(exact_costs[winner])
+            subset_row = subset_row[winner]
         if cost < best_cost:
             best_cost = float(cost)
             best_subset = tuple(int(c) for c in subset_row)
-    if seed_solution is not None and time_budget is not None:
+    if seed_solution is not None and anytime:
         seed_cost, seed_columns = seed_solution
         if best_subset is None or seed_cost < best_cost:
             best_cost = float(seed_cost)
@@ -874,16 +1211,31 @@ def brute_force_unassigned(
         "evaluated_rows": int(evaluated_rows),
         "pruned_rows": int(pruned_rows),
     }
-    if time_budget is not None:
-        skipped = chunk_list[len(results):]
-        metadata["time_budget"] = float(time_budget)
-        metadata["deadline_hit"] = bool(skipped)
-        metadata["chunks_total"] = len(chunk_list)
-        metadata["chunks_completed"] = len(results)
-        metadata["certificate"] = _deadline_certificate(
-            best_cost,
-            [float(context.subset_unassigned_lower_bounds(chunk).min()) for chunk in skipped],
+    if anytime:
+        skipped = [index for index in range(len(chunk_list)) if index not in results_by_index]
+        if time_budget is not None:
+            metadata["time_budget"] = float(time_budget)
+        metadata["deadline_hit"] = (
+            bool(outcome.deadline_hit) if outcome is not None else bool(skipped)
         )
+        if gap_target is not None:
+            assert outcome is not None
+            metadata["gap_target"] = float(gap_target)
+            metadata["gap_target_hit"] = bool(outcome.gap_target_hit)
+        metadata["chunks_total"] = len(chunk_list)
+        metadata["chunks_completed"] = len(results_by_index)
+        if chunk_bounds is not None:
+            skipped_bounds = [chunk_bounds[index] for index in skipped]
+        else:
+            skipped_bounds = [
+                float(
+                    context.subset_two_level_lower_bounds(
+                        chunk_list[index], objective="unassigned"
+                    ).min()
+                )
+                for index in skipped
+            ]
+        metadata["certificate"] = _deadline_certificate(best_cost, skipped_bounds)
     return UncertainKCenterResult(
         centers=candidates[list(best_subset)],
         expected_cost=float(best_cost),

@@ -127,17 +127,31 @@ def assigned_cost_lower_bound(dataset: UncertainDataset, k: int) -> float:
 #: than kernel rounding — while pruning essentially nothing extra.
 PRUNE_SLACK = 1e-9
 
+#: Relative slack for comparisons involving *float32* kernel output (the
+#: opt-in ``REPRO_CONTEXT_DTYPE=float32`` context layout).  float32 carries
+#: ~1.2e-7 relative rounding per operation and the sweep kernels accumulate a
+#: few of those, so the float64 slack above is far too tight; 1e-5 is ~100x
+#: wider than the worst observed float32 drift (pinned by the differential
+#: tests in ``tests/test_best_first.py``) while still pruning essentially
+#: everything the exact bound would.  Admissibility is preserved the same way
+#: as with :data:`PRUNE_SLACK`: a row is dropped only when its float32 bound
+#: exceeds the incumbent by more than the margin, and every float32 *winner*
+#: is re-scored through the exact float64 kernels before it can become a
+#: result, so the wider margin can only reduce pruning, never change output.
+FLOAT32_SLACK = 1e-5
 
-def prune_margin(threshold: float) -> float:
+
+def prune_margin(threshold: float, slack: float = PRUNE_SLACK) -> float:
     """The absolute slack added to ``threshold`` before pruning against it.
 
     The bounds are admissible in *real* arithmetic; this relative slack
-    (:data:`PRUNE_SLACK`) absorbs cross-kernel floating-point rounding so a
-    row is pruned only when its bound exceeds the incumbent by more than any
-    rounding could explain — widening the margin can only reduce pruning,
-    never change a result.
+    (:data:`PRUNE_SLACK` by default, :data:`FLOAT32_SLACK` when the float32
+    context layout computed the bound) absorbs cross-kernel floating-point
+    rounding so a row is pruned only when its bound exceeds the incumbent by
+    more than any rounding could explain — widening the margin can only
+    reduce pruning, never change a result.
     """
-    return PRUNE_SLACK * max(1.0, abs(threshold))
+    return slack * max(1.0, abs(threshold))
 
 
 def subset_assigned_lower_bounds(context: CostContext, subset_rows: np.ndarray) -> np.ndarray:
@@ -159,6 +173,43 @@ def subset_unassigned_lower_bounds(context: CostContext, subset_rows: np.ndarray
     :meth:`~repro.cost.context.CostContext.subset_unassigned_lower_bounds`.
     """
     return context.subset_unassigned_lower_bounds(subset_rows)
+
+
+def subset_pair_lower_bounds(context: CostContext, subset_rows: np.ndarray) -> np.ndarray:
+    """Second-level subset bound: the two-point max of per-point minima.
+
+    Admissible for both objectives because any solution over subset ``S``
+    must cover *both* points of any pair: with ``m_i(x) = min_{c in S}
+    d(x, c)`` the realized cost is at least ``max(m_i(X_i), m_j(X_j))``
+    pointwise — for the unassigned objective directly, and for any
+    restricted assignment because ``d(P_i, A(P_i)) >= m_i`` realization-wise
+    — so by monotonicity of expectation ``cost(S) >= E[max(m_i(X_i),
+    m_j(X_j))]`` for every pair ``(i, j)``.  The kernel evaluates the pair of
+    points with the two largest ``E[m_i]`` values (any pair is admissible;
+    that one is the strongest candidate) using the exact product-distribution
+    expectation under point independence.  Strictly at least the single-point
+    ``E[min]`` bound is *not* implied (``E[m_i] <=  min_c E[d(P_i, c)]``),
+    which is why :func:`subset_two_level_lower_bounds` maxes the two levels.
+    Delegates to
+    :meth:`~repro.cost.context.CostContext.subset_pair_lower_bounds`.
+    """
+    return context.subset_pair_lower_bounds(subset_rows)
+
+
+def subset_two_level_lower_bounds(
+    context: CostContext, subset_rows: np.ndarray, *, objective: str = "assigned"
+) -> np.ndarray:
+    """Elementwise max of the Lemma 3.2 first-level and pair bounds.
+
+    Each level is individually admissible (the first level is
+    :func:`subset_assigned_lower_bounds` or
+    :func:`subset_unassigned_lower_bounds` per ``objective``, the second is
+    :func:`subset_pair_lower_bounds`), so their pointwise maximum is an
+    admissible bound too — this is what the best-first scheduler orders
+    chunks by and what the enumerators prune with.  Delegates to
+    :meth:`~repro.cost.context.CostContext.subset_two_level_lower_bounds`.
+    """
+    return context.subset_two_level_lower_bounds(subset_rows, objective=objective)
 
 
 def assignment_lower_bounds(context: CostContext, candidate_index_rows: np.ndarray) -> np.ndarray:

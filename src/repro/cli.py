@@ -14,7 +14,7 @@ Sub-commands
     Run the outlier / support-size sensitivity sweeps (E13a/E13b).
 ``bench``
     Execute the machine-readable benchmark suite and write its JSON document
-    (``--out``, ``BENCH_PR9.json`` by default) — the perf trajectory future
+    (``--out``, ``BENCH_PR10.json`` by default) — the perf trajectory future
     PRs compare against.  ``--compare BENCH_PR5.json`` prints a per-case
     speedup delta table against an earlier document; exit code 3 flags >20%
     regressions (other nonzero codes are crashes).  ``--quick`` runs the
@@ -61,14 +61,19 @@ default (admissible lower bounds against a shared incumbent — see
 results are bit-identical either way (pruning only skips provably losing
 rows), so the flag exists for debugging and for measuring the pruning win.
 
-Deadlines
----------
+Deadlines and gap targets
+-------------------------
 ``table1`` and ``all`` accept ``--time-budget SECONDS`` to cap each
 brute-force reference solve.  A reference that exhausts its budget returns
 the best incumbent found so far together with a ``(cost, lower_bound,
 gap)`` optimality certificate derived from the admissible chunk bounds of
 the subsets it never scanned — the anytime contract documented in
-:mod:`repro.baselines.brute_force`.
+:mod:`repro.baselines.brute_force`.  ``--gap-target GAP`` is the precision
+analogue: the best-first enumeration stops as soon as the certified
+relative gap between the incumbent and the minimum outstanding chunk bound
+reaches ``GAP``, with the same certificate shape.  It composes with
+``--time-budget`` (whichever fires first) and requires pruning, so it
+rejects ``--no-prune``.
 """
 
 from __future__ import annotations
@@ -135,6 +140,22 @@ def _add_time_budget_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_gap_target_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gap-target",
+        type=float,
+        default=None,
+        metavar="GAP",
+        help=(
+            "certified relative optimality gap at which each brute-force "
+            "reference solve may stop early, e.g. 0.01 for 1%%; the precision "
+            "analogue of --time-budget, same (cost, lower_bound, gap) "
+            "certificate; needs pruning, so it rejects --no-prune "
+            "(default: run to completion)"
+        ),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="uncertain-kcenter",
@@ -148,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_argument(table1)
     _add_no_prune_argument(table1)
     _add_time_budget_argument(table1)
+    _add_gap_target_argument(table1)
 
     everything = subparsers.add_parser(
         "all", help="run every experiment (Table 1, scaling, ablations, sensitivity)"
@@ -157,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers_argument(everything)
     _add_no_prune_argument(everything)
     _add_time_budget_argument(everything)
+    _add_gap_target_argument(everything)
 
     scaling = subparsers.add_parser("scaling", help="running-time scaling experiment (E11)")
     scaling.add_argument("--quick", action="store_true")
@@ -179,8 +202,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         dest="out",
         type=Path,
-        default=Path("BENCH_PR9.json"),
-        help="JSON document to write (default: BENCH_PR9.json)",
+        default=Path("BENCH_PR10.json"),
+        help="JSON document to write (default: BENCH_PR10.json)",
     )
     bench.add_argument(
         "--compare",
@@ -339,6 +362,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         workers=args.workers,
         prune=not args.no_prune,
         time_budget=args.time_budget,
+        gap_target=args.gap_target,
     )
     report = render_records(run_all_table1(settings))
     print(report)
@@ -350,11 +374,17 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     if args.quick:
         records = run_quick(
-            workers=args.workers, prune=not args.no_prune, time_budget=args.time_budget
+            workers=args.workers,
+            prune=not args.no_prune,
+            time_budget=args.time_budget,
+            gap_target=args.gap_target,
         )
     else:
         records = run_everything(
-            workers=args.workers, prune=not args.no_prune, time_budget=args.time_budget
+            workers=args.workers,
+            prune=not args.no_prune,
+            time_budget=args.time_budget,
+            gap_target=args.gap_target,
         )
     report = render_full_report(records)
     print(report)

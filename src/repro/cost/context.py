@@ -138,6 +138,16 @@ class CostContext:
         self._expected: np.ndarray | None = None
         self._rank_tables: list[tuple[np.ndarray, np.ndarray]] | None = None
         self._rank_merge: _RankMergeTables | None = None
+        #: True only on worker-side rebuilds of a float32-published context
+        #: (``REPRO_CONTEXT_DTYPE=float32``): the cached tables carry float32
+        #: precision, so chunk tasks must widen their prune margins and
+        #: return survivor sets for exact float64 re-scoring instead of
+        #: picking winners locally.  Parent-built contexts are always exact.
+        self.float32 = False
+        #: Float32 shadow of ``expected`` for bound gathers, present only on
+        #: float32 worker rebuilds (``expected`` itself stays float64 there so
+        #: argmin-based assignment selection is exact).
+        self._expected32: np.ndarray | None = None
         #: Bumped on every in-place candidate mutation; shared-memory
         #: publications key on it so a spliced context is republished.
         self._version = 0
@@ -319,6 +329,7 @@ class CostContext:
             self._evaluator.replace_candidate_columns(columns, blocks)
         self._rank_tables = None
         self._rank_merge = None
+        self._expected32 = None
         self._version += 1
 
     def with_candidates(self, new_candidates: np.ndarray) -> "CostContext":
@@ -347,6 +358,8 @@ class CostContext:
         twin._expected = None if self._expected is None else self._expected.copy()
         twin._rank_tables = None
         twin._rank_merge = None
+        twin.float32 = False
+        twin._expected32 = None
         twin._version = 0
         twin.replace_candidate_columns(changed, new_candidates[changed])
         return twin
@@ -534,7 +547,8 @@ class CostContext:
         beyond the ``(n, B, kk)`` gather.
         """
         subset_rows = self._check_subset_rows(subset_rows)
-        return self.expected[:, subset_rows].min(axis=2).max(axis=0)
+        table = self._expected32 if self._expected32 is not None else self.expected
+        return table[:, subset_rows].min(axis=2).max(axis=0)
 
     def subset_unassigned_lower_bounds(self, subset_rows: np.ndarray) -> np.ndarray:
         """``(B,)`` lower bounds on the unassigned cost of candidate subsets.
@@ -556,9 +570,77 @@ class CostContext:
         assert best is not None
         return best
 
+    def subset_pair_lower_bounds(self, subset_rows: np.ndarray) -> np.ndarray:
+        """``(B,)`` second-level bounds: the two-point max of per-point minima.
+
+        Admissible for both objectives: with ``m_i(x) = min_{c in S} d(x, c)``
+        any solution over ``S`` costs at least ``max(m_i(X_i), m_j(X_j))``
+        realization-wise (the unassigned cost is the max over *all* points'
+        minima; a restricted assignment satisfies ``d(P_i, A(P_i)) >= m_i``
+        pointwise), so ``cost(S) >= E[max(m_i(X_i), m_j(X_j))]`` for every
+        pair ``(i, j)`` — the kernel picks the two points with the largest
+        ``E[m_i]`` and evaluates the pair expectation exactly via the
+        product distribution (point independence).  Jensen gives
+        ``E[max(Y, Z)] >= max(E[Y], E[Z])``, so this always dominates the
+        unassigned first-level bound; it is *incomparable* with the assigned
+        first-level bound (``E[m_i] <= min_c E[d(P_i, c)]``), which is why
+        :meth:`subset_two_level_lower_bounds` maxes the levels.
+
+        Two passes: a per-point min-reduce/dot for the ``(n, B)`` expected
+        minima (the same gather the unassigned bound runs), then one
+        outer-max expectation per *distinct* top pair — chunked enumerations
+        share a handful of pairs, so the quadratic-in-``z`` part runs a few
+        times per chunk, not per subset.
+        """
+        subset_rows = self._check_subset_rows(subset_rows)
+        batch = subset_rows.shape[0]
+        n = self.size
+        if n < 2 or batch == 0:
+            return np.zeros(batch)
+        supports = self.supports
+        expected_minima = np.empty((n, batch))
+        for i, (support, weight) in enumerate(zip(supports, self.probabilities)):
+            expected_minima[i] = weight @ support[:, subset_rows].min(axis=2)
+        top_two = np.argpartition(expected_minima, n - 2, axis=0)[n - 2 :]
+        first = np.minimum(top_two[0], top_two[1])
+        second = np.maximum(top_two[0], top_two[1])
+        pair_keys = first * n + second
+        out = np.empty(batch)
+        for key in np.unique(pair_keys):
+            mask = pair_keys == key
+            i, j = int(key) // n, int(key) % n
+            rows = subset_rows[mask]
+            reduced_i = supports[i][:, rows].min(axis=2)  # (z_i, Bg)
+            reduced_j = supports[j][:, rows].min(axis=2)  # (z_j, Bg)
+            pairwise_max = np.maximum(reduced_i[:, None, :], reduced_j[None, :, :])
+            out[mask] = np.einsum(
+                "i,j,ijb->b", self.probabilities[i], self.probabilities[j], pairwise_max
+            )
+        return out
+
+    def subset_two_level_lower_bounds(
+        self, subset_rows: np.ndarray, *, objective: str = "assigned"
+    ) -> np.ndarray:
+        """``(B,)`` elementwise max of the first-level and pair bounds.
+
+        Each level is individually admissible for the named objective
+        (:meth:`subset_assigned_lower_bounds` /
+        :meth:`subset_unassigned_lower_bounds` and
+        :meth:`subset_pair_lower_bounds`), so the pointwise max is too —
+        this is the bound the best-first scheduler orders chunks by.
+        """
+        if objective == "assigned":
+            level1 = self.subset_assigned_lower_bounds(subset_rows)
+        elif objective == "unassigned":
+            level1 = self.subset_unassigned_lower_bounds(subset_rows)
+        else:
+            raise ValidationError(f"unknown bound objective {objective!r}")
+        return np.maximum(level1, self.subset_pair_lower_bounds(subset_rows))
+
     def assignment_lower_bounds(self, candidate_index_rows: np.ndarray) -> np.ndarray:
         """``(B,)`` lower bounds on the assigned cost of explicit assignments.
 
+        Admissible by Jensen applied to the max:
         ``E[max_i d(P_i, A(i))] >= max_i E[d(P_i, A(i))]`` — one gather from
         the cached expected matrix and a row max.  This is the per-row form
         the exhaustive-assignment enumeration prunes on (its prefix bound is

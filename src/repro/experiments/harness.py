@@ -39,6 +39,7 @@ def run_everything(
     workers: int | None = None,
     prune: bool | None = None,
     time_budget: float | None = None,
+    gap_target: float | None = None,
 ) -> Sequence[ExperimentRecord]:
     """Run every experiment in DESIGN.md's index (E1..E13).
 
@@ -51,6 +52,9 @@ def run_everything(
     ``time_budget`` (the CLI's ``--time-budget``, seconds) caps each
     brute-force reference solve; exhausted references report their best
     incumbent plus an optimality certificate instead of the exact optimum.
+    ``gap_target`` (the CLI's ``--gap-target``) stops each reference as
+    soon as its certified relative optimality gap reaches the target —
+    the precision analogue of ``time_budget`` (requires pruning).
 
     Every record carries a ``"runtime_health"`` summary entry when the
     runtime degraded during its experiment (pool rebuilds, chunk retries,
@@ -68,6 +72,8 @@ def run_everything(
         table1_settings = replace(table1_settings, prune=prune)
     if time_budget is not None:
         table1_settings = replace(table1_settings, time_budget=time_budget)
+    if gap_target is not None:
+        table1_settings = replace(table1_settings, gap_target=gap_target)
     records = list(run_all_table1(table1_settings))
     if include_scaling:
         records.append(track_runtime_health(run_scaling, scaling_settings))
@@ -85,6 +91,7 @@ def run_quick(
     workers: int | None = None,
     prune: bool | None = None,
     time_budget: float | None = None,
+    gap_target: float | None = None,
 ) -> Sequence[ExperimentRecord]:
     """Lightweight run used by the CLI's ``--quick`` flag and smoke tests."""
     return run_everything(
@@ -95,6 +102,7 @@ def run_quick(
         workers=workers,
         prune=prune,
         time_budget=time_budget,
+        gap_target=gap_target,
     )
 
 

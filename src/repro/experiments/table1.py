@@ -81,6 +81,12 @@ class Table1Settings:
     #: certificate instead of the exact optimum — see
     #: :mod:`repro.baselines.brute_force`.
     time_budget: float | None = None
+    #: Certified relative optimality gap at which each brute-force reference
+    #: may stop early (the CLI's ``--gap-target``).  ``None`` (the default)
+    #: runs to completion; ``0.0`` never stops early (bit-identical to the
+    #: exact run).  Requires ``prune`` — the certified gap is measured
+    #: against the admissible chunk bounds the pruning layer computes.
+    gap_target: float | None = None
 
     @classmethod
     def quick(cls) -> "Table1Settings":
@@ -154,6 +160,7 @@ def _restricted_case(payload, item) -> tuple[list[ExperimentRow], dict[str, floa
         assignment=policy_cls(),
         prune=settings.prune,
         time_budget=settings.time_budget,
+        gap_target=settings.gap_target,
     )
     lower_bound = assigned_cost_lower_bound(dataset, settings.k)
     denominator = max(min(reference.expected_cost, np.inf), lower_bound, 1e-12)

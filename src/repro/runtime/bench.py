@@ -2,7 +2,7 @@
 
 Times the repo's hot execution paths — including the PR-6 addition: the
 ``repro lint`` static checker over the whole tree, which gates CI ahead of
-tier-1 — and writes one JSON document (``BENCH_PR9.json`` by default) so
+tier-1 — and writes one JSON document (``BENCH_PR10.json`` by default) so
 future PRs have a perf trajectory to compare against instead of anecdotes.
 ``--compare`` diffs a run against an earlier document (e.g. the checked-in
 ``BENCH_PR5.json``): shared ``*_seconds`` metrics get a delta line, cases
@@ -26,6 +26,19 @@ Cases
     enumeration.  On boxes with fewer than 2 CPUs the runtime now *clamps*
     to serial (the PR-3 0.76x regression), so the recorded "parallel" run
     equals serial there and the record says so via ``serial_fallback``.
+``best_first_gap_trajectory``
+    PR-10 scheduling win: a deterministic replay of the gap-vs-chunks
+    curve under submission order and under ascending-bound best-first
+    order — best-first must certify a 1% gap in at most half the chunks.
+``prune_rate_two_level``
+    PR-10 bound win: the two-level (level-1 max pair) bound plus best-first
+    incumbent must prune > 80% of the n=12, m=16, k=4 subset rows, with
+    results bit-identical to ``prune=False``.
+``context_float32_bandwidth``
+    PR-10 bandwidth win: total shared-memory segment bytes of the compact
+    ``REPRO_CONTEXT_DTYPE=float32`` context layout vs the exact float64
+    publication — target ratio <= 0.6 (supports halve; the expected matrix
+    stays exact for argmin label selection).
 ``shm_dispatch_bytes``
     Bytes a chunk dispatch ships under shared memory (descriptor only)
     against pickling the full brute-force payload — the zero-copy win,
@@ -76,6 +89,7 @@ import sys
 import tempfile
 import time
 from dataclasses import dataclass
+from itertools import combinations
 from math import comb
 from pathlib import Path
 from typing import Callable
@@ -88,11 +102,12 @@ from ..cost.expected import assigned_cost_evaluator
 from ..workloads.synthetic import gaussian_clusters, line_workload
 from . import pool as pool_module
 from . import shm as shm_module
+from .incumbent import certified_gap
 from .parallel import available_workers, set_oversubscribe
 from .store import ContextStore
 
 #: Default output path for the checked-in benchmark trajectory.
-DEFAULT_OUTPUT = "BENCH_PR9.json"
+DEFAULT_OUTPUT = "BENCH_PR10.json"
 #: Wall-clock speedup the pruned restricted brute force targets.
 PRUNE_SPEEDUP_TARGET = 3.0
 #: Fraction of subset rows the acceptance instance must prune.
@@ -107,6 +122,15 @@ SHM_DISPATCH_BYTES_TARGET = 10.0
 POOL_AMORTIZATION_TARGET = 2.0
 #: Wall-clock speedup the rank-merge sweep targets over the float sort.
 RANK_MERGE_SPEEDUP_TARGET = 1.5
+#: Chunk-count ratio (best-first / submission order) to reach a 1% certified
+#: gap — the best-first scheduler must need at most half the chunks.
+BEST_FIRST_CHUNK_RATIO_TARGET = 0.5
+#: Fraction of subset rows the two-level bound must prune on the PR-10
+#: acceptance instance.
+TWO_LEVEL_PRUNE_RATE_TARGET = 0.8
+#: Shared-memory segment bytes ratio (float32 layout / exact float64) the
+#: compact context publication targets.
+FLOAT32_BYTES_RATIO_TARGET = 0.6
 #: Slowdown (new/old) past which ``--compare`` reports a regression.
 REGRESSION_TOLERANCE = 1.2
 #: Timings below this are dominated by noise; ``--compare`` skips them.
@@ -302,6 +326,128 @@ def bench_shm_dispatch_bytes() -> dict:
         "target": SHM_DISPATCH_BYTES_TARGET,
         "target_met": bool(reduction >= SHM_DISPATCH_BYTES_TARGET),
         "note": "per-chunk dispatch ships only the descriptor + work slice",
+    }
+
+
+def bench_best_first_gap_trajectory() -> dict:
+    """Chunks to a 1% certified gap: best-first vs submission order.
+
+    A deterministic *replay*, not a timed pool run: the chunk bounds, the
+    per-chunk exact minima and the certified gap after each completed chunk
+    are all pure functions of the instance, so the case measures exactly
+    the scheduling win (how much sooner the ascending-bound order pushes
+    the incumbent down and the outstanding bound up) with zero timing
+    noise.  The gap fold is the same :func:`~repro.runtime.incumbent.
+    certified_gap` the live GapTracker uses.  Target: best-first reaches
+    the 1% gap in at most half the chunks submission order needs.
+    """
+    gap_target = 0.01
+    dataset, _ = gaussian_clusters(n=10, z=6, dimension=2, k_true=3, seed=3)
+    candidates = dataset.all_locations()[::3][:14]
+    context = CostContext(dataset, candidates)
+    subsets = np.array(list(combinations(range(candidates.shape[0]), 3)))
+    chunk_rows = 16
+    chunks = [subsets[start : start + chunk_rows] for start in range(0, len(subsets), chunk_rows)]
+    bounds = [
+        float(context.subset_two_level_lower_bounds(chunk, objective="unassigned").min())
+        for chunk in chunks
+    ]
+    minima = [float(context.unassigned_costs(chunk).min()) for chunk in chunks]
+
+    def chunks_to_gap(order: list[int]) -> int:
+        incumbent = float("inf")
+        for completed, index in enumerate(order, 1):
+            incumbent = min(incumbent, minima[index])
+            outstanding = min((bounds[i] for i in order[completed:]), default=float("inf"))
+            if certified_gap(incumbent, outstanding) <= gap_target:
+                return completed
+        return len(order)
+
+    submission = list(range(len(chunks)))
+    best_first = sorted(submission, key=lambda index: (bounds[index], index))
+    submission_chunks = chunks_to_gap(submission)
+    best_first_chunks = chunks_to_gap(best_first)
+    ratio = best_first_chunks / max(submission_chunks, 1)
+    return {
+        "gap_target": gap_target,
+        "chunks_total": len(chunks),
+        "submission_chunks_to_gap": submission_chunks,
+        "best_first_chunks_to_gap": best_first_chunks,
+        "chunk_ratio": ratio,
+        "target": BEST_FIRST_CHUNK_RATIO_TARGET,
+        "target_met": bool(ratio <= BEST_FIRST_CHUNK_RATIO_TARGET),
+        "note": "deterministic replay of both orderings through the live gap fold",
+    }
+
+
+def bench_prune_rate_two_level(repeats: int = 3) -> dict:
+    """Two-level (level-1 max pair) bound prune rate on n=12, m=16, k=4.
+
+    The PR-10 acceptance case for the second-level subset bound: with the
+    pair bound stacked on the Lemma 3.2 level-1 bound and best-first
+    submission feeding the incumbent early, more than 80% of the 1820
+    subset rows must be pruned before the exact ``E[max]`` kernel runs.
+    Results stay bit-identical to ``prune=False`` (asserted here).
+    """
+    dataset, _ = gaussian_clusters(n=12, z=4, dimension=2, k_true=4, seed=1)
+    candidates = dataset.all_locations()[:16]
+    kwargs = dict(candidates=candidates, workers=1)
+    unpruned = brute_force_restricted_assigned(dataset, 4, prune=False, **kwargs)
+    pruned = brute_force_restricted_assigned(dataset, 4, **kwargs)
+    assert pruned.expected_cost == unpruned.expected_cost  # exactness contract
+    assert np.array_equal(pruned.centers, unpruned.centers)
+    metadata = pruned.metadata
+    total = int(metadata["total_rows"])
+    prune_rate = metadata["pruned_rows"] / max(total, 1)
+    pruned_seconds = _best_of(
+        lambda: brute_force_restricted_assigned(dataset, 4, **kwargs), repeats
+    )
+    return {
+        "subsets": comb(candidates.shape[0], 4),
+        "total_rows": total,
+        "evaluated_rows": int(metadata["evaluated_rows"]),
+        "pruned_rows": int(metadata["pruned_rows"]),
+        "prune_rate": float(prune_rate),
+        "pruned_seconds": pruned_seconds,
+        "target": TWO_LEVEL_PRUNE_RATE_TARGET,
+        "target_met": bool(prune_rate > TWO_LEVEL_PRUNE_RATE_TARGET),
+        "note": "two-level bound + best-first incumbent; bit-identical to prune=False",
+    }
+
+
+def bench_context_float32_bandwidth() -> dict:
+    """Shared-memory segment bytes: float32 context layout vs exact float64.
+
+    Publishes the same context under both layouts and compares total
+    segment bytes.  The compact layout halves the support tables (the bulk
+    of a publication at realistic ``z``) while keeping the expected matrix
+    exact for argmin label selection, so the ratio lands near — but above —
+    0.5; the target is <= 0.6.  Deterministic (sizes, not timings).
+    """
+    dataset, _ = gaussian_clusters(n=12, z=12, dimension=2, k_true=4, seed=9)
+    candidates = dataset.all_locations()[:16]
+    context = CostContext(dataset, candidates)
+    context.supports  # materialize so both layouts publish the same parts
+
+    def published_bytes(float32: bool) -> int:
+        descriptor, call_lease = shm_module.publish_payload((context,), float32=float32)
+        try:
+            return sum(segment.nbytes for segment in descriptor.segments)
+        finally:
+            if call_lease is not None:
+                call_lease.close()
+            shm_module.close_all_publications()
+
+    float64_bytes = published_bytes(False)
+    float32_bytes = published_bytes(True)
+    ratio = float32_bytes / max(float64_bytes, 1)
+    return {
+        "float64_segment_bytes": float64_bytes,
+        "float32_segment_bytes": float32_bytes,
+        "bytes_ratio": ratio,
+        "target": FLOAT32_BYTES_RATIO_TARGET,
+        "target_met": bool(ratio <= FLOAT32_BYTES_RATIO_TARGET),
+        "note": "expected matrix stays float64 (exact argmin labels); supports halve",
     }
 
 
@@ -776,6 +922,9 @@ CASES: dict[str, Callable[[], dict]] = {
     "brute_force_prune_restricted": bench_prune_restricted,
     "brute_force_prune_unassigned": bench_prune_unassigned,
     "brute_force_parallel_speedup": bench_brute_force_parallel,
+    "best_first_gap_trajectory": bench_best_first_gap_trajectory,
+    "prune_rate_two_level": bench_prune_rate_two_level,
+    "context_float32_bandwidth": bench_context_float32_bandwidth,
     "shm_dispatch_bytes": bench_shm_dispatch_bytes,
     "persistent_pool_amortization": bench_persistent_pool,
     "context_store_disk_spill": bench_context_store_disk_spill,
@@ -796,6 +945,9 @@ CASES: dict[str, Callable[[], dict]] = {
 QUICK_CASES: tuple[str, ...] = (
     "brute_force_prune_restricted",
     "brute_force_prune_unassigned",
+    "best_first_gap_trajectory",
+    "prune_rate_two_level",
+    "context_float32_bandwidth",
     "shm_dispatch_bytes",
     "unassigned_rank_merge",
     "wang_zhang_column_splice",
@@ -857,7 +1009,7 @@ def run_bench(
     revision, dirty = _git_state()
     document = {
         "schema": "repro-bench/1",
-        "pr": "PR9",
+        "pr": "PR10",
         "quick": bool(quick and not cases),
         "created_unix": now,
         "created_iso": datetime.datetime.fromtimestamp(

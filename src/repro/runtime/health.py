@@ -52,6 +52,9 @@ class RuntimeHealth:
     transport_fallbacks: int = 0
     #: Maps truncated by a ``time_budget`` deadline (partial results returned).
     deadline_hits: int = 0
+    #: Maps that stopped submission early because the certified optimality
+    #: gap reached the caller's ``gap_target`` (requested precision attained).
+    gap_target_hits: int = 0
     #: Maps that exhausted pool retries and completed serially in the parent.
     serial_fallbacks: int = 0
     #: Chunk dispatches submitted to the pool (includes resubmissions).
@@ -63,11 +66,16 @@ class RuntimeHealth:
         return dataclasses.asdict(self)
 
     def any(self) -> bool:
-        """Whether any degradation fired (submission/completion traffic aside)."""
+        """Whether any degradation fired (submission/completion traffic aside).
+
+        ``gap_target_hits`` is excluded too: stopping because the requested
+        precision was *attained* is goal fulfilment, not degradation.
+        """
         return any(
             getattr(self, field.name)
             for field in dataclasses.fields(self)
-            if field.name not in ("chunks_submitted", "chunks_completed")
+            if field.name
+            not in ("chunks_submitted", "chunks_completed", "gap_target_hits")
         )
 
     def audit_ok(self) -> bool:

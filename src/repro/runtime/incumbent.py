@@ -43,11 +43,13 @@ plain in-process :class:`SerialIncumbent` instead and never touches
 
 from __future__ import annotations
 
+import math
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..bounds.lower_bounds import prune_margin
 from ..sanitize import lock_san
 
 
@@ -145,6 +147,75 @@ class SharedIncumbent:
 IncumbentHandle = SerialIncumbent | SharedIncumbent
 
 
+def certified_gap(cost: float, outstanding_bound: float) -> float:
+    """The sound relative optimality gap ``(cost - lb) / lb``.
+
+    ``lb = min(cost, outstanding_bound) - prune_margin(...)`` is a valid
+    lower bound on the optimum whenever ``cost`` is an achieved feasible
+    cost and ``outstanding_bound`` lower-bounds every solution not yet
+    (fully) evaluated: the optimum either lies in the evaluated set (then
+    ``optimum <= cost`` and ``optimum >= `` the evaluated rows' admissible
+    bounds, which the enumeration only prunes above ``cost`` + margin) or in
+    the outstanding set (then ``optimum >= outstanding_bound``); subtracting
+    the :func:`~repro.bounds.lower_bounds.prune_margin` slack absorbs the
+    cross-kernel rounding exactly as pruning itself does.  The margin keeps
+    the gap strictly positive while anything is outstanding, which is what
+    makes ``gap_target=0`` provably never stop early (bit-identity).
+
+    ``inf`` when no incumbent exists yet or the bound is non-positive (a
+    non-positive denominator cannot certify a relative gap); ``0.0`` only
+    once nothing is outstanding (callers pass ``outstanding_bound=inf``).
+    """
+    cost = float(cost)
+    outstanding_bound = float(outstanding_bound)
+    if outstanding_bound == float("inf"):
+        # Nothing outstanding: the enumeration is complete, every pruned row
+        # provably costs at least the incumbent, so the cost is the optimum.
+        return 0.0
+    lower = min(cost, outstanding_bound)
+    if not math.isfinite(lower):
+        return float("inf")
+    lower -= prune_margin(lower)
+    if cost <= lower:
+        return 0.0
+    if lower <= 0.0:
+        return float("inf")
+    return (float(cost) - lower) / lower
+
+
+class GapTracker:
+    """Live optimality-gap monitor for one best-first enumeration.
+
+    Constructed by :func:`repro.runtime.parallel.parallel_map_ordered` when a
+    ``gap_target`` is set; the submission loop asks :meth:`should_stop` with
+    the minimum admissible bound over the chunks not yet submitted.  Stopping
+    is sound *at submission time*: in-flight chunks still drain (they can
+    only lower the final cost) and the never-submitted chunks are exactly the
+    ones the bound covers, so the final ``(cost, lower_bound, gap)``
+    certificate is at least as tight as the gap that triggered the stop.
+    The gap is monotone in both inputs — the incumbent only decreases and,
+    under ascending-bound submission, the outstanding minimum only increases
+    — so the first ``True`` stays ``True``.
+    """
+
+    __slots__ = ("target", "hit", "_incumbent")
+
+    def __init__(self, target: float, incumbent: IncumbentHandle):
+        self.target = float(target)
+        self.hit = False
+        self._incumbent = incumbent
+
+    def certified(self, outstanding_bound: float) -> float:
+        """The gap if submission stopped now (reads the live incumbent)."""
+        return certified_gap(self._incumbent.value(), outstanding_bound)
+
+    def should_stop(self, outstanding_bound: float) -> bool:
+        """True (sticky) once the certified gap reaches the target."""
+        if not self.hit and self.certified(outstanding_bound) <= self.target:
+            self.hit = True
+        return self.hit
+
+
 class _Slot:
     """The process-wide shared state: value + generation sharing one lock."""
 
@@ -234,6 +305,16 @@ def activate(seed: float) -> IncumbentToken:
         slot.value.get_obj().value = float(seed)
         generation = int(raw_generation.value)
     return IncumbentToken(generation=generation, seed=float(seed))
+
+
+def parent_handle(token: IncumbentToken) -> SharedIncumbent:
+    """A parent-side read/propose handle on the slot behind ``token``.
+
+    The gap tracker of a best-first map lives in the *parent* (submission
+    loop) while workers tighten the slot; this is the handle it reads the
+    live incumbent through.
+    """
+    return SharedIncumbent(ensure_slot(), token)
 
 
 def bind_token(token: IncumbentToken | None) -> None:

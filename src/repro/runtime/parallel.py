@@ -89,10 +89,11 @@ import os
 import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
 from .. import faults, sanitize
-from .._env import env_flag
+from .._env import env_flag, env_str
 from ..sanitize import det_san
 from . import health
 from . import incumbent as incumbent_module
@@ -320,51 +321,16 @@ def parallel_map(
     incumbent_token = (
         incumbent_module.activate(incumbent_seed) if incumbent_seed is not None else None
     )
-    if shm is None:
-        shm = _SHM_DEFAULT
-    # ``shm=False`` / ``REPRO_SHM=0`` must mean NO shared-memory segments at
-    # all (e.g. containers with a tiny /dev/shm), not just "no zero-copy
-    # context" — every transport below honors it.
-    shm_usable = shm and shm_module.shm_available()
-    use_shm = shm_usable and shm_module.find_context(payload) is not None
-    call_lease = None
-    if use_shm:
-        descriptor, call_lease = shm_module.publish_payload(payload)
-        spec: tuple = ("shm", descriptor)
-    elif payload is None:
-        spec = ("none",)
-    else:
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        if shm_usable:
-            # Context-free payload (settings, policies): park the pickle in
-            # one segment so its bytes ship once, not once per item.
-            blob_descriptor, call_lease = shm_module.publish_blob(blob)
-            spec = ("blob", blob_descriptor)
-        elif len(blob) <= INLINE_PAYLOAD_BYTES:
-            import hashlib
-
-            spec = ("pickled", hashlib.sha1(blob).hexdigest(), blob)
-        else:
-            # Large payload without shared memory: a per-call pool with fork
-            # inheritance beats pickling the payload into every dispatch
-            # tuple.
-            return _audited(
-                _map_with_fresh_pool(task, items, payload, workers, incumbent_token),
-                workers,
-            )
-    fallback_spec: Callable[[], tuple] | None = None
-    if spec[0] in ("shm", "blob"):
-
-        def _pickled_fallback() -> tuple:
-            # Lazily built (at most once per map) when a worker reports a
-            # failed segment attach: that one chunk re-rides as plain
-            # pickle bytes instead of poisoning the whole pool.
-            import hashlib
-
-            fallback_blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            return ("pickled", hashlib.sha1(fallback_blob).hexdigest(), fallback_blob)
-
-        fallback_spec = _pickled_fallback
+    transport = _resolve_transport(payload, shm)
+    if transport is None:
+        # Large payload without shared memory: a per-call pool with fork
+        # inheritance beats pickling the payload into every dispatch
+        # tuple.
+        return _audited(
+            _map_with_fresh_pool(task, items, payload, workers, incumbent_token),
+            workers,
+        )
+    spec, call_lease, fallback_spec = transport
     try:
         pooled = pool_module.executor().map(
             task,
@@ -403,6 +369,297 @@ def parallel_map(
     finally:
         if call_lease is not None:
             call_lease.close()
+
+
+def _context_dtype_float32() -> bool:
+    """Whether ``REPRO_CONTEXT_DTYPE=float32`` opts publications into float32.
+
+    Read per call (not at import) so tests and long-lived processes can flip
+    it; only shared-memory publications of pruned ordered maps honor it —
+    every other transport ships the exact float64 payload.
+    """
+    return env_str("REPRO_CONTEXT_DTYPE") == "float32"
+
+
+def _resolve_transport(
+    payload: Any, shm: bool | None, *, float32: bool = False
+) -> tuple[tuple, Any, Callable[[], tuple] | None] | None:
+    """Pick the payload transport: ``(spec, call_lease, fallback_spec)``.
+
+    ``None`` means "use the per-call fresh pool" (large payload, no shared
+    memory).  ``float32`` requests the compact float32 context layout for
+    shared-memory publication; all other transports (and the pickled
+    fallback a worker retries on after a failed attach) carry the exact
+    float64 payload, which chunk tasks detect via ``context.float32``.
+    """
+    if shm is None:
+        shm = _SHM_DEFAULT
+    # ``shm=False`` / ``REPRO_SHM=0`` must mean NO shared-memory segments at
+    # all (e.g. containers with a tiny /dev/shm), not just "no zero-copy
+    # context" — every transport below honors it.
+    shm_usable = shm and shm_module.shm_available()
+    use_shm = shm_usable and shm_module.find_context(payload) is not None
+    call_lease = None
+    if use_shm:
+        descriptor, call_lease = shm_module.publish_payload(payload, float32=float32)
+        spec: tuple = ("shm", descriptor)
+    elif payload is None:
+        spec = ("none",)
+    else:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if shm_usable:
+            # Context-free payload (settings, policies): park the pickle in
+            # one segment so its bytes ship once, not once per item.
+            blob_descriptor, call_lease = shm_module.publish_blob(blob)
+            spec = ("blob", blob_descriptor)
+        elif len(blob) <= INLINE_PAYLOAD_BYTES:
+            import hashlib
+
+            spec = ("pickled", hashlib.sha1(blob).hexdigest(), blob)
+        else:
+            return None
+    fallback_spec: Callable[[], tuple] | None = None
+    if spec[0] in ("shm", "blob"):
+
+        def _pickled_fallback() -> tuple:
+            # Lazily built (at most once per map) when a worker reports a
+            # failed segment attach: that one chunk re-rides as plain
+            # pickle bytes instead of poisoning the whole pool.
+            import hashlib
+
+            fallback_blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            return ("pickled", hashlib.sha1(fallback_blob).hexdigest(), fallback_blob)
+
+        fallback_spec = _pickled_fallback
+    return spec, call_lease, fallback_spec
+
+
+@dataclass
+class MapOutcome:
+    """What a best-first ordered map produced.
+
+    ``results`` is keyed by *original* item index (whatever the submission
+    order was), so reductions can walk ``sorted(results)`` and keep the
+    submission-order first-strict-minimum tie rule.  ``deadline_hit`` /
+    ``gap_target_hit`` say why submission stopped early, if it did;
+    ``complete`` is the common "nothing skipped" check.
+    """
+
+    results: dict[int, Any]
+    deadline_hit: bool = False
+    gap_target_hit: bool = False
+
+    def complete(self, total: int) -> bool:
+        return len(self.results) == total
+
+
+def parallel_map_ordered(
+    task: Callable[[Any, T], R],
+    items: Sequence[T],
+    *,
+    payload: Any = None,
+    workers: int | None = 1,
+    shm: bool | None = None,
+    min_items: int = DEFAULT_MIN_ITEMS,
+    incumbent_seed: float,
+    time_budget: float | None = None,
+    order: Sequence[int] | None = None,
+    chunk_bounds: Sequence[float] | None = None,
+    gap_target: float | None = None,
+    float32_ok: bool = False,
+) -> MapOutcome:
+    """Best-first :func:`parallel_map`: priority submission + gap-target stop.
+
+    The enumerators' anytime branch-and-bound entry point.  ``order`` is a
+    permutation of item indexes (ascending admissible chunk bound — the
+    caller computes the bounds up front); chunks are *submitted* in that
+    order while results come back keyed by original index, so the final
+    reduction is order-independent.  ``chunk_bounds[i]`` must lower-bound
+    every solution in item ``i``; with ``gap_target`` set, submission stops
+    as soon as the certified gap between the live incumbent and the minimum
+    outstanding chunk bound reaches the target
+    (:class:`repro.runtime.incumbent.GapTracker`) — exactly like a
+    ``time_budget`` deadline, and combinable with one.  ``incumbent_seed``
+    is required: best-first scheduling only exists for pruned maps, which
+    also makes every ordered map exempt from ``det`` fingerprinting (like
+    any pruned map, its *skip set* is timing-dependent while the reduced
+    result is not).
+
+    ``float32_ok`` marks the task as implementing the float32 survivor
+    protocol (it checks ``context.float32`` and returns margin-zone
+    survivors for exact parent-side re-scoring); only then — and only when
+    ``REPRO_CONTEXT_DTYPE=float32`` is set and shared memory carries the
+    payload — is the compact float32 layout published.  Serial execution
+    and every fallback transport stay exact float64.
+    """
+    items = list(items)
+    total = len(items)
+    submission = list(range(total)) if order is None else [int(i) for i in order]
+    if len(submission) != total or set(submission) != set(range(total)):
+        raise ValueError("order must be a permutation of the item indexes")
+    if gap_target is not None and chunk_bounds is None:
+        raise ValueError("gap_target requires chunk_bounds")
+    workers = effective_workers(workers, total, min_items)
+    deadline = None if time_budget is None else time.monotonic() + float(time_budget)
+    if workers <= 1:
+        return _serial_ordered(
+            task, items, payload, incumbent_seed, deadline, submission, chunk_bounds, gap_target
+        )
+    incumbent_token = incumbent_module.activate(incumbent_seed)
+    tracker: incumbent_module.GapTracker | None = None
+    stop_check: Callable[[list[int]], bool] | None = None
+    if gap_target is not None:
+        assert chunk_bounds is not None
+        bounds = chunk_bounds
+        tracker = incumbent_module.GapTracker(
+            gap_target, incumbent_module.parent_handle(incumbent_token)
+        )
+
+        def _stop_check(pending_indexes: list[int]) -> bool:
+            assert tracker is not None
+            outstanding = min(float(bounds[i]) for i in pending_indexes)
+            return tracker.should_stop(outstanding)
+
+        stop_check = _stop_check
+    publish_float32 = bool(float32_ok) and _context_dtype_float32()
+    transport = _resolve_transport(payload, shm, float32=publish_float32)
+    if transport is None:
+        # Large payload, no shared memory: the per-call fresh pool has no
+        # mid-map submission loop to stop, so the map runs to completion in
+        # submission order (sound — completing everything trivially meets
+        # any gap target; the certificate just reports gap 0).
+        values = _map_with_fresh_pool(
+            task, [items[i] for i in submission], payload, workers, incumbent_token
+        )
+        return MapOutcome(dict(zip(submission, values)))
+    spec, call_lease, fallback_spec = transport
+    try:
+        results, deadline_hit, stopped = pool_module.executor().map_ordered(
+            task,
+            items,
+            spec,
+            workers,
+            incumbent_token,
+            fallback_spec=fallback_spec,
+            deadline=deadline,
+            order=submission,
+            stop_check=stop_check,
+        )
+        return MapOutcome(results, deadline_hit, stopped)
+    except pool_module.PoolDegradedError as degraded:
+        # Retry budget exhausted: keep completed chunks, finish the
+        # remainder serially in order — with the same gap/deadline stops.
+        health.record(serial_fallbacks=1)
+        return _finish_ordered(
+            task,
+            items,
+            payload,
+            dict(degraded.completed),
+            incumbent_token,
+            deadline,
+            submission,
+            chunk_bounds,
+            tracker,
+        )
+    except BrokenProcessPool:
+        health.record(serial_fallbacks=1)
+        return _serial_ordered(
+            task, items, payload, incumbent_seed, deadline, submission, chunk_bounds, gap_target
+        )
+    finally:
+        if call_lease is not None:
+            call_lease.close()
+
+
+def _suffix_minima(submission: list[int], chunk_bounds: Sequence[float] | None) -> list[float]:
+    """``suffix[p] = min(bounds[submission[p:]])`` — the outstanding bound.
+
+    Under ascending-bound submission this is just ``bounds[submission[p]]``,
+    but computing the true suffix minimum keeps the gap certificate sound
+    for *any* caller-supplied order.
+    """
+    suffix = [float("inf")] * (len(submission) + 1)
+    if chunk_bounds is not None:
+        for position in range(len(submission) - 1, -1, -1):
+            suffix[position] = min(
+                float(chunk_bounds[submission[position]]), suffix[position + 1]
+            )
+    return suffix
+
+
+def _serial_ordered(
+    task: Callable[[Any, T], R],
+    items: list[T],
+    payload: Any,
+    incumbent_seed: float,
+    deadline: float | None,
+    submission: list[int],
+    chunk_bounds: Sequence[float] | None,
+    gap_target: float | None,
+) -> MapOutcome:
+    """The in-process best-first loop: same stop rules, same incumbent."""
+    suffix = _suffix_minima(submission, chunk_bounds)
+    results: dict[int, Any] = {}
+    deadline_hit = False
+    with incumbent_module.serial_incumbent(incumbent_seed) as handle:
+        tracker = (
+            incumbent_module.GapTracker(gap_target, handle) if gap_target is not None else None
+        )
+        for position, index in enumerate(submission):
+            if deadline is not None and time.monotonic() >= deadline:
+                deadline_hit = True
+                break
+            if tracker is not None and tracker.should_stop(suffix[position]):
+                break
+            results[index] = task(payload, items[index])
+    gap_hit = tracker is not None and tracker.hit
+    if deadline_hit:
+        health.record(deadline_hits=1)
+    if gap_hit:
+        health.record(gap_target_hits=1)
+    return MapOutcome(results, deadline_hit, gap_hit)
+
+
+def _finish_ordered(
+    task: Callable[[Any, T], R],
+    items: list[T],
+    payload: Any,
+    completed: dict[int, Any],
+    incumbent_token: Any,
+    deadline: float | None,
+    submission: list[int],
+    chunk_bounds: Sequence[float] | None,
+    tracker: "incumbent_module.GapTracker | None",
+) -> MapOutcome:
+    """Finish a degraded ordered map in the parent, keeping completed chunks.
+
+    The suffix minimum at each position conservatively includes already
+    completed chunks' bounds — a smaller outstanding bound only *delays* the
+    gap stop, never unsoundly triggers it.
+    """
+    suffix = _suffix_minima(submission, chunk_bounds)
+    deadline_hit = False
+    if incumbent_token is not None:
+        incumbent_module.bind_token(incumbent_token)
+    try:
+        for position, index in enumerate(submission):
+            if index in completed:
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                deadline_hit = True
+                break
+            if tracker is not None and tracker.should_stop(suffix[position]):
+                break
+            completed[index] = task(payload, items[index])
+    finally:
+        if incumbent_token is not None:
+            incumbent_module.bind_token(None)
+    gap_hit = tracker is not None and tracker.hit
+    if deadline_hit:
+        health.record(deadline_hits=1)
+    if gap_hit:
+        health.record(gap_target_hits=1)
+    return MapOutcome(completed, deadline_hit, gap_hit)
 
 
 def _serial_map(

@@ -337,23 +337,103 @@ class PersistentPool:
         prefix is returned — a short list, which is how callers detect
         truncation.  Task-level exceptions propagate as-is.
         """
+        items = list(items)
+        results, _, _ = self._map_impl(
+            task,
+            items,
+            spec,
+            workers,
+            incumbent_token,
+            fallback_spec=fallback_spec,
+            deadline=deadline,
+        )
+        total = len(items)
+        if len(results) == total:
+            return [results[i] for i in range(total)]
+        prefix: list[Any] = []
+        for i in range(total):
+            if i not in results:
+                break
+            prefix.append(results[i])
+        return prefix
+
+    def map_ordered(
+        self,
+        task: Callable[[Any, Any], Any],
+        items: Iterable[Any],
+        spec: tuple,
+        workers: int,
+        incumbent_token: Any = None,
+        *,
+        fallback_spec: Callable[[], tuple] | None = None,
+        deadline: float | None = None,
+        order: "list[int] | None" = None,
+        stop_check: Callable[[list[int]], bool] | None = None,
+    ) -> tuple[dict[int, Any], bool, bool]:
+        """Best-first variant of :meth:`map`: explicit submission order.
+
+        ``order`` is a permutation of the item indexes (ascending admissible
+        bound, for best-first scheduling); chunks are *submitted* in that
+        order but results come back keyed by original index, so the caller's
+        reduction can keep the submission-order first-strict-minimum rule.
+        ``stop_check`` receives the indexes not yet submitted before each new
+        submission and returns ``True`` to stop submitting (the ``gap_target``
+        predicate); in-flight work is still drained.  Returns
+        ``(results_by_index, deadline_hit, stopped_by_check)``.
+        """
+        return self._map_impl(
+            task,
+            items,
+            spec,
+            workers,
+            incumbent_token,
+            fallback_spec=fallback_spec,
+            deadline=deadline,
+            order=order,
+            stop_check=stop_check,
+        )
+
+    def _map_impl(
+        self,
+        task: Callable[[Any, Any], Any],
+        items: Iterable[Any],
+        spec: tuple,
+        workers: int,
+        incumbent_token: Any = None,
+        *,
+        fallback_spec: Callable[[], tuple] | None = None,
+        deadline: float | None = None,
+        order: "list[int] | None" = None,
+        stop_check: Callable[[list[int]], bool] | None = None,
+    ) -> tuple[dict[int, Any], bool, bool]:
         workers = max(1, int(workers))
         executor = self.ensure(workers)
         items = list(items)
         total = len(items)
         results: dict[int, Any] = {}
         #: (index, attempt, spec) triples not yet in flight.
-        pending: "deque[tuple[int, int, tuple]]" = deque((i, 0, spec) for i in range(total))
+        submission = range(total) if order is None else order
+        pending: "deque[tuple[int, int, tuple]]" = deque((i, 0, spec) for i in submission)
         window: "deque[tuple[int, int, tuple, Any]]" = deque()
         rebuilds = 0
         backoff = MAP_BACKOFF_INITIAL
         resolved_fallback: tuple | None = None
         deadline_hit = False
+        stopped = False
         while pending or window:
             try:
                 while pending and len(window) < workers:
                     if deadline is not None and time.monotonic() >= deadline:
                         deadline_hit = True
+                        break
+                    if stop_check is not None and stop_check(
+                        [entry[0] for entry in pending]
+                    ):
+                        # The caller's predicate (certified gap <= target)
+                        # says the never-submitted chunks can no longer
+                        # matter; drain in-flight work and stop.
+                        stopped = True
+                        pending.clear()
                         break
                     index, attempt, item_spec = pending.popleft()
                     # Counted before submit(): a broken pool can surface as
@@ -410,16 +490,11 @@ class PersistentPool:
                 continue
             results[index] = value
             health.record(chunks_completed=1)
-        if deadline_hit or pending:
+        if deadline_hit or (pending and not stopped):
             health.record(deadline_hits=1)
-        if len(results) == total:
-            return [results[i] for i in range(total)]
-        prefix: list[Any] = []
-        for i in range(total):
-            if i not in results:
-                break
-            prefix.append(results[i])
-        return prefix
+        if stopped:
+            health.record(gap_target_hits=1)
+        return results, deadline_hit or bool(pending), stopped
 
     def shutdown(self) -> None:
         """Stop the workers (idempotent).  Cached publications are separate.

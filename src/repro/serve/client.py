@@ -102,6 +102,7 @@ class ServeClient:
         assignment: str | None = None,
         candidates: Any = None,
         deadline_ms: float | None = None,
+        gap_target: float | None = None,
     ) -> dict:
         payload: dict[str, Any] = {"dataset": _dataset_payload(dataset), "k": k, "objective": objective}
         if assignment is not None:
@@ -110,6 +111,8 @@ class ServeClient:
             payload["candidates"] = _listify(candidates)
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if gap_target is not None:
+            payload["gap_target"] = gap_target
         return self.request("POST", "/v1/solve", payload)
 
     def score(

@@ -8,7 +8,11 @@ connection, JSON in / JSON out.  Endpoints:
                           an optional ``deadline_ms`` mapped onto the anytime
                           ``time_budget`` (a timed-out solve still answers 200
                           with a sound ``(cost, lower_bound, gap)``
-                          certificate and ``deadline_hit: true``).
+                          certificate and ``deadline_hit: true``) and an
+                          optional ``gap_target`` — the precision analogue:
+                          the best-first enumeration stops once the certified
+                          relative gap reaches the target, answering 200 with
+                          the same certificate and ``gap_target_hit: true``.
 ``POST /v1/score``        Exact expected cost of given centers (assigned or
                           unassigned objective).
 ``POST /v1/assign``       Expected-distance assignment of every uncertain
@@ -123,6 +127,27 @@ def _parse_deadline(payload: Mapping[str, Any]) -> float | None:
     return max(0.0, deadline_ms) / 1000.0
 
 
+def _parse_gap_target(payload: Mapping[str, Any]) -> float | None:
+    """``gap_target`` → certified relative gap at which the solve may stop.
+
+    ``0`` is legal and means "never stop early" (the certified gap stays
+    strictly positive while anything is outstanding), so it is the
+    bit-identity spelling rather than an error.
+    """
+    raw = payload.get("gap_target")
+    if raw is None:
+        return None
+    if isinstance(raw, bool):
+        raise _Reject(400, "gap_target must be a number (a relative gap, e.g. 0.01)")
+    try:
+        gap_target = float(raw)
+    except (TypeError, ValueError):
+        raise _Reject(400, "gap_target must be a number (a relative gap, e.g. 0.01)") from None
+    if not np.isfinite(gap_target) or gap_target < 0.0:
+        raise _Reject(400, "gap_target must be a finite non-negative relative gap")
+    return gap_target
+
+
 def _subset_count(candidate_count: int, k: int) -> int:
     return math.comb(candidate_count, k) if candidate_count >= k else 0
 
@@ -167,6 +192,7 @@ def _handle_solve(state: ServerState, payload: Mapping[str, Any], request_id: in
             )
         policy = ASSIGNMENT_POLICIES[name]()
     time_budget = _parse_deadline(payload)
+    gap_target = _parse_gap_target(payload)
 
     # Single-flight context warm-up: N concurrent requests over the same
     # (dataset, candidates) fingerprints cost one build; the solve below then
@@ -197,6 +223,7 @@ def _handle_solve(state: ServerState, payload: Mapping[str, Any], request_id: in
                 workers=workers,
                 store=state.contexts.store,
                 time_budget=time_budget,
+                gap_target=gap_target,
             )
         else:
             result = brute_force_unassigned(
@@ -206,6 +233,7 @@ def _handle_solve(state: ServerState, payload: Mapping[str, Any], request_id: in
                 workers=workers,
                 store=state.contexts.store,
                 time_budget=time_budget,
+                gap_target=gap_target,
             )
     finally:
         if gated:
@@ -221,6 +249,7 @@ def _handle_solve(state: ServerState, payload: Mapping[str, Any], request_id: in
         "assignment": None if result.assignment is None else result.assignment.tolist(),
         "assignment_policy": result.assignment_policy,
         "deadline_hit": bool(result.metadata.get("deadline_hit", False)),
+        "gap_target_hit": bool(result.metadata.get("gap_target_hit", False)),
         "certificate": result.metadata.get("certificate"),
         "degraded": bool(config.workers > 1 and workers == 1),
         "workers": workers,
@@ -320,6 +349,10 @@ def _stats(state: ServerState) -> tuple[int, dict]:
             for endpoint, window in sorted(state.latency.items())
         },
         "runtime_health": runtime_health_summary(state.health_baseline, always=True),
+        # Goal-fulfilment counter, surfaced on its own: a gap-target early
+        # stop is the requested precision being *reached*, not degradation
+        # (the breaker's observe_runtime never folds it in).
+        "gap_target_stops": health.delta(state.health_baseline).gap_target_hits,
         "faults_rejected": state.faults_rejected,
         "retry_after_seconds": round(state.retry_after_seconds(), 3),
         "config": {

@@ -32,6 +32,7 @@ from repro.analysis import (
     render_text,
 )
 from repro.analysis.rules import RULE_CLASSES
+from repro.analysis.rules.anytime import GapCertificateRule
 from repro.analysis.rules.concurrency import (
     LockDisciplineRule,
     ShmLifecycleRule,
@@ -375,6 +376,75 @@ class TestBoundAdmissibleDocRule:
         )
         assert report.findings == []
 
+    def test_flags_undocumented_bound_method_in_context(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "cost/context.py",
+            """
+            class CostContext:
+                def subset_fancy_lower_bounds(self, rows):
+                    '''Returns a pretty good value.'''
+                    return rows
+
+                def subset_cited_lower_bounds(self, rows):
+                    '''Admissible by Jensen applied to the max.'''
+                    return rows
+
+                def _private_lower_bounds(self, rows):
+                    return rows
+
+                def unrelated(self, rows):
+                    return rows
+            """,
+            BoundAdmissibleDocRule(),
+        )
+        assert rule_ids(report) == ["BOUND-ADMISSIBLE-DOC"]
+        assert "subset_fancy_lower_bounds" in report.findings[0].message
+
+
+class TestGapCertificateRule:
+    def test_flags_gap_target_solver_without_certificate(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "baselines/solver.py",
+            """
+            def solve(dataset, k, *, gap_target=None):
+                best = enumerate_everything(dataset, k, gap_target)
+                return UncertainKCenterResult(cost=best, metadata={})
+            """,
+            GapCertificateRule(),
+        )
+        assert rule_ids(report) == ["GAP-CERTIFICATE"]
+
+    def test_certificate_fold_passes(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "baselines/solver.py",
+            """
+            def solve(dataset, k, *, gap_target=None):
+                best, skipped = enumerate_everything(dataset, k, gap_target)
+                metadata = {"certificate": _deadline_certificate(best, skipped)}
+                return UncertainKCenterResult(cost=best, metadata=metadata)
+            """,
+            GapCertificateRule(),
+        )
+        assert report.findings == []
+
+    def test_functions_without_gap_target_or_result_stay_silent(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "baselines/solver.py",
+            """
+            def no_gap(dataset, k):
+                return UncertainKCenterResult(cost=1.0, metadata={})
+
+            def no_result(dataset, k, *, gap_target=None):
+                return enumerate_everything(dataset, k, gap_target)
+            """,
+            GapCertificateRule(),
+        )
+        assert report.findings == []
+
 
 class TestSpillPathRule:
     def test_flags_ctx_literal_and_pickle_outside_owners(self, tmp_path):
@@ -572,7 +642,7 @@ class TestFaultPointRule:
 
 class TestEngineAndReporters:
     def test_every_rule_ships_with_id_summary_and_motivation(self):
-        assert len(RULE_CLASSES) == 9
+        assert len(RULE_CLASSES) == 10
         seen = set()
         for rule in all_rules():
             assert rule.id and rule.id not in seen

@@ -379,10 +379,11 @@ class TestProjectModel:
         assert turn is not None and turn.qualname == "Widget.turn"
 
     def test_dataflow_registry_is_separate_from_intra_module_rules(self):
-        # The intra-module registry (PR 6's eight plus PR 8's FAULT-POINT)
-        # stays separate from the interprocedural rules, which ship in
-        # their own registry and only join in the (default) dataflow mode.
-        assert len(RULE_CLASSES) == 9
+        # The intra-module registry (PR 6's eight plus PR 8's FAULT-POINT
+        # and PR 10's GAP-CERTIFICATE) stays separate from the
+        # interprocedural rules, which ship in their own registry and only
+        # join in the (default) dataflow mode.
+        assert len(RULE_CLASSES) == 10
         assert len(DATAFLOW_RULE_CLASSES) == 3
         assert {rule.id for rule in dataflow_rules()} == {
             "NONDET-FLOW",
